@@ -1,0 +1,76 @@
+//! Benchmarks of the capacity analyses: the max-concurrent-flow solver (the
+//! CPLEX substitute) with its ε ablation, the bisection-bandwidth machinery
+//! behind Figures 2(a)/2(b)/7, and the throughput figures 3, 4, 6, 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jellyfish::figures::{self, Scale};
+use jellyfish_flow::bisection::{jellyfish_full_bisection_cost, min_bisection_heuristic};
+use jellyfish_flow::throughput::{normalized_throughput, ThroughputOptions};
+use jellyfish_topology::JellyfishBuilder;
+use jellyfish_traffic::{ServerMap, TrafficMatrix};
+
+fn bench_mcf_epsilon_ablation(c: &mut Criterion) {
+    let topo = JellyfishBuilder::new(60, 10, 6).seed(1).build().unwrap();
+    let servers = ServerMap::new(&topo);
+    let tm = TrafficMatrix::random_permutation(&servers, 2);
+    let mut group = c.benchmark_group("mcf_epsilon_ablation");
+    group.sample_size(10);
+    for &eps in &[0.15f64, 0.08] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let opts = ThroughputOptions { epsilon: eps, stop_at_full: false, ..Default::default() };
+            b.iter(|| normalized_throughput(&topo, &servers, &tm, opts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisection_figures");
+    group.sample_size(10);
+    // Figure 2(b): full design-space scan for one port count.
+    group.bench_function("fig2b_cost_scan_48_ports", |b| {
+        b.iter(|| {
+            (10_000..=80_000)
+                .step_by(10_000)
+                .filter_map(|servers| jellyfish_full_bisection_cost(servers, 48))
+                .count()
+        });
+    });
+    // Figure 7 inner loop: Kernighan-Lin bisection of a mid-size topology.
+    group.bench_function("fig7_kl_bisection_n60", |b| {
+        let topo = JellyfishBuilder::new(60, 24, 12).seed(5).build().unwrap();
+        b.iter(|| min_bisection_heuristic(&topo, 2, 1));
+    });
+    group.finish();
+}
+
+fn bench_capacity_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity_figures");
+    group.sample_size(10);
+    group.bench_function("fig1c_tiny", |b| {
+        b.iter(|| figures::fig1c_path_length_cdf(Scale::Tiny, 1));
+    });
+    group.bench_function("fig2a_bounds", |b| {
+        b.iter(figures::fig2a_bisection_vs_servers);
+    });
+    group.bench_function("fig4_swdc_tiny", |b| {
+        b.iter(|| figures::fig4_swdc_comparison(Scale::Tiny, 1));
+    });
+    group.bench_function("fig6_incremental_tiny", |b| {
+        b.iter(|| figures::fig6_incremental_vs_scratch(Scale::Tiny, 1));
+    });
+    group.bench_function("fig7_legup_tiny", |b| {
+        b.iter(|| figures::fig7_legup_comparison(Scale::Tiny, 1));
+    });
+    group.bench_function("fig8_resilience_tiny", |b| {
+        b.iter(|| figures::fig8_failure_resilience(Scale::Tiny, 1));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mcf_epsilon_ablation, bench_bisection, bench_capacity_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks of the routing machinery: Yen's k-shortest paths, ECMP path
+//! enumeration, and the Figure 9 path-diversity accounting, including the
+//! ECMP-width / k ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jellyfish_routing::ecmp::all_shortest_paths;
+use jellyfish_routing::path_table::{PathTable, RoutingScheme};
+use jellyfish_routing::yen::k_shortest_paths;
+use jellyfish_topology::JellyfishBuilder;
+use jellyfish_traffic::{ServerMap, TrafficMatrix};
+
+fn bench_yen(c: &mut Criterion) {
+    let topo = JellyfishBuilder::new(245, 14, 11).seed(1).build().unwrap();
+    let g = topo.graph();
+    let mut group = c.benchmark_group("yen_k_shortest_paths");
+    for &k in &[1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| k_shortest_paths(g, 0, 200, k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ecmp(c: &mut Criterion) {
+    let topo = JellyfishBuilder::new(245, 14, 11).seed(2).build().unwrap();
+    let g = topo.graph();
+    let mut group = c.benchmark_group("ecmp_enumeration");
+    for &way in &[8usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(way), &way, |b, &way| {
+            b.iter(|| all_shortest_paths(g, 3, 150, way));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig9_path_tables(c: &mut Criterion) {
+    // Figure 9 at laptop scale: path table + ranked link path counts for a
+    // random permutation on an 80-switch Jellyfish.
+    let topo = JellyfishBuilder::new(80, 10, 7).seed(3).build().unwrap();
+    let servers = ServerMap::new(&topo);
+    let tm = TrafficMatrix::random_permutation(&servers, 9);
+    let pairs: Vec<(usize, usize)> = tm
+        .switch_demands(&servers)
+        .into_iter()
+        .map(|(s, d, _)| (s, d))
+        .collect();
+    let mut group = c.benchmark_group("fig9_path_diversity");
+    group.sample_size(10);
+    for (label, scheme) in [
+        ("ecmp8", RoutingScheme::ecmp8()),
+        ("ecmp64", RoutingScheme::ecmp64()),
+        ("ksp8", RoutingScheme::ksp8()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let table = PathTable::build(topo.graph(), scheme, pairs.iter().copied());
+                table.ranked_link_path_counts(topo.graph())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_yen, bench_ecmp, bench_fig9_path_tables
+}
+criterion_main!(benches);

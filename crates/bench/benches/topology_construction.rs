@@ -1,0 +1,74 @@
+//! Benchmarks of the topology substrate: Jellyfish construction (including
+//! the naive-retry ablation called out in DESIGN.md), fat-tree generation,
+//! incremental expansion, and the path-length machinery behind Figures 1(c)
+//! and 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jellyfish_topology::expansion::add_switch;
+use jellyfish_topology::fattree::FatTree;
+use jellyfish_topology::properties::{path_length_stats, server_pair_histogram};
+use jellyfish_topology::rrg::build_naive_retry;
+use jellyfish_topology::JellyfishBuilder;
+
+fn bench_jellyfish_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jellyfish_construction");
+    for &n in &[50usize, 200, 800] {
+        group.bench_with_input(BenchmarkId::new("swap_completion", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                JellyfishBuilder::new(n, 24, 18).seed(seed).build().unwrap()
+            });
+        });
+    }
+    // Ablation: naive configuration-model retry at a size where it still works.
+    group.bench_function("naive_retry_n20_r3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            build_naive_retry(20, 6, 3, seed, 1_000_000).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_fattree_and_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured_topologies");
+    for &k in &[8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("fat_tree", k), &k, |b, &k| {
+            b.iter(|| FatTree::new(k).unwrap());
+        });
+    }
+    group.bench_function("incremental_add_rack_n200", |b| {
+        let base = JellyfishBuilder::new(200, 24, 18).seed(1).build().unwrap();
+        let mut seed = 0u64;
+        b.iter(|| {
+            let mut topo = base.clone();
+            seed += 1;
+            add_switch(&mut topo, 24, 6, seed).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_path_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_length_figures");
+    // Figure 1(c) machinery: server-pair histogram for same-equipment pair.
+    group.bench_function("fig1c_histogram_k10", |b| {
+        let jf = JellyfishBuilder::new(125, 10, 7).seed(3).build().unwrap();
+        b.iter(|| server_pair_histogram(&jf));
+    });
+    // Figure 5 machinery: APSP statistics.
+    group.bench_function("fig5_stats_n400_r18", |b| {
+        let jf = JellyfishBuilder::new(400, 24, 18).seed(4).build().unwrap();
+        b.iter(|| path_length_stats(jf.graph()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_jellyfish_construction, bench_fattree_and_expansion, bench_path_lengths
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `figures` — regenerate the data behind every figure and table of the
+//! Jellyfish paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures <experiment> [--scale paper|laptop|tiny] [--seed N]
+//! figures all          [--scale laptop]
+//! ```
+//!
+//! Experiments: `fig1c`, `fig2a`, `fig2b`, `fig2c`, `fig3`, `fig4`, `fig5`,
+//! `fig6`, `fig7`, `fig8`, `fig9`, `table1`, `fig10`, `fig11`, `fig12`,
+//! `fig13`, `fig14`. Output is a tab-separated table on stdout; see
+//! EXPERIMENTS.md for how each maps onto the paper's plots.
+
+use jellyfish::figures::{self, Scale};
+use jellyfish_bench::{render_rows, render_series_table};
+
+fn parse_scale(args: &[String]) -> Scale {
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("paper") => Scale::Paper,
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Laptop,
+    }
+}
+
+fn parse_seed(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2012)
+}
+
+fn run_experiment(name: &str, scale: Scale, seed: u64) {
+    println!("== {name} (scale: {scale:?}, seed: {seed}) ==");
+    match name {
+        "fig1c" => print!("{}", render_series_table(&figures::fig1c_path_length_cdf(scale, seed))),
+        "fig2a" => print!("{}", render_series_table(&figures::fig2a_bisection_vs_servers())),
+        "fig2b" => print!("{}", render_series_table(&figures::fig2b_equipment_cost())),
+        "fig2c" => print!("{}", render_series_table(&figures::fig2c_servers_at_full_capacity(scale, seed))),
+        "fig3" => print!("{}", render_series_table(&figures::fig3_degree_diameter(scale, seed))),
+        "fig4" => print!("{}", render_rows(&figures::fig4_swdc_comparison(scale, seed))),
+        "fig5" => print!("{}", render_series_table(&figures::fig5_path_length_vs_size(scale, seed))),
+        "fig6" => print!("{}", render_series_table(&figures::fig6_incremental_vs_scratch(scale, seed))),
+        "fig7" => {
+            println!("budget\tjellyfish_bisection\tclos_bisection\tservers");
+            for s in figures::fig7_legup_comparison(scale, seed) {
+                println!(
+                    "{:.0}\t{:.4}\t{:.4}\t{}",
+                    s.cumulative_budget, s.jellyfish_bisection, s.clos_bisection, s.servers
+                );
+            }
+        }
+        "fig8" => print!("{}", render_series_table(&figures::fig8_failure_resilience(scale, seed))),
+        "fig9" => print!("{}", render_series_table(&figures::fig9_path_diversity(scale, seed))),
+        "table1" => {
+            println!("congestion_control\tfat-tree ECMP\tjellyfish ECMP\tjellyfish 8-KSP");
+            for (label, ft, jf_ecmp, jf_ksp) in figures::table1(scale, seed) {
+                println!("{label}\t{:.1}%\t{:.1}%\t{:.1}%", ft * 100.0, jf_ecmp * 100.0, jf_ksp * 100.0);
+            }
+        }
+        "fig10" => {
+            println!("servers\toptimal\tpacket_level");
+            for (servers, optimal, packet) in figures::fig10_packet_vs_optimal(scale, seed) {
+                println!("{servers}\t{optimal:.4}\t{packet:.4}");
+            }
+        }
+        "fig11" | "fig12" => {
+            println!("equipment_ports\tfattree_servers\tfattree_throughput\tjellyfish_servers\tjellyfish_throughput");
+            for (ports, fts, fttp, jfs, jftp) in figures::fig11_12_packet_capacity(scale, seed) {
+                println!("{ports}\t{fts}\t{fttp:.4}\t{jfs}\t{jftp:.4}");
+            }
+        }
+        "fig13" => {
+            for (label, tputs, jain) in figures::fig13_fairness(scale, seed) {
+                println!("{label}: {} flows, Jain index {:.4}", tputs.len(), jain);
+                let preview: Vec<String> = tputs.iter().take(10).map(|t| format!("{t:.3}")).collect();
+                println!("  lowest flows: {}", preview.join(", "));
+            }
+        }
+        "fig14" => print!("{}", render_series_table(&figures::fig14_cable_localization(scale, seed))),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: figures <experiment|all> [--scale paper|laptop|tiny] [--seed N]");
+        std::process::exit(2);
+    };
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let all = [
+        "fig1c", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "table1", "fig10", "fig11", "fig13", "fig14",
+    ];
+    if name == "all" {
+        for n in all {
+            run_experiment(n, scale, seed);
+        }
+    } else {
+        run_experiment(name, scale, seed);
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the figure-regeneration CLI and the Criterion benches.
+//!
+//! The actual experiment logic lives in [`jellyfish::figures`]; this crate
+//! only formats its output and wires it into `cargo bench` targets. See
+//! EXPERIMENTS.md at the repository root for the index of experiments and
+//! the measured-vs-paper comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jellyfish::figures::Series;
+
+/// Renders a collection of series as an aligned text table:
+/// one `x` column and one column per series.
+pub fn render_series_table(series: &[Series]) -> String {
+    use std::collections::BTreeMap;
+    let mut xs: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, _) in &s.points {
+            if !xs.iter().any(|&e| (e - x).abs() < 1e-9) {
+                xs.push(x);
+            }
+        }
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out = String::new();
+    out.push_str("x");
+    for s in series {
+        out.push('\t');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    let maps: Vec<BTreeMap<u64, f64>> = series
+        .iter()
+        .map(|s| {
+            s.points
+                .iter()
+                .map(|&(x, y)| ((x * 1e6) as u64, y))
+                .collect()
+        })
+        .collect();
+    for &x in &xs {
+        out.push_str(&format!("{x:.3}"));
+        let key = (x * 1e6) as u64;
+        for m in &maps {
+            match m.get(&key) {
+                Some(y) => out.push_str(&format!("\t{y:.4}")),
+                None => out.push_str("\t-"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders simple `(label, value)` rows.
+pub fn render_rows(rows: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    for (label, value) in rows {
+        out.push_str(&format!("{label}\t{value:.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_series_on_x() {
+        let s = vec![
+            Series::new("a", vec![(1.0, 0.5), (2.0, 0.6)]),
+            Series::new("b", vec![(2.0, 0.7)]),
+        ];
+        let table = render_series_table(&s);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("a") && lines[0].contains("b"));
+        assert!(lines[1].contains("0.5") && lines[1].ends_with("-"));
+        assert!(lines[2].contains("0.6") && lines[2].contains("0.7"));
+    }
+
+    #[test]
+    fn rows_render_labels_and_values() {
+        let rows = vec![("Jellyfish".to_string(), 0.95), ("Fat-tree".to_string(), 0.9)];
+        let text = render_rows(&rows);
+        assert!(text.contains("Jellyfish\t0.9500"));
+        assert!(text.contains("Fat-tree\t0.9000"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Fairness and summary statistics used across the evaluation.
+
+/// Jain's fairness index of a set of allocations:
+/// `(Σ x)² / (n · Σ x²)`, in `(0, 1]`, 1 meaning perfectly equal shares.
+/// Returns 1.0 for an empty input (vacuously fair).
+pub fn jain_fairness_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Mean / min / max / percentile summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Standard deviation (population).
+    pub stddev: f64,
+    /// Sorted copy of the sample, for percentile queries.
+    sorted: Vec<f64>,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics; returns `None` for an empty sample.
+    pub fn from(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Some(SummaryStats {
+            mean,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            stddev: var.sqrt(),
+            sorted,
+        })
+    }
+
+    /// The `q`-th percentile (0 ≤ q ≤ 100), by the nearest-rank method:
+    /// the smallest value such that at least `q` percent of the sample is
+    /// less than or equal to it.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfectly_fair() {
+        assert!((jain_fairness_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness_index(&[0.3, 0.3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog() {
+        // One of n users takes everything: index = 1/n.
+        let idx = jain_fairness_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_paper_magnitudes() {
+        // The paper reports ~0.99 for both topologies: mild variation around
+        // a common value keeps the index very close to 1.
+        let values: Vec<f64> = (0..300).map(|i| 0.9 + 0.05 * ((i % 7) as f64 / 7.0)).collect();
+        assert!(jain_fairness_index(&values) > 0.99);
+    }
+
+    #[test]
+    fn jain_edge_cases() {
+        assert_eq!(jain_fairness_index(&[]), 1.0);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = SummaryStats::from(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.percentile(0.0), 2.0);
+        assert_eq!(s.percentile(100.0), 9.0);
+        assert_eq!(s.percentile(50.0), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(SummaryStats::from(&[]).is_none());
+    }
+}

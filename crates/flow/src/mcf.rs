@@ -1,0 +1,524 @@
+//! Max-concurrent multicommodity flow via the Garg–Könemann multiplicative
+//! weights framework.
+//!
+//! Given directed arc capacities (every undirected switch link contributes
+//! two arcs of unit capacity — links are full duplex) and a set of
+//! commodities `(src, dst, demand)`, the solver computes the largest `λ` such
+//! that `λ · demand_j` can be routed for every commodity simultaneously,
+//! within a multiplicative `(1 − ε)` of the true optimum.
+//!
+//! Two variants are provided:
+//!
+//! * [`max_concurrent_flow`] — the textbook algorithm, where each routing
+//!   step picks the currently-cheapest path with Dijkstra. This is the
+//!   CPLEX-equivalent "optimal routing" oracle.
+//! * [`max_concurrent_flow_on_paths`] — the same multiplicative-weights
+//!   update restricted to a precomputed path set per commodity (e.g. the 8
+//!   shortest paths). This is both much faster and exactly the quantity
+//!   "best possible load balancing over k-shortest paths", which the paper's
+//!   §5 routing study approaches from below with MPTCP.
+
+use jellyfish_routing::shortest::weighted_shortest_path;
+use jellyfish_routing::Path;
+use jellyfish_topology::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// One commodity: a demand from a source switch to a destination switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Commodity {
+    /// Source switch.
+    pub src: NodeId,
+    /// Destination switch.
+    pub dst: NodeId,
+    /// Demand in the same units as link capacity.
+    pub demand: f64,
+}
+
+/// Options controlling the approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct McfOptions {
+    /// Approximation accuracy ε: the returned λ is ≥ (1 − ε)·OPT up to
+    /// floating-point noise. Smaller is slower (roughly 1/ε²).
+    pub epsilon: f64,
+    /// Capacity of every directed switch-to-switch arc.
+    pub link_capacity: f64,
+    /// Stop early once λ provably reaches this value (useful for "is the
+    /// network at full throughput?" checks where only λ ≥ 1 matters).
+    pub lambda_cap: Option<f64>,
+}
+
+impl Default for McfOptions {
+    fn default() -> Self {
+        McfOptions {
+            epsilon: 0.05,
+            link_capacity: 1.0,
+            lambda_cap: None,
+        }
+    }
+}
+
+/// Result of a max-concurrent-flow computation.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// The achieved concurrent-flow fraction λ (possibly truncated at
+    /// `lambda_cap`).
+    pub lambda: f64,
+    /// Scaled utilization of every directed arc `(u, v)` in `[0, 1]`.
+    pub link_utilization: HashMap<(NodeId, NodeId), f64>,
+    /// Number of shortest-path computations performed (profiling aid).
+    pub path_computations: usize,
+}
+
+impl McfSolution {
+    /// Maximum arc utilization (1.0 means some arc is saturated).
+    pub fn max_utilization(&self) -> f64 {
+        self.link_utilization.values().cloned().fold(0.0, f64::max)
+    }
+
+    /// Mean arc utilization across all arcs that carry any flow.
+    pub fn mean_utilization(&self) -> f64 {
+        let used: Vec<f64> = self.link_utilization.values().cloned().filter(|&u| u > 0.0).collect();
+        if used.is_empty() {
+            return 0.0;
+        }
+        used.iter().sum::<f64>() / used.len() as f64
+    }
+}
+
+/// Internal per-arc state for the multiplicative-weights algorithm.
+struct ArcState {
+    length: HashMap<(NodeId, NodeId), f64>,
+    flow: HashMap<(NodeId, NodeId), f64>,
+    capacity: f64,
+}
+
+impl ArcState {
+    fn new(graph: &Graph, capacity: f64, delta: f64) -> Self {
+        let mut length = HashMap::new();
+        let mut flow = HashMap::new();
+        for e in graph.edges() {
+            for arc in [(e.a, e.b), (e.b, e.a)] {
+                length.insert(arc, delta / capacity);
+                flow.insert(arc, 0.0);
+            }
+        }
+        ArcState {
+            length,
+            flow,
+            capacity,
+        }
+    }
+
+    fn total_weighted_length(&self) -> f64 {
+        self.length.values().map(|&l| l * self.capacity).sum()
+    }
+
+    fn path_bottleneck(&self, path: &Path) -> f64 {
+        let _ = path;
+        self.capacity
+    }
+
+    fn send_on_path(&mut self, path: &Path, amount: f64, epsilon: f64) {
+        for w in path.windows(2) {
+            let arc = (w[0], w[1]);
+            *self.flow.get_mut(&arc).expect("arc exists") += amount;
+            let l = self.length.get_mut(&arc).expect("arc exists");
+            *l *= 1.0 + epsilon * amount / self.capacity;
+        }
+    }
+
+    fn arc_length(&self, u: NodeId, v: NodeId) -> f64 {
+        *self.length.get(&(u, v)).unwrap_or(&f64::INFINITY)
+    }
+}
+
+/// Validates commodities against the graph; zero-demand commodities and
+/// self-loops are dropped.
+fn sanitize(graph: &Graph, commodities: &[Commodity]) -> Vec<Commodity> {
+    commodities
+        .iter()
+        .copied()
+        .filter(|c| c.src != c.dst && c.demand > 0.0)
+        .inspect(|c| {
+            assert!(c.src < graph.num_nodes() && c.dst < graph.num_nodes(), "commodity endpoint out of range");
+        })
+        .collect()
+}
+
+/// Max-concurrent multicommodity flow with a Dijkstra inner loop
+/// (the "optimal routing" oracle).
+///
+/// Returns λ such that every commodity can simultaneously route a `λ`
+/// fraction of its demand. With `opts.lambda_cap = Some(c)`, iteration stops
+/// as soon as λ ≥ c can be certified, which is much faster when only a
+/// threshold matters.
+pub fn max_concurrent_flow(
+    graph: &Graph,
+    commodities: &[Commodity],
+    opts: McfOptions,
+) -> McfSolution {
+    let commodities = sanitize(graph, commodities);
+    if commodities.is_empty() || graph.num_edges() == 0 {
+        return McfSolution {
+            lambda: if commodities.is_empty() { f64::INFINITY } else { 0.0 },
+            link_utilization: HashMap::new(),
+            path_computations: 0,
+        };
+    }
+    let eps = opts.epsilon.clamp(1e-3, 0.5);
+    let num_arcs = 2 * graph.num_edges();
+    // Garg–Könemann initialization.
+    let delta = (1.0 + eps) / ((1.0 + eps) * num_arcs as f64).powf(1.0 / eps);
+    let mut arcs = ArcState::new(graph, opts.link_capacity, delta);
+    let scaling = ((1.0 + eps) / delta).ln() / (1.0 + eps).ln();
+    let mut phases = 0.0f64;
+    let mut path_computations = 0usize;
+
+    'outer: while arcs.total_weighted_length() < 1.0 {
+        for c in &commodities {
+            let mut remaining = c.demand;
+            while remaining > 1e-12 {
+                if arcs.total_weighted_length() >= 1.0 {
+                    break 'outer;
+                }
+                let weight = |u: NodeId, v: NodeId| arcs.arc_length(u, v);
+                path_computations += 1;
+                let Some((path, _)) = weighted_shortest_path(graph, c.src, c.dst, weight) else {
+                    // Unreachable destination: λ is zero.
+                    return McfSolution {
+                        lambda: 0.0,
+                        link_utilization: HashMap::new(),
+                        path_computations,
+                    };
+                };
+                let send = remaining.min(arcs.path_bottleneck(&path));
+                arcs.send_on_path(&path, send, eps);
+                remaining -= send;
+            }
+        }
+        phases += 1.0;
+        if let Some(cap) = opts.lambda_cap {
+            // λ after this many full phases is at least phases / scaling.
+            if phases / scaling >= cap {
+                break;
+            }
+        }
+    }
+
+    let lambda_raw = phases / scaling;
+    let lambda = match opts.lambda_cap {
+        Some(cap) => lambda_raw.min(cap),
+        None => lambda_raw,
+    };
+    let utilization = scaled_utilization(&arcs, &commodities, lambda_raw, phases);
+    McfSolution {
+        lambda,
+        link_utilization: utilization,
+        path_computations,
+    }
+}
+
+/// Max-concurrent flow restricted to the provided paths: `paths[j]` is the
+/// admissible path set for commodity `j` (must be non-empty and connect the
+/// commodity endpoints).
+///
+/// This models "ideal load balancing over a fixed routing scheme" — e.g.
+/// handing the k shortest paths to an optimal rate controller — and is the
+/// quantity the paper's MPTCP-over-k-shortest-paths stack approximates.
+pub fn max_concurrent_flow_on_paths(
+    graph: &Graph,
+    commodities: &[Commodity],
+    paths: &[Vec<Path>],
+    opts: McfOptions,
+) -> McfSolution {
+    assert_eq!(commodities.len(), paths.len(), "one path set per commodity");
+    let keep: Vec<usize> = (0..commodities.len())
+        .filter(|&j| commodities[j].src != commodities[j].dst && commodities[j].demand > 0.0)
+        .collect();
+    if keep.is_empty() || graph.num_edges() == 0 {
+        return McfSolution {
+            lambda: if keep.is_empty() { f64::INFINITY } else { 0.0 },
+            link_utilization: HashMap::new(),
+            path_computations: 0,
+        };
+    }
+    let eps = opts.epsilon.clamp(1e-3, 0.5);
+    let num_arcs = 2 * graph.num_edges();
+    let delta = (1.0 + eps) / ((1.0 + eps) * num_arcs as f64).powf(1.0 / eps);
+    let mut arcs = ArcState::new(graph, opts.link_capacity, delta);
+    let scaling = ((1.0 + eps) / delta).ln() / (1.0 + eps).ln();
+    let mut phases = 0.0f64;
+
+    for &j in &keep {
+        assert!(!paths[j].is_empty(), "commodity {j} has an empty path set");
+        for p in &paths[j] {
+            assert_eq!(p.first(), Some(&commodities[j].src));
+            assert_eq!(p.last(), Some(&commodities[j].dst));
+        }
+    }
+
+    'outer: while arcs.total_weighted_length() < 1.0 {
+        for &j in &keep {
+            let c = commodities[j];
+            let mut remaining = c.demand;
+            while remaining > 1e-12 {
+                if arcs.total_weighted_length() >= 1.0 {
+                    break 'outer;
+                }
+                // Cheapest admissible path under current lengths.
+                let best = paths[j]
+                    .iter()
+                    .min_by(|a, b| {
+                        let ca: f64 = a.windows(2).map(|w| arcs.arc_length(w[0], w[1])).sum();
+                        let cb: f64 = b.windows(2).map(|w| arcs.arc_length(w[0], w[1])).sum();
+                        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty path set");
+                let send = remaining.min(arcs.path_bottleneck(best));
+                let best = best.clone();
+                arcs.send_on_path(&best, send, eps);
+                remaining -= send;
+            }
+        }
+        phases += 1.0;
+        if let Some(cap) = opts.lambda_cap {
+            if phases / scaling >= cap {
+                break;
+            }
+        }
+    }
+
+    let lambda_raw = phases / scaling;
+    let lambda = match opts.lambda_cap {
+        Some(cap) => lambda_raw.min(cap),
+        None => lambda_raw,
+    };
+    let kept: Vec<Commodity> = keep.iter().map(|&j| commodities[j]).collect();
+    let utilization = scaled_utilization(&arcs, &kept, lambda_raw, phases);
+    McfSolution {
+        lambda,
+        link_utilization: utilization,
+        path_computations: 0,
+    }
+}
+
+/// Converts raw accumulated flow into per-arc utilization consistent with the
+/// returned λ: the algorithm routes every demand once per phase, so the true
+/// (feasible) flow is the accumulated flow divided by the number of phases,
+/// then multiplied by λ to express the concurrently-routable fraction.
+fn scaled_utilization(
+    arcs: &ArcState,
+    commodities: &[Commodity],
+    lambda_raw: f64,
+    phases: f64,
+) -> HashMap<(NodeId, NodeId), f64> {
+    let _ = commodities;
+    let mut out = HashMap::new();
+    if phases <= 0.0 {
+        return out;
+    }
+    for (&arc, &f) in &arcs.flow {
+        // Flow per phase, scaled to the feasible λ fraction of a single phase.
+        let per_phase = f / phases;
+        let scale = if lambda_raw > 0.0 { 1.0 } else { 0.0 };
+        out.insert(arc, (per_phase * scale / arcs.capacity).min(1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_routing::yen::k_shortest_paths;
+    use jellyfish_topology::{Graph, JellyfishBuilder};
+
+    fn single_link() -> Graph {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g
+    }
+
+    #[test]
+    fn single_commodity_on_single_link() {
+        let g = single_link();
+        let commodities = [Commodity { src: 0, dst: 1, demand: 1.0 }];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        // One unit of demand over a unit-capacity link: λ ≈ 1.
+        assert!((sol.lambda - 1.0).abs() < 0.1, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    fn demand_double_capacity_halves_lambda() {
+        let g = single_link();
+        let commodities = [Commodity { src: 0, dst: 1, demand: 2.0 }];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert!((sol.lambda - 0.5).abs() < 0.06, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    fn two_opposite_commodities_use_both_directions() {
+        // Full-duplex link: 0→1 and 1→0 each get their own unit arc.
+        let g = single_link();
+        let commodities = [
+            Commodity { src: 0, dst: 1, demand: 1.0 },
+            Commodity { src: 1, dst: 0, demand: 1.0 },
+        ];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert!((sol.lambda - 1.0).abs() < 0.1, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    fn parallel_paths_double_capacity() {
+        // 0 - 1 - 3 and 0 - 2 - 3: two disjoint 2-hop paths.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 3);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        let commodities = [Commodity { src: 0, dst: 3, demand: 2.0 }];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert!((sol.lambda - 1.0).abs() < 0.1, "lambda = {}", sol.lambda);
+        // Utilization spread across both paths.
+        assert!(sol.max_utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_shared_by_two_commodities() {
+        // Both commodities must cross the single 1-2 link: λ ≈ 0.5 each.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let commodities = [
+            Commodity { src: 0, dst: 3, demand: 1.0 },
+            Commodity { src: 1, dst: 3, demand: 1.0 },
+        ];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert!((sol.lambda - 0.5).abs() < 0.06, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    fn unreachable_destination_gives_zero() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let commodities = [Commodity { src: 0, dst: 2, demand: 1.0 }];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert_eq!(sol.lambda, 0.0);
+    }
+
+    #[test]
+    fn empty_commodities_are_unconstrained() {
+        let g = single_link();
+        let sol = max_concurrent_flow(&g, &[], McfOptions::default());
+        assert!(sol.lambda.is_infinite());
+        let sol2 = max_concurrent_flow(
+            &g,
+            &[Commodity { src: 0, dst: 0, demand: 5.0 }],
+            McfOptions::default(),
+        );
+        assert!(sol2.lambda.is_infinite(), "self-loop demands are dropped");
+    }
+
+    #[test]
+    fn lambda_cap_stops_early() {
+        let g = single_link();
+        let commodities = [Commodity { src: 0, dst: 1, demand: 0.01 }];
+        let opts = McfOptions {
+            lambda_cap: Some(1.0),
+            ..Default::default()
+        };
+        let sol = max_concurrent_flow(&g, &commodities, opts);
+        assert!((sol.lambda - 1.0).abs() < 1e-9);
+        // Without the cap λ would be ~100; with it we stop at 1.0.
+        let uncapped = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert!(uncapped.lambda > 10.0);
+        assert!(sol.path_computations < uncapped.path_computations);
+    }
+
+    #[test]
+    fn link_capacity_scales_lambda() {
+        let g = single_link();
+        let commodities = [Commodity { src: 0, dst: 1, demand: 1.0 }];
+        let opts = McfOptions {
+            link_capacity: 4.0,
+            ..Default::default()
+        };
+        let sol = max_concurrent_flow(&g, &commodities, opts);
+        assert!((sol.lambda - 4.0).abs() < 0.4, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    fn epsilon_controls_accuracy() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let commodities = [Commodity { src: 0, dst: 2, demand: 1.0 }];
+        let coarse = max_concurrent_flow(
+            &g,
+            &commodities,
+            McfOptions { epsilon: 0.3, ..Default::default() },
+        );
+        let fine = max_concurrent_flow(
+            &g,
+            &commodities,
+            McfOptions { epsilon: 0.02, ..Default::default() },
+        );
+        assert!((fine.lambda - 1.0).abs() <= (coarse.lambda - 1.0).abs() + 0.05);
+        assert!((fine.lambda - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn path_restricted_matches_full_solver_when_paths_suffice() {
+        let topo = JellyfishBuilder::new(16, 6, 4).seed(1).build().unwrap();
+        let g = topo.graph();
+        let commodities: Vec<Commodity> = (0..8)
+            .map(|i| Commodity { src: i, dst: i + 8, demand: 1.0 })
+            .collect();
+        let paths: Vec<Vec<Path>> = commodities
+            .iter()
+            .map(|c| k_shortest_paths(g, c.src, c.dst, 8))
+            .collect();
+        let full = max_concurrent_flow(g, &commodities, McfOptions::default());
+        let restricted = max_concurrent_flow_on_paths(g, &commodities, &paths, McfOptions::default());
+        // Restricting to 8 shortest paths can only lose a little capacity
+        // (allow for the ±ε noise of both approximations).
+        assert!(restricted.lambda <= full.lambda * 1.1 + 0.05, "restricted {} vs full {}", restricted.lambda, full.lambda);
+        assert!(restricted.lambda >= 0.75 * full.lambda, "restricted {} vs full {}", restricted.lambda, full.lambda);
+    }
+
+    #[test]
+    fn path_restricted_single_path_bottleneck() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let commodities = [
+            Commodity { src: 0, dst: 2, demand: 1.0 },
+            Commodity { src: 1, dst: 2, demand: 1.0 },
+        ];
+        let paths = vec![vec![vec![0, 1, 2]], vec![vec![1, 2]]];
+        let sol = max_concurrent_flow_on_paths(&g, &commodities, &paths, McfOptions::default());
+        assert!((sol.lambda - 0.5).abs() < 0.06, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty path set")]
+    fn path_restricted_requires_paths() {
+        let g = single_link();
+        let commodities = [Commodity { src: 0, dst: 1, demand: 1.0 }];
+        max_concurrent_flow_on_paths(&g, &commodities, &[Vec::new()], McfOptions::default());
+    }
+
+    #[test]
+    fn permutation_on_jellyfish_reaches_full_throughput_when_underloaded() {
+        // 20 switches, degree 6, only 2 servers each: lots of headroom, so a
+        // permutation across switches should reach λ >= 1.
+        let topo = JellyfishBuilder::new(20, 8, 6).seed(2).build().unwrap();
+        let g = topo.graph();
+        let commodities: Vec<Commodity> = (0..20)
+            .map(|i| Commodity { src: i, dst: (i + 7) % 20, demand: 2.0 })
+            .collect();
+        let opts = McfOptions { lambda_cap: Some(1.0), ..Default::default() };
+        let sol = max_concurrent_flow(g, &commodities, opts);
+        assert!((sol.lambda - 1.0).abs() < 1e-9, "lambda = {}", sol.lambda);
+    }
+}

@@ -1,0 +1,233 @@
+//! Normalized throughput of a topology under a traffic matrix, with "ideal"
+//! (fluid, splittable) routing — the paper's §4 capacity metric.
+//!
+//! The server-level traffic matrix is aggregated to switch-level commodities
+//! (intra-switch flows never touch the interconnect), the max-concurrent-flow
+//! solver computes the fraction λ of every demand that can be routed
+//! simultaneously, and the per-flow normalized throughput is `min(λ, 1)`
+//! because a server can never exceed its NIC rate.
+
+use crate::mcf::{max_concurrent_flow, max_concurrent_flow_on_paths, Commodity, McfOptions};
+use jellyfish_routing::yen::k_shortest_paths;
+use jellyfish_topology::Topology;
+use jellyfish_traffic::{ServerMap, TrafficMatrix};
+
+/// How the admissible paths are chosen for the throughput computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingModel {
+    /// Optimal routing: flows may take any path (Dijkstra inner loop).
+    Optimal,
+    /// Flows restricted to the k shortest paths between their switches.
+    KShortestPaths(usize),
+}
+
+/// Options for [`normalized_throughput`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputOptions {
+    /// Approximation accuracy for the flow solver.
+    pub epsilon: f64,
+    /// Routing model (optimal by default).
+    pub routing: RoutingModel,
+    /// If true (default), stop as soon as full throughput (λ ≥ 1) is
+    /// certified instead of computing the exact λ.
+    pub stop_at_full: bool,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> Self {
+        ThroughputOptions {
+            epsilon: 0.05,
+            routing: RoutingModel::Optimal,
+            stop_at_full: true,
+        }
+    }
+}
+
+/// Result of a throughput evaluation.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// The concurrent-flow fraction λ (not capped at 1).
+    pub lambda: f64,
+    /// Normalized per-flow throughput `min(λ, 1)`, the paper's y-axis unit.
+    pub normalized: f64,
+    /// Number of switch-level commodities after aggregation.
+    pub commodities: usize,
+    /// The solver accuracy ε used; the reported λ is a (1 − ε)-style lower
+    /// bound on the true optimum.
+    pub epsilon: f64,
+}
+
+impl ThroughputResult {
+    /// `true` when every flow achieves its full demand, within the solver's
+    /// approximation tolerance: because the solver under-reports the optimum
+    /// by up to a factor (1 − ε), a measured `normalized ≥ 1 − 1.5ε` is
+    /// treated as full throughput.
+    pub fn at_full_throughput(&self) -> bool {
+        self.normalized >= 1.0 - 1.5 * self.epsilon - 1e-9
+    }
+}
+
+/// Computes the normalized throughput of `topo` under `tm` with fluid optimal
+/// (or k-shortest-path-restricted) routing.
+pub fn normalized_throughput(
+    topo: &Topology,
+    servers: &ServerMap,
+    tm: &TrafficMatrix,
+    opts: ThroughputOptions,
+) -> ThroughputResult {
+    let demands = tm.switch_demands(servers);
+    let commodities: Vec<Commodity> = demands
+        .iter()
+        .map(|&(s, d, demand)| Commodity { src: s, dst: d, demand })
+        .collect();
+    if commodities.is_empty() {
+        return ThroughputResult {
+            lambda: f64::INFINITY,
+            normalized: 1.0,
+            commodities: 0,
+            epsilon: opts.epsilon,
+        };
+    }
+    let mcf_opts = McfOptions {
+        epsilon: opts.epsilon,
+        link_capacity: 1.0,
+        lambda_cap: if opts.stop_at_full { Some(1.0) } else { None },
+    };
+    let solution = match opts.routing {
+        RoutingModel::Optimal => max_concurrent_flow(topo.graph(), &commodities, mcf_opts),
+        RoutingModel::KShortestPaths(k) => {
+            let paths: Vec<_> = commodities
+                .iter()
+                .map(|c| k_shortest_paths(topo.graph(), c.src, c.dst, k.max(1)))
+                .collect();
+            if paths.iter().any(Vec::is_empty) {
+                return ThroughputResult {
+                    lambda: 0.0,
+                    normalized: 0.0,
+                    commodities: commodities.len(),
+                    epsilon: opts.epsilon,
+                };
+            }
+            max_concurrent_flow_on_paths(topo.graph(), &commodities, &paths, mcf_opts)
+        }
+    };
+    ThroughputResult {
+        lambda: solution.lambda,
+        normalized: solution.lambda.min(1.0).max(0.0),
+        commodities: commodities.len(),
+        epsilon: opts.epsilon,
+    }
+}
+
+/// Averages the normalized throughput over several random-permutation
+/// matrices (the paper averages over multiple runs). Returns
+/// `(mean, min, max)` of the normalized throughput.
+pub fn permutation_throughput_stats(
+    topo: &Topology,
+    runs: usize,
+    opts: ThroughputOptions,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let servers = ServerMap::new(topo);
+    let mut values = Vec::with_capacity(runs.max(1));
+    for i in 0..runs.max(1) {
+        let tm = TrafficMatrix::random_permutation(&servers, seed.wrapping_add(i as u64));
+        let result = normalized_throughput(topo, &servers, &tm, opts);
+        values.push(result.normalized);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::fattree::FatTree;
+    use jellyfish_topology::JellyfishBuilder;
+
+    #[test]
+    fn undersubscribed_jellyfish_reaches_full_throughput() {
+        // 2 servers per switch against 6 network ports: far below the
+        // oversubscription point, so every permutation is routable.
+        let topo = JellyfishBuilder::new(20, 8, 6).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let tm = TrafficMatrix::random_permutation(&servers, 2);
+        let r = normalized_throughput(&topo, &servers, &tm, ThroughputOptions::default());
+        assert!(r.at_full_throughput(), "normalized = {}", r.normalized);
+        assert!(r.commodities > 0);
+    }
+
+    #[test]
+    fn oversubscribed_jellyfish_below_full_throughput() {
+        // 6 servers per switch with only 3 network ports: heavily
+        // oversubscribed, permutations cannot all be satisfied.
+        let topo = JellyfishBuilder::new(20, 9, 3).seed(3).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let tm = TrafficMatrix::random_permutation(&servers, 4);
+        let opts = ThroughputOptions { stop_at_full: false, ..Default::default() };
+        let r = normalized_throughput(&topo, &servers, &tm, opts);
+        assert!(r.normalized < 0.8, "normalized = {}", r.normalized);
+        assert!(r.normalized > 0.05, "implausibly low throughput {}", r.normalized);
+    }
+
+    #[test]
+    fn fat_tree_full_bisection_handles_permutation() {
+        let ft = FatTree::new(4).unwrap();
+        let topo = ft.into_topology();
+        let servers = ServerMap::new(&topo);
+        let tm = TrafficMatrix::random_permutation(&servers, 5);
+        let r = normalized_throughput(&topo, &servers, &tm, ThroughputOptions::default());
+        assert!(r.at_full_throughput(), "normalized = {}", r.normalized);
+    }
+
+    #[test]
+    fn ksp_routing_close_to_optimal_on_jellyfish() {
+        let topo = JellyfishBuilder::new(16, 8, 5).seed(7).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let tm = TrafficMatrix::random_permutation(&servers, 8);
+        let optimal = normalized_throughput(
+            &topo,
+            &servers,
+            &tm,
+            ThroughputOptions { stop_at_full: false, ..Default::default() },
+        );
+        let ksp = normalized_throughput(
+            &topo,
+            &servers,
+            &tm,
+            ThroughputOptions {
+                stop_at_full: false,
+                routing: RoutingModel::KShortestPaths(8),
+                ..Default::default()
+            },
+        );
+        assert!(ksp.normalized <= optimal.normalized + 0.05);
+        assert!(
+            ksp.normalized >= 0.85 * optimal.normalized,
+            "ksp {} far below optimal {}",
+            ksp.normalized,
+            optimal.normalized
+        );
+    }
+
+    #[test]
+    fn empty_traffic_is_trivially_satisfied() {
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let tm = TrafficMatrix::from_flows(Vec::new(), servers.num_servers(), "empty");
+        let r = normalized_throughput(&topo, &servers, &tm, ThroughputOptions::default());
+        assert_eq!(r.normalized, 1.0);
+        assert_eq!(r.commodities, 0);
+    }
+
+    #[test]
+    fn permutation_stats_bounds() {
+        let topo = JellyfishBuilder::new(12, 8, 5).seed(2).build().unwrap();
+        let (mean, min, max) = permutation_throughput_stats(&topo, 3, ThroughputOptions::default(), 9);
+        assert!(min <= mean && mean <= max);
+        assert!(max <= 1.0 + 1e-9);
+        assert!(min >= 0.0);
+    }
+}

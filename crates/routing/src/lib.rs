@@ -1,0 +1,85 @@
+//! Routing machinery for the Jellyfish (NSDI 2012) reproduction.
+//!
+//! The paper's §5 finding is that standard ECMP does not expose enough path
+//! diversity on a random graph — `k`-shortest-path routing (Yen's algorithm)
+//! is needed to use Jellyfish's capacity. This crate provides:
+//!
+//! * [`shortest`] — BFS shortest paths, all-pairs distances and weighted
+//!   Dijkstra;
+//! * [`yen`] — Yen's loopless k-shortest-paths algorithm (hand-rolled, no
+//!   external graph crate);
+//! * [`ecmp`] — enumeration of equal-cost shortest paths with an ECMP-style
+//!   bounded next-hop fan-out and flow hashing;
+//! * [`path_table`] — per source–destination path sets (the routing state a
+//!   switch would hold) and the link path-count statistics behind Figure 9.
+//!
+//! Paths are switch-level: a path is a sequence of switch ids with
+//! consecutive entries adjacent in the topology graph.
+//!
+//! ```
+//! use jellyfish_topology::JellyfishBuilder;
+//! use jellyfish_routing::yen::k_shortest_paths;
+//!
+//! let topo = JellyfishBuilder::new(30, 8, 5).seed(3).build().unwrap();
+//! let paths = k_shortest_paths(topo.graph(), 0, 17, 8);
+//! assert!(!paths.is_empty() && paths.len() <= 8);
+//! // Paths are sorted by length and loop-free.
+//! assert!(paths.windows(2).all(|w| w[0].len() <= w[1].len()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecmp;
+pub mod path_table;
+pub mod shortest;
+pub mod yen;
+
+/// A switch-level path: a sequence of switch ids, first entry the source,
+/// last entry the destination, consecutive entries adjacent.
+pub type Path = Vec<jellyfish_topology::NodeId>;
+
+/// Number of links (hops) in a path.
+pub fn path_hops(path: &Path) -> usize {
+    path.len().saturating_sub(1)
+}
+
+/// Checks that `path` is a valid simple path in `graph`.
+pub fn is_valid_simple_path(graph: &jellyfish_topology::Graph, path: &Path) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(path.len());
+    for &n in path {
+        if n >= graph.num_nodes() || !seen.insert(n) {
+            return false;
+        }
+    }
+    path.windows(2).all(|w| graph.has_edge(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::Graph;
+
+    #[test]
+    fn path_hops_counts_links() {
+        assert_eq!(path_hops(&vec![3]), 0);
+        assert_eq!(path_hops(&vec![0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn valid_simple_path_checks() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(is_valid_simple_path(&g, &vec![0, 1, 2, 3]));
+        assert!(is_valid_simple_path(&g, &vec![2]));
+        assert!(!is_valid_simple_path(&g, &vec![]));
+        assert!(!is_valid_simple_path(&g, &vec![0, 2]), "not adjacent");
+        assert!(!is_valid_simple_path(&g, &vec![0, 1, 0]), "loop");
+        assert!(!is_valid_simple_path(&g, &vec![0, 9]), "out of range");
+    }
+}

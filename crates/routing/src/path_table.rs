@@ -1,0 +1,246 @@
+//! Per source–destination path tables and link path-diversity statistics.
+//!
+//! Figure 9 of the paper counts, for every directed inter-switch link, the
+//! number of distinct paths that traverse it when routing a random
+//! permutation workload with (a) 8-way ECMP, (b) 64-way ECMP, and (c)
+//! 8-shortest-path routing. The punchline: under ECMP most links are on very
+//! few paths, so capacity sits idle.
+
+use crate::ecmp::EcmpConfig;
+use crate::yen::k_shortest_paths;
+use crate::Path;
+use jellyfish_topology::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// The routing scheme used to build a path table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingScheme {
+    /// Equal-cost multipath over shortest paths with the given width.
+    Ecmp {
+        /// Maximum number of equal-cost paths per destination.
+        way: usize,
+    },
+    /// Yen's k-shortest-path routing with the given k.
+    KShortestPaths {
+        /// Number of (not necessarily equal-length) shortest paths per pair.
+        k: usize,
+    },
+}
+
+impl RoutingScheme {
+    /// The paper's default ECMP configuration (8-way).
+    pub fn ecmp8() -> Self {
+        RoutingScheme::Ecmp { way: 8 }
+    }
+
+    /// 64-way ECMP.
+    pub fn ecmp64() -> Self {
+        RoutingScheme::Ecmp { way: 64 }
+    }
+
+    /// The paper's k-shortest-path configuration (k = 8).
+    pub fn ksp8() -> Self {
+        RoutingScheme::KShortestPaths { k: 8 }
+    }
+
+    /// Computes the path set for one switch pair under this scheme.
+    pub fn paths(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<Path> {
+        match *self {
+            RoutingScheme::Ecmp { way } => EcmpConfig { way }.paths(graph, src, dst),
+            RoutingScheme::KShortestPaths { k } => k_shortest_paths(graph, src, dst, k),
+        }
+    }
+
+    /// Human-readable label used in reports and figures.
+    pub fn label(&self) -> String {
+        match *self {
+            RoutingScheme::Ecmp { way } => format!("{way}-way ECMP"),
+            RoutingScheme::KShortestPaths { k } => format!("{k} Shortest Paths"),
+        }
+    }
+}
+
+/// A path table: the set of installed paths for a collection of
+/// source–destination switch pairs.
+#[derive(Debug, Clone, Default)]
+pub struct PathTable {
+    paths: HashMap<(NodeId, NodeId), Vec<Path>>,
+}
+
+impl PathTable {
+    /// Builds the table for the given switch pairs under `scheme`.
+    pub fn build(
+        graph: &Graph,
+        scheme: RoutingScheme,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let mut paths = HashMap::new();
+        for (s, d) in pairs {
+            if s == d {
+                continue;
+            }
+            paths.entry((s, d)).or_insert_with(|| scheme.paths(graph, s, d));
+        }
+        PathTable { paths }
+    }
+
+    /// Installed paths for one pair (empty slice if the pair is not in the table).
+    pub fn paths_for(&self, src: NodeId, dst: NodeId) -> &[Path] {
+        self.paths.get(&(src, dst)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of pairs in the table.
+    pub fn num_pairs(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total number of installed paths.
+    pub fn num_paths(&self) -> usize {
+        self.paths.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over `((src, dst), paths)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Vec<Path>)> {
+        self.paths.iter()
+    }
+
+    /// Counts, for every *directed* inter-switch link, the number of distinct
+    /// installed paths that traverse it. Links never traversed are included
+    /// with a count of zero. This is the Figure 9 quantity.
+    pub fn directed_link_path_counts(&self, graph: &Graph) -> HashMap<(NodeId, NodeId), usize> {
+        let mut counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for e in graph.edges() {
+            counts.insert((e.a, e.b), 0);
+            counts.insert((e.b, e.a), 0);
+        }
+        for paths in self.paths.values() {
+            for p in paths {
+                for w in p.windows(2) {
+                    *counts.entry((w[0], w[1])).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The Figure 9 series: per-directed-link path counts sorted ascending
+    /// ("rank of link" on the x axis, "# distinct paths link is on" on the y
+    /// axis).
+    pub fn ranked_link_path_counts(&self, graph: &Graph) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.directed_link_path_counts(graph).into_values().collect();
+        counts.sort_unstable();
+        counts
+    }
+
+    /// Fraction of directed links that lie on at most `threshold` distinct
+    /// paths (the paper quotes 55% of links on <= 2 paths under ECMP vs 6%
+    /// under 8-shortest-paths, for the 686-server Jellyfish).
+    pub fn fraction_links_with_at_most(&self, graph: &Graph, threshold: usize) -> f64 {
+        let ranked = self.ranked_link_path_counts(graph);
+        if ranked.is_empty() {
+            return 0.0;
+        }
+        ranked.iter().filter(|&&c| c <= threshold).count() as f64 / ranked.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::JellyfishBuilder;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn permutation_pairs(n: usize, seed: u64) -> Vec<(usize, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dsts: Vec<usize> = (0..n).collect();
+        loop {
+            dsts.shuffle(&mut rng);
+            if dsts.iter().enumerate().all(|(i, &d)| i != d) {
+                break;
+            }
+        }
+        (0..n).map(|s| (s, dsts[s])).collect()
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(RoutingScheme::ecmp8().label(), "8-way ECMP");
+        assert_eq!(RoutingScheme::ecmp64().label(), "64-way ECMP");
+        assert_eq!(RoutingScheme::ksp8().label(), "8 Shortest Paths");
+    }
+
+    #[test]
+    fn table_skips_self_pairs_and_counts() {
+        let topo = JellyfishBuilder::new(20, 8, 5).seed(1).build().unwrap();
+        let table = PathTable::build(
+            topo.graph(),
+            RoutingScheme::ksp8(),
+            vec![(0, 5), (5, 0), (3, 3), (7, 12)],
+        );
+        assert_eq!(table.num_pairs(), 3);
+        assert!(table.num_paths() >= 3);
+        assert!(table.paths_for(3, 3).is_empty());
+        assert!(!table.paths_for(0, 5).is_empty());
+        assert!(table.paths_for(11, 12).is_empty());
+    }
+
+    #[test]
+    fn link_counts_cover_every_directed_link() {
+        let topo = JellyfishBuilder::new(20, 8, 5).seed(2).build().unwrap();
+        let table = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), permutation_pairs(20, 3));
+        let counts = table.directed_link_path_counts(topo.graph());
+        assert_eq!(counts.len(), 2 * topo.num_links());
+        let ranked = table.ranked_link_path_counts(topo.graph());
+        assert_eq!(ranked.len(), 2 * topo.num_links());
+        assert!(ranked.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn link_count_totals_match_path_hops() {
+        let topo = JellyfishBuilder::new(15, 8, 5).seed(4).build().unwrap();
+        let table = PathTable::build(topo.graph(), RoutingScheme::ksp8(), permutation_pairs(15, 5));
+        let counts = table.directed_link_path_counts(topo.graph());
+        let total_from_counts: usize = counts.values().sum();
+        let total_hops: usize = table
+            .iter()
+            .flat_map(|(_, paths)| paths.iter().map(|p| p.len() - 1))
+            .sum();
+        assert_eq!(total_from_counts, total_hops);
+    }
+
+    #[test]
+    fn ksp_uses_more_links_than_ecmp() {
+        // The Figure 9 effect: 8-shortest-path routing leaves far fewer links
+        // with <= 2 paths than 8-way ECMP on a Jellyfish topology.
+        let topo = JellyfishBuilder::new(60, 10, 6).seed(6).build().unwrap();
+        let pairs = permutation_pairs(60, 7);
+        let ecmp = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), pairs.clone());
+        let ksp = PathTable::build(topo.graph(), RoutingScheme::ksp8(), pairs);
+        let f_ecmp = ecmp.fraction_links_with_at_most(topo.graph(), 2);
+        let f_ksp = ksp.fraction_links_with_at_most(topo.graph(), 2);
+        assert!(
+            f_ksp < f_ecmp,
+            "k-shortest paths ({f_ksp}) should leave fewer underused links than ECMP ({f_ecmp})"
+        );
+    }
+
+    #[test]
+    fn ecmp64_no_worse_than_ecmp8() {
+        let topo = JellyfishBuilder::new(40, 10, 6).seed(8).build().unwrap();
+        let pairs = permutation_pairs(40, 9);
+        let e8 = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), pairs.clone());
+        let e64 = PathTable::build(topo.graph(), RoutingScheme::ecmp64(), pairs);
+        assert!(e64.num_paths() >= e8.num_paths());
+    }
+
+    #[test]
+    fn empty_table_fraction_is_zero() {
+        let topo = JellyfishBuilder::new(10, 6, 3).seed(1).build().unwrap();
+        let table = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), Vec::new());
+        assert_eq!(table.num_pairs(), 0);
+        // All links have zero paths -> fraction with <= 2 is 1.0 (all of them).
+        assert!((table.fraction_links_with_at_most(topo.graph(), 2) - 1.0).abs() < 1e-12);
+    }
+}

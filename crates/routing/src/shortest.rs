@@ -1,0 +1,274 @@
+//! Shortest-path primitives: BFS (unit weights), all-pairs distances, and a
+//! weighted Dijkstra used by Yen's algorithm and by cost-aware cabling code.
+
+use crate::Path;
+use jellyfish_topology::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Result of a single-source BFS: distances and parent pointers.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Distance (in hops) from the source; `usize::MAX` when unreachable.
+    pub dist: Vec<usize>,
+    /// Parent of each node in the BFS tree; `usize::MAX` for the source and
+    /// unreachable nodes.
+    pub parent: Vec<usize>,
+    /// The source node.
+    pub source: NodeId,
+}
+
+impl BfsTree {
+    /// Extracts the (unique, per this tree) shortest path to `dst`, or `None`
+    /// if unreachable.
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        if self.dist[dst] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != self.source {
+            cur = self.parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Breadth-first search from `source`.
+pub fn bfs(graph: &Graph, source: NodeId) -> BfsTree {
+    let n = graph.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree {
+        dist,
+        parent,
+        source,
+    }
+}
+
+/// One shortest path from `src` to `dst` (hop count metric), or `None` if
+/// unreachable.
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    bfs(graph, src).path_to(dst)
+}
+
+/// All-pairs shortest-path distances (hop counts), `usize::MAX` when
+/// unreachable. Runs one BFS per node: O(N·(N+E)).
+pub fn all_pairs_distances(graph: &Graph) -> Vec<Vec<usize>> {
+    graph.nodes().map(|s| bfs(graph, s).dist).collect()
+}
+
+/// Dijkstra over per-link weights supplied by `weight(u, v)`.
+///
+/// Weights must be non-negative and finite for existing links; `weight` is
+/// only called for adjacent pairs. Nodes may be excluded from the search by
+/// returning `f64::INFINITY`, which is how Yen's spur computation masks
+/// removed links without mutating the graph.
+pub fn dijkstra_with<F>(graph: &Graph, source: NodeId, weight: F) -> (Vec<f64>, Vec<usize>)
+where
+    F: Fn(NodeId, NodeId) -> f64,
+{
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, NodeId)>> = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(Reverse((OrderedF64(0.0), source)));
+    while let Some(Reverse((OrderedF64(d), u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            let w = weight(u, v);
+            if !w.is_finite() || w < 0.0 {
+                continue;
+            }
+            let nd = d + w;
+            if nd + 1e-15 < dist[v] {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.push(Reverse((OrderedF64(nd), v)));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest path by Dijkstra under the given weight function.
+pub fn weighted_shortest_path<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: F,
+) -> Option<(Path, f64)>
+where
+    F: Fn(NodeId, NodeId) -> f64,
+{
+    let (dist, parent) = dijkstra_with(graph, src, weight);
+    if !dist[dst].is_finite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur];
+        if cur == usize::MAX {
+            return None;
+        }
+        path.push(cur);
+    }
+    path.reverse();
+    Some((path, dist[dst]))
+}
+
+/// Total-ordered f64 wrapper for use in the Dijkstra heap. NaN is never
+/// inserted (weights are checked), so the ordering is total in practice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::JellyfishBuilder;
+
+    fn grid3x3() -> Graph {
+        // 0-1-2 / 3-4-5 / 6-7-8 grid, no wraparound.
+        let mut g = Graph::new(9);
+        for y in 0..3 {
+            for x in 0..3 {
+                let id = y * 3 + x;
+                if x < 2 {
+                    g.add_edge(id, id + 1);
+                }
+                if y < 2 {
+                    g.add_edge(id, id + 3);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_grid() {
+        let g = grid3x3();
+        let t = bfs(&g, 0);
+        assert_eq!(t.dist[0], 0);
+        assert_eq!(t.dist[8], 4);
+        assert_eq!(t.dist[4], 2);
+    }
+
+    #[test]
+    fn bfs_path_reconstruction() {
+        let g = grid3x3();
+        let t = bfs(&g, 0);
+        let p = t.path_to(8).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&8));
+        assert_eq!(p.len(), 5);
+        assert!(crate::is_valid_simple_path(&g, &p));
+        assert_eq!(t.path_to(0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let t = bfs(&g, 0);
+        assert!(t.path_to(2).is_none());
+        assert_eq!(t.dist[2], usize::MAX);
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = grid3x3();
+        let d = all_pairs_distances(&g);
+        for u in 0..9 {
+            for v in 0..9 {
+                assert_eq!(d[u][v], d[v][u]);
+            }
+        }
+        assert_eq!(d[0][8], 4);
+        assert_eq!(d[2][6], 4);
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_matches_bfs() {
+        let topo = JellyfishBuilder::new(40, 8, 5).seed(2).build().unwrap();
+        let g = topo.graph();
+        let b = bfs(g, 0);
+        let (d, _) = dijkstra_with(g, 0, |_, _| 1.0);
+        for v in g.nodes() {
+            assert!((d[v] - b.dist[v] as f64).abs() < 1e-9, "node {v}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // 0-1-2 chain cheap, direct 0-2 expensive.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let weight = |u: usize, v: usize| {
+            if (u.min(v), u.max(v)) == (0, 2) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let (path, cost) = weighted_shortest_path(&g, 0, 2, weight).unwrap();
+        assert_eq!(path, vec![0, 1, 2]);
+        assert!((cost - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_infinite_weight_masks_links() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let weight = |u: usize, v: usize| {
+            if (u.min(v), u.max(v)) == (1, 2) {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        };
+        assert!(weighted_shortest_path(&g, 0, 2, weight).is_none());
+    }
+
+    #[test]
+    fn weighted_path_to_self() {
+        let g = grid3x3();
+        let (p, c) = weighted_shortest_path(&g, 4, 4, |_, _| 1.0).unwrap();
+        assert_eq!(p, vec![4]);
+        assert_eq!(c, 0.0);
+    }
+}

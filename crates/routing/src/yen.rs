@@ -1,0 +1,297 @@
+//! Yen's loopless k-shortest-paths algorithm (Yen, Management Science 1971).
+//!
+//! The paper routes Jellyfish traffic over the `k = 8` shortest paths between
+//! every switch pair (§5.1). Yen's algorithm finds the k shortest *simple*
+//! (loop-free) paths by repeatedly computing "spur paths" that deviate from
+//! previously found paths, with links and nodes of the shared prefix masked
+//! out of the shortest-path search.
+//!
+//! This implementation is hand-rolled on top of the crate's Dijkstra (unit
+//! link weights by default), per the reproduction note that no external graph
+//! crate is used.
+
+use crate::shortest::weighted_shortest_path;
+use crate::Path;
+use jellyfish_topology::{Graph, NodeId};
+use std::collections::{BTreeSet, HashSet};
+
+/// Finds up to `k` loopless shortest paths from `src` to `dst` using unit
+/// link weights (hop count). Paths are returned sorted by (length, lexical
+/// order) and are pairwise distinct. Returns an empty vector if `dst` is
+/// unreachable; returns `[[src]]` when `src == dst`.
+pub fn k_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    k_shortest_paths_weighted(graph, src, dst, k, |_, _| 1.0)
+}
+
+/// Weighted variant of [`k_shortest_paths`]; `weight(u, v)` must be positive
+/// and finite for every link.
+pub fn k_shortest_paths_weighted<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: F,
+) -> Vec<Path>
+where
+    F: Fn(NodeId, NodeId) -> f64 + Copy,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    if src == dst {
+        return vec![vec![src]];
+    }
+    let Some((first, _)) = weighted_shortest_path(graph, src, dst, weight) else {
+        return Vec::new();
+    };
+
+    let mut found: Vec<Path> = vec![first];
+    // Candidate set keyed by (cost, path) to keep deterministic ordering and
+    // deduplicate spur results found via different prefixes.
+    let mut candidates: BTreeSet<(CostKey, Path)> = BTreeSet::new();
+
+    while found.len() < k {
+        let last = found.last().expect("at least one path found").clone();
+        // Each node of the previous path except the final one is a spur node.
+        for spur_idx in 0..last.len() - 1 {
+            let spur_node = last[spur_idx];
+            let root: Vec<NodeId> = last[..=spur_idx].to_vec();
+
+            // Links to mask: for every found path sharing this root, the link
+            // it takes out of the spur node.
+            let mut masked_links: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for p in &found {
+                if p.len() > spur_idx && p[..=spur_idx] == root[..] {
+                    let a = p[spur_idx];
+                    let b = p[spur_idx + 1];
+                    masked_links.insert((a.min(b), a.max(b)));
+                }
+            }
+            // Nodes of the root (except the spur node) are masked entirely to
+            // keep paths simple.
+            let masked_nodes: HashSet<NodeId> = root[..spur_idx].iter().copied().collect();
+
+            let spur_weight = |u: NodeId, v: NodeId| {
+                if masked_nodes.contains(&u) || masked_nodes.contains(&v) {
+                    return f64::INFINITY;
+                }
+                if masked_links.contains(&(u.min(v), u.max(v))) {
+                    return f64::INFINITY;
+                }
+                weight(u, v)
+            };
+            if let Some((spur_path, _)) = weighted_shortest_path(graph, spur_node, dst, spur_weight)
+            {
+                let mut total: Path = root[..spur_idx].to_vec();
+                total.extend(spur_path);
+                // Guard against any residual loop (should not happen).
+                if has_duplicate(&total) {
+                    continue;
+                }
+                if found.contains(&total) {
+                    continue;
+                }
+                let cost = path_cost(&total, weight);
+                candidates.insert((CostKey(cost), total));
+            }
+        }
+        // Pop the cheapest candidate not yet in the result set.
+        let next = loop {
+            let Some(entry) = candidates.iter().next().cloned() else {
+                return found;
+            };
+            candidates.remove(&entry);
+            if !found.contains(&entry.1) {
+                break entry.1;
+            }
+        };
+        found.push(next);
+    }
+    found
+}
+
+/// All-pairs k-shortest paths; `paths[s][d]` holds the path set from `s` to
+/// `d` (empty on the diagonal). Intended for the moderate sizes the paper's
+/// packet-level experiments use.
+pub fn all_pairs_k_shortest(graph: &Graph, k: usize) -> Vec<Vec<Vec<Path>>> {
+    let n = graph.num_nodes();
+    let mut table = vec![vec![Vec::new(); n]; n];
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                table[s][d] = k_shortest_paths(graph, s, d, k);
+            }
+        }
+    }
+    table
+}
+
+fn has_duplicate(path: &Path) -> bool {
+    let mut seen = HashSet::with_capacity(path.len());
+    path.iter().any(|&n| !seen.insert(n))
+}
+
+fn path_cost<F: Fn(NodeId, NodeId) -> f64>(path: &Path, weight: F) -> f64 {
+    path.windows(2).map(|w| weight(w[0], w[1])).sum()
+}
+
+/// Ordered f64 key for the candidate set (costs are finite by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CostKey(f64);
+
+impl Eq for CostKey {}
+
+impl PartialOrd for CostKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CostKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_valid_simple_path;
+    use jellyfish_topology::JellyfishBuilder;
+
+    /// The classic example graph used to illustrate Yen's algorithm.
+    fn diamond() -> Graph {
+        // 0 -- 1 -- 3
+        //  \   |   /
+        //   \  2  /
+        //    \ | /
+        //      4
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 3);
+        g.add_edge(0, 4);
+        g.add_edge(4, 3);
+        g.add_edge(1, 2);
+        g.add_edge(2, 4);
+        g
+    }
+
+    #[test]
+    fn finds_all_simple_paths_in_small_graph() {
+        let g = diamond();
+        let paths = k_shortest_paths(&g, 0, 3, 10);
+        // Simple paths 0->3: [0,1,3], [0,4,3], [0,1,2,4,3], [0,4,2,1,3].
+        assert_eq!(paths.len(), 4);
+        assert_eq!(paths[0].len(), 3);
+        assert_eq!(paths[1].len(), 3);
+        assert_eq!(paths[2].len(), 5);
+        assert_eq!(paths[3].len(), 5);
+        for p in &paths {
+            assert!(is_valid_simple_path(&g, p));
+            assert_eq!(p.first(), Some(&0));
+            assert_eq!(p.last(), Some(&3));
+        }
+        // All distinct.
+        let set: std::collections::HashSet<_> = paths.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn k_limits_result_count() {
+        let g = diamond();
+        assert_eq!(k_shortest_paths(&g, 0, 3, 2).len(), 2);
+        assert_eq!(k_shortest_paths(&g, 0, 3, 1).len(), 1);
+        assert!(k_shortest_paths(&g, 0, 3, 0).is_empty());
+    }
+
+    #[test]
+    fn paths_sorted_by_length() {
+        let g = diamond();
+        let paths = k_shortest_paths(&g, 0, 3, 8);
+        for w in paths.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn unreachable_and_self_cases() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        assert!(k_shortest_paths(&g, 0, 2, 4).is_empty());
+        assert_eq!(k_shortest_paths(&g, 1, 1, 4), vec![vec![1]]);
+    }
+
+    #[test]
+    fn line_graph_has_single_path() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let paths = k_shortest_paths(&g, 0, 3, 8);
+        assert_eq!(paths, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn cycle_graph_has_exactly_two_paths() {
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6);
+        }
+        let paths = k_shortest_paths(&g, 0, 3, 8);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 4);
+        assert_eq!(paths[1].len(), 4);
+    }
+
+    #[test]
+    fn weighted_paths_respect_weights() {
+        let g = diamond();
+        // Make the 0-1 link very expensive: the cheapest path must avoid it.
+        let weight = |u: usize, v: usize| {
+            if (u.min(v), u.max(v)) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let paths = k_shortest_paths_weighted(&g, 0, 3, 3, weight);
+        assert_eq!(paths[0], vec![0, 4, 3]);
+    }
+
+    #[test]
+    fn jellyfish_8_shortest_paths_are_valid_and_distinct() {
+        let topo = JellyfishBuilder::new(40, 10, 6).seed(5).build().unwrap();
+        let g = topo.graph();
+        for (s, d) in [(0usize, 20usize), (3, 35), (11, 29)] {
+            let paths = k_shortest_paths(g, s, d, 8);
+            assert_eq!(paths.len(), 8, "expected 8 paths between {s} and {d}");
+            let set: std::collections::HashSet<_> = paths.iter().collect();
+            assert_eq!(set.len(), 8);
+            for p in &paths {
+                assert!(is_valid_simple_path(g, p));
+                assert_eq!(p.first(), Some(&s));
+                assert_eq!(p.last(), Some(&d));
+            }
+            // First path is a true shortest path.
+            let sp = crate::shortest::shortest_path(g, s, d).unwrap();
+            assert_eq!(paths[0].len(), sp.len());
+        }
+    }
+
+    #[test]
+    fn all_pairs_table_dimensions() {
+        let topo = JellyfishBuilder::new(12, 6, 3).seed(1).build().unwrap();
+        let table = all_pairs_k_shortest(topo.graph(), 4);
+        assert_eq!(table.len(), 12);
+        for s in 0..12 {
+            for d in 0..12 {
+                if s == d {
+                    assert!(table[s][d].is_empty());
+                } else {
+                    assert!(!table[s][d].is_empty());
+                    assert!(table[s][d].len() <= 4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the routing crate: Yen's algorithm, ECMP path
+//! enumeration and path tables, exercised over random Jellyfish topologies.
+
+use jellyfish_routing::ecmp::all_shortest_paths;
+use jellyfish_routing::is_valid_simple_path;
+use jellyfish_routing::path_table::{PathTable, RoutingScheme};
+use jellyfish_routing::shortest::{bfs, shortest_path};
+use jellyfish_routing::yen::k_shortest_paths;
+use jellyfish_topology::JellyfishBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Yen's k shortest paths are simple, valid, distinct, sorted by length,
+    /// and the first one is a true shortest path.
+    #[test]
+    fn yen_paths_invariants(
+        n in 10usize..50,
+        k in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let topo = JellyfishBuilder::new(n, 9, 5).seed(seed).build().unwrap();
+        let g = topo.graph();
+        let src = 0;
+        let dst = n / 2;
+        let paths = k_shortest_paths(g, src, dst, k);
+        prop_assert!(!paths.is_empty());
+        prop_assert!(paths.len() <= k);
+        let sp = shortest_path(g, src, dst).unwrap();
+        prop_assert_eq!(paths[0].len(), sp.len());
+        for w in paths.windows(2) {
+            prop_assert!(w[0].len() <= w[1].len(), "paths not sorted by length");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            prop_assert!(is_valid_simple_path(g, p));
+            prop_assert_eq!(*p.first().unwrap(), src);
+            prop_assert_eq!(*p.last().unwrap(), dst);
+            prop_assert!(seen.insert(p.clone()), "duplicate path {p:?}");
+        }
+    }
+
+    /// Every enumerated equal-cost path has exactly the BFS shortest length.
+    #[test]
+    fn ecmp_paths_are_shortest(n in 10usize..40, seed in any::<u64>()) {
+        let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
+        let g = topo.graph();
+        let dist = bfs(g, 1).dist;
+        for dst in [n - 1, n / 2, 2] {
+            if dst == 1 { continue; }
+            let paths = all_shortest_paths(g, 1, dst, 32);
+            prop_assert!(!paths.is_empty());
+            for p in &paths {
+                prop_assert_eq!(p.len() - 1, dist[dst]);
+                prop_assert!(is_valid_simple_path(g, p));
+            }
+        }
+    }
+
+    /// ECMP path sets are a subset (by construction, a prefix-limited subset)
+    /// of the k-shortest-path sets in terms of minimum length, and k-shortest
+    /// paths always finds at least as many paths as ECMP can install when
+    /// k >= the ECMP width.
+    #[test]
+    fn ksp_at_least_as_many_paths_as_ecmp(n in 12usize..40, seed in any::<u64>()) {
+        let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
+        let g = topo.graph();
+        let ecmp = all_shortest_paths(g, 0, n - 1, 8);
+        let ksp = k_shortest_paths(g, 0, n - 1, 8);
+        prop_assert!(ksp.len() >= ecmp.len());
+    }
+
+    /// Path-table link counts are conserved: the sum over directed links of
+    /// the per-link path count equals the total number of hops installed.
+    #[test]
+    fn path_table_conservation(n in 10usize..30, seed in any::<u64>()) {
+        let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
+        let pairs: Vec<_> = (0..n).map(|s| (s, (s + n / 2) % n)).filter(|(s, d)| s != d).collect();
+        let table = PathTable::build(topo.graph(), RoutingScheme::ksp8(), pairs);
+        let counts = table.directed_link_path_counts(topo.graph());
+        let total: usize = counts.values().sum();
+        let hops: usize = table.iter().flat_map(|(_, ps)| ps.iter().map(|p| p.len() - 1)).sum();
+        prop_assert_eq!(total, hops);
+        prop_assert_eq!(counts.len(), 2 * topo.num_links());
+    }
+}

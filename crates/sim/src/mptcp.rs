@@ -1,0 +1,134 @@
+//! MPTCP coupled congestion control: the Linked-Increases Algorithm (LIA)
+//! of Wischik et al. (NSDI 2011), which the paper uses with 8 subflows.
+//!
+//! Each subflow runs the normal TCP machinery (loss detection, halving,
+//! slow start) from [`crate::tcp`], but the congestion-avoidance *increase*
+//! is coupled across the connection's subflows so that the aggregate is no
+//! more aggressive than a single TCP flow on the best path, while traffic
+//! shifts away from congested paths:
+//!
+//! ```text
+//! per-ACK increase on subflow r = min( α / cwnd_total , 1 / cwnd_r )
+//! α = cwnd_total · max_i(cwnd_i / rtt_i²) / ( Σ_i cwnd_i / rtt_i )²
+//! ```
+
+/// Computes LIA's α for a connection, given each subflow's congestion window
+/// (segments) and smoothed RTT (time units). Subflows with a non-positive
+/// window or RTT are ignored. Returns 0 when no subflow is usable.
+pub fn lia_alpha(cwnds: &[f64], rtts: &[f64]) -> f64 {
+    assert_eq!(cwnds.len(), rtts.len());
+    let total: f64 = cwnds
+        .iter()
+        .zip(rtts)
+        .filter(|(&c, &r)| c > 0.0 && r > 0.0)
+        .map(|(&c, _)| c)
+        .sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let max_term = cwnds
+        .iter()
+        .zip(rtts)
+        .filter(|(&c, &r)| c > 0.0 && r > 0.0)
+        .map(|(&c, &r)| c / (r * r))
+        .fold(0.0f64, f64::max);
+    let sum_term: f64 = cwnds
+        .iter()
+        .zip(rtts)
+        .filter(|(&c, &r)| c > 0.0 && r > 0.0)
+        .map(|(&c, &r)| c / r)
+        .sum();
+    if sum_term <= 0.0 {
+        return 0.0;
+    }
+    total * max_term / (sum_term * sum_term)
+}
+
+/// The per-ACK congestion-avoidance increase for subflow `r` under LIA.
+///
+/// This is what gets passed as `increase_per_segment` to
+/// [`crate::tcp::TcpSender::on_ack`]. It is capped at the uncoupled TCP
+/// increase `1 / cwnd_r`, so a multipath connection is never more aggressive
+/// on a path than a plain TCP flow would be.
+pub fn lia_increase_per_ack(cwnds: &[f64], rtts: &[f64], r: usize) -> f64 {
+    let total: f64 = cwnds.iter().filter(|&&c| c > 0.0).sum();
+    if total <= 0.0 || cwnds[r] <= 0.0 {
+        return 0.0;
+    }
+    let alpha = lia_alpha(cwnds, rtts);
+    (alpha / total).min(1.0 / cwnds[r])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_subflow_reduces_to_reno() {
+        // With one subflow, α = cwnd·(c/r²)/(c/r)² = 1, so the increase is
+        // min(1/cwnd, 1/cwnd) = 1/cwnd: plain TCP.
+        let cwnds = [10.0];
+        let rtts = [0.1];
+        assert!((lia_alpha(&cwnds, &rtts) - 1.0).abs() < 1e-12);
+        assert!((lia_increase_per_ack(&cwnds, &rtts, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_subflows_get_the_rfc_increase() {
+        // n equal subflows on equal-RTT paths: α = 1/n (RFC 6356), so the
+        // per-ACK increase on each subflow is α/cwnd_total = 1/(n²·cwnd),
+        // strictly less aggressive than an uncoupled TCP flow's 1/cwnd.
+        let n = 8usize;
+        let c = 5.0;
+        let cwnds = vec![c; n];
+        let rtts = vec![0.2; n];
+        let per_ack = lia_increase_per_ack(&cwnds, &rtts, 0);
+        let expected = 1.0 / (n as f64 * n as f64 * c);
+        assert!((per_ack - expected).abs() < 1e-12, "per-ack increase {per_ack}");
+        assert!(per_ack < 1.0 / c);
+    }
+
+    #[test]
+    fn increase_capped_by_uncoupled_tcp() {
+        // A tiny subflow next to a huge one: its increase must not exceed
+        // 1/cwnd_r (it would otherwise overshoot), and the huge subflow's
+        // increase must be far below its uncoupled value.
+        let cwnds = [1.0, 100.0];
+        let rtts = [0.1, 0.1];
+        let small = lia_increase_per_ack(&cwnds, &rtts, 0);
+        assert!(small <= 1.0 / 1.0 + 1e-12);
+        let large = lia_increase_per_ack(&cwnds, &rtts, 1);
+        assert!(large < 1.0 / 100.0);
+    }
+
+    #[test]
+    fn shorter_rtt_paths_get_larger_alpha_share() {
+        // LIA favours paths with lower RTT (higher cwnd/rtt²): with one fast
+        // and one slow path of equal windows, α exceeds the equal-RTT value.
+        let equal = lia_alpha(&[10.0, 10.0], &[0.1, 0.1]);
+        let skewed = lia_alpha(&[10.0, 10.0], &[0.05, 0.2]);
+        assert!(skewed > equal);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(lia_alpha(&[], &[]), 0.0);
+        assert_eq!(lia_alpha(&[0.0, 0.0], &[0.1, 0.1]), 0.0);
+        assert_eq!(lia_increase_per_ack(&[0.0, 5.0], &[0.1, 0.1], 0), 0.0);
+        // A subflow with zero RTT (no sample yet) is ignored, not a NaN source.
+        let a = lia_alpha(&[5.0, 5.0], &[0.0, 0.1]);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn alpha_scales_total_increase_not_per_flow_fairness() {
+        // Sanity: α for n equal subflows equals 1/n of the single-flow α
+        // times n... concretely α = 1/n for equal windows and RTTs.
+        for n in [2usize, 4, 8] {
+            let cwnds = vec![7.0; n];
+            let rtts = vec![0.15; n];
+            let alpha = lia_alpha(&cwnds, &rtts);
+            assert!((alpha - 1.0 / n as f64).abs() < 1e-9, "n={n}: alpha={alpha}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The simulated network: hosts, switches, and full-duplex links with finite
+//! drop-tail queues.
+//!
+//! Node numbering: switch `i` of the topology is sim node `i`; server `s`
+//! (global id from [`jellyfish_traffic::ServerMap`]) is sim node
+//! `num_switches + s`. Every topology link becomes two directed sim links
+//! (full duplex), and every server gets an uplink and a downlink to its ToR
+//! switch.
+//!
+//! Queueing model: each directed link tracks the time until which its
+//! transmitter is busy. A packet handed to the link at time `t` sees a
+//! backlog of `(busy_until − t) · rate` packets; if that backlog would exceed
+//! the buffer the packet is dropped (drop-tail), otherwise it starts
+//! transmission when the link frees up and arrives `1/rate + delay` later.
+//! This is the standard event-free fluid-queue formulation of a FIFO link and
+//! matches what a per-packet queue would compute for deterministic service
+//! times.
+
+use jellyfish_topology::Topology;
+use jellyfish_traffic::ServerMap;
+use std::collections::HashMap;
+
+/// A node in the simulated network (switch or host).
+pub type SimNode = usize;
+
+/// Configuration of every link in the simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParams {
+    /// Link rate in packets per unit time (all links and NICs share it, as
+    /// in the paper's setup where servers and switches use the same rate).
+    pub rate: f64,
+    /// One-way propagation delay per link, in time units.
+    pub delay: f64,
+    /// Drop-tail buffer size in packets.
+    pub buffer: usize,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            rate: 100.0,
+            delay: 0.001,
+            // A couple of bandwidth-delay products: big enough to keep links
+            // busy, small enough that drop-tail queueing delay stays moderate.
+            buffer: 25,
+        }
+    }
+}
+
+/// State of one directed link.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    busy_until: f64,
+    params: LinkParams,
+    /// Cumulative packets accepted (for utilization reporting).
+    transmitted: u64,
+    /// Cumulative packets dropped at this link's queue.
+    dropped: u64,
+}
+
+/// Outcome of handing a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransmitOutcome {
+    /// Packet accepted; it arrives at the other end at the given time.
+    Delivered {
+        /// Arrival time at the downstream node.
+        arrival: f64,
+    },
+    /// Packet dropped at the queue (buffer overflow).
+    Dropped,
+}
+
+/// The simulated network fabric.
+#[derive(Debug, Clone)]
+pub struct Network {
+    links: HashMap<(SimNode, SimNode), Link>,
+    num_switches: usize,
+    num_servers: usize,
+}
+
+impl Network {
+    /// Builds the simulated network for a topology: switch-to-switch links
+    /// plus host access links, all with the same parameters.
+    pub fn build(topo: &Topology, servers: &ServerMap, params: LinkParams) -> Self {
+        let mut links = HashMap::new();
+        let mut add = |u: SimNode, v: SimNode| {
+            links.insert(
+                (u, v),
+                Link {
+                    busy_until: 0.0,
+                    params,
+                    transmitted: 0,
+                    dropped: 0,
+                },
+            );
+        };
+        for e in topo.graph().edges() {
+            add(e.a, e.b);
+            add(e.b, e.a);
+        }
+        let num_switches = topo.num_switches();
+        for s in 0..servers.num_servers() {
+            let host = num_switches + s;
+            let tor = servers.switch_of(s);
+            add(host, tor);
+            add(tor, host);
+        }
+        Network {
+            links,
+            num_switches,
+            num_servers: servers.num_servers(),
+        }
+    }
+
+    /// Sim node id of server `s`.
+    pub fn host_node(&self, server: usize) -> SimNode {
+        self.num_switches + server
+    }
+
+    /// Number of switches in the fabric.
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    /// Number of hosts in the fabric.
+    pub fn num_hosts(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Whether a directed link exists.
+    pub fn has_link(&self, u: SimNode, v: SimNode) -> bool {
+        self.links.contains_key(&(u, v))
+    }
+
+    /// Hands one full-size packet to the directed link `(u, v)` at time `now`.
+    pub fn transmit(&mut self, u: SimNode, v: SimNode, now: f64) -> TransmitOutcome {
+        self.transmit_sized(u, v, now, 1.0)
+    }
+
+    /// Hands a packet of `size` MSS units to the directed link `(u, v)` at
+    /// time `now`. Acknowledgements use a small fraction of an MSS.
+    pub fn transmit_sized(&mut self, u: SimNode, v: SimNode, now: f64, size: f64) -> TransmitOutcome {
+        let link = self
+            .links
+            .get_mut(&(u, v))
+            .unwrap_or_else(|| panic!("no link {u} -> {v}"));
+        let rate = link.params.rate;
+        let backlog = (link.busy_until - now).max(0.0) * rate;
+        if backlog + size > link.params.buffer as f64 {
+            link.dropped += 1;
+            return TransmitOutcome::Dropped;
+        }
+        let start = link.busy_until.max(now);
+        let finish = start + size / rate;
+        link.busy_until = finish;
+        link.transmitted += 1;
+        TransmitOutcome::Delivered {
+            arrival: finish + link.params.delay,
+        }
+    }
+
+    /// Total packets dropped across all links.
+    pub fn total_drops(&self) -> u64 {
+        self.links.values().map(|l| l.dropped).sum()
+    }
+
+    /// Total packets transmitted across all links.
+    pub fn total_transmitted(&self) -> u64 {
+        self.links.values().map(|l| l.transmitted).sum()
+    }
+
+    /// Per-directed-link utilization over a horizon: transmitted packets
+    /// divided by `rate × horizon`.
+    pub fn link_utilization(&self, horizon: f64) -> HashMap<(SimNode, SimNode), f64> {
+        self.links
+            .iter()
+            .map(|(&k, l)| (k, l.transmitted as f64 / (l.params.rate * horizon)))
+            .collect()
+    }
+
+    /// The base RTT (propagation + one transmission per hop, no queueing) of
+    /// a path with `hops` links, for senders estimating their initial RTO.
+    pub fn base_rtt(&self, hops: usize, params: LinkParams) -> f64 {
+        2.0 * hops as f64 * (params.delay + 1.0 / params.rate)
+    }
+}
+
+/// A source-routed packet. Payload packets carry `seq`; acknowledgements
+/// carry `ack` = next expected sequence number (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Connection index in the simulator.
+    pub conn: usize,
+    /// Subflow index within the connection.
+    pub subflow: usize,
+    /// Sequence number (data packets) or echoed sequence (for RTT sampling).
+    pub seq: u64,
+    /// Cumulative acknowledgement number (valid when `is_ack`).
+    pub ack: u64,
+    /// Whether this is an acknowledgement travelling back to the sender.
+    pub is_ack: bool,
+    /// Position in the subflow's (forward or reverse) path: index of the node
+    /// the packet is currently at.
+    pub hop: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::JellyfishBuilder;
+
+    fn network() -> Network {
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        Network::build(&topo, &servers, LinkParams::default())
+    }
+
+    #[test]
+    fn build_creates_duplex_and_access_links() {
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let net = Network::build(&topo, &servers, LinkParams::default());
+        assert_eq!(net.num_switches(), 6);
+        assert_eq!(net.num_hosts(), 18);
+        for e in topo.graph().edges() {
+            assert!(net.has_link(e.a, e.b));
+            assert!(net.has_link(e.b, e.a));
+        }
+        for s in 0..servers.num_servers() {
+            let host = net.host_node(s);
+            assert!(net.has_link(host, servers.switch_of(s)));
+            assert!(net.has_link(servers.switch_of(s), host));
+        }
+        assert!(!net.has_link(0, net.host_node(17)) || servers.switch_of(17) == 0);
+    }
+
+    #[test]
+    fn transmit_serializes_packets() {
+        let mut net = network();
+        let params = LinkParams::default();
+        let (u, v) = (net.host_node(0), 0);
+        let TransmitOutcome::Delivered { arrival: a1 } = net.transmit(u, v, 0.0) else {
+            panic!("first packet dropped");
+        };
+        let TransmitOutcome::Delivered { arrival: a2 } = net.transmit(u, v, 0.0) else {
+            panic!("second packet dropped");
+        };
+        // Second packet waits behind the first: exactly one transmission time later.
+        assert!((a2 - a1 - 1.0 / params.rate).abs() < 1e-9);
+        assert_eq!(net.total_transmitted(), 2);
+        assert_eq!(net.total_drops(), 0);
+    }
+
+    #[test]
+    fn transmit_drops_when_buffer_full() {
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let params = LinkParams {
+            buffer: 5,
+            ..Default::default()
+        };
+        let mut net = Network::build(&topo, &servers, params);
+        let (u, v) = (net.host_node(0), 0);
+        let mut drops = 0;
+        for _ in 0..20 {
+            if net.transmit(u, v, 0.0) == TransmitOutcome::Dropped {
+                drops += 1;
+            }
+        }
+        assert!(drops > 0, "buffer of 5 must drop some of 20 back-to-back packets");
+        assert_eq!(net.total_drops(), drops as u64);
+        // Roughly buffer-many packets accepted.
+        assert!(net.total_transmitted() <= 6 + 1);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let params = LinkParams {
+            buffer: 2,
+            ..Default::default()
+        };
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let mut net = Network::build(&topo, &servers, params);
+        let (u, v) = (net.host_node(0), 0);
+        assert!(matches!(net.transmit(u, v, 0.0), TransmitOutcome::Delivered { .. }));
+        assert!(matches!(net.transmit(u, v, 0.0), TransmitOutcome::Delivered { .. }));
+        assert_eq!(net.transmit(u, v, 0.0), TransmitOutcome::Dropped);
+        // After enough time the queue has drained and packets are accepted again.
+        assert!(matches!(net.transmit(u, v, 1.0), TransmitOutcome::Delivered { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn transmit_on_missing_link_panics() {
+        let mut net = network();
+        let h0 = net.host_node(0);
+        let h1 = net.host_node(1);
+        net.transmit(h0, h1, 0.0);
+    }
+
+    #[test]
+    fn utilization_and_rtt_helpers() {
+        let mut net = network();
+        let params = LinkParams::default();
+        let (u, v) = (net.host_node(0), 0);
+        for _ in 0..10 {
+            net.transmit(u, v, 0.0);
+        }
+        let util = net.link_utilization(1.0);
+        assert!((util[&(u, v)] - 10.0 / params.rate).abs() < 1e-9);
+        let rtt = net.base_rtt(3, params);
+        assert!((rtt - 2.0 * 3.0 * (params.delay + 0.01)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Path-assignment policies for simulated connections.
+//!
+//! The paper's §5 combinations are ECMP (8-way or 64-way, shortest paths
+//! only) versus Yen's 8-shortest-path routing, crossed with TCP (1 or 8
+//! flows per server pair) and MPTCP (8 subflows). Here a *policy* turns a
+//! switch pair into the candidate path set, and the transport policy decides
+//! how many subflows a connection opens and how they are distributed over
+//! those paths.
+
+use jellyfish_routing::ecmp::EcmpConfig;
+use jellyfish_routing::yen::k_shortest_paths;
+use jellyfish_routing::Path;
+use jellyfish_topology::{Graph, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// How candidate switch-level paths are computed for a server pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathPolicy {
+    /// Equal-cost multipath over shortest paths with the given width.
+    Ecmp {
+        /// ECMP group width (8 or 64 in the paper).
+        way: usize,
+    },
+    /// Yen's k-shortest-path routing.
+    KShortest {
+        /// Number of paths per switch pair (8 in the paper).
+        k: usize,
+    },
+}
+
+impl PathPolicy {
+    /// The paper's default ECMP (8-way).
+    pub fn ecmp8() -> Self {
+        PathPolicy::Ecmp { way: 8 }
+    }
+
+    /// The paper's k-shortest-path routing (k = 8).
+    pub fn ksp8() -> Self {
+        PathPolicy::KShortest { k: 8 }
+    }
+
+    /// Candidate switch-level paths between two switches.
+    pub fn candidate_paths(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<Path> {
+        match *self {
+            PathPolicy::Ecmp { way } => EcmpConfig { way }.paths(graph, src, dst),
+            PathPolicy::KShortest { k } => k_shortest_paths(graph, src, dst, k),
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            PathPolicy::Ecmp { way } => format!("ECMP-{way}"),
+            PathPolicy::KShortest { k } => format!("{k}-shortest-paths"),
+        }
+    }
+}
+
+/// Transport configuration of a server pair's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportPolicy {
+    /// `flows` independent TCP connections between the pair (uncoupled).
+    Tcp {
+        /// Number of parallel TCP flows (1 or 8 in Table 1).
+        flows: usize,
+    },
+    /// One MPTCP connection with `subflows` LIA-coupled subflows.
+    Mptcp {
+        /// Number of subflows (8 in Table 1).
+        subflows: usize,
+    },
+}
+
+impl TransportPolicy {
+    /// Number of subflows a connection opens.
+    pub fn subflow_count(&self) -> usize {
+        match *self {
+            TransportPolicy::Tcp { flows } => flows.max(1),
+            TransportPolicy::Mptcp { subflows } => subflows.max(1),
+        }
+    }
+
+    /// Whether the subflows' window increases are LIA-coupled.
+    pub fn coupled(&self) -> bool {
+        matches!(self, TransportPolicy::Mptcp { .. })
+    }
+
+    /// Label for reports (matches the paper's Table 1 rows).
+    pub fn label(&self) -> String {
+        match *self {
+            TransportPolicy::Tcp { flows } => format!("TCP {flows} flow{}", if flows == 1 { "" } else { "s" }),
+            TransportPolicy::Mptcp { subflows } => format!("MPTCP {subflows} subflows"),
+        }
+    }
+}
+
+/// Assigns a switch-level path to each subflow of a connection.
+///
+/// * Under ECMP, every subflow is hashed independently onto one of the
+///   equal-cost shortest paths (distinct subflows may collide on the same
+///   path — exactly the effect that hurts single-flow TCP in Table 1).
+/// * Under k-shortest-path routing, MPTCP-style spreading places subflow `i`
+///   on path `i mod |paths|`, while independent TCP flows are hashed.
+pub fn assign_subflow_paths(
+    graph: &Graph,
+    src_switch: NodeId,
+    dst_switch: NodeId,
+    path_policy: PathPolicy,
+    transport: TransportPolicy,
+    pair_seed: u64,
+) -> Vec<Path> {
+    let candidates = path_policy.candidate_paths(graph, src_switch, dst_switch);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let n = transport.subflow_count();
+    (0..n)
+        .map(|i| {
+            let idx = match (path_policy, transport) {
+                (PathPolicy::KShortest { .. }, TransportPolicy::Mptcp { .. }) => i % candidates.len(),
+                _ => {
+                    let mut hasher = DefaultHasher::new();
+                    (pair_seed, i as u64).hash(&mut hasher);
+                    (hasher.finish() as usize) % candidates.len()
+                }
+            };
+            candidates[idx].clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::JellyfishBuilder;
+
+    fn graph() -> jellyfish_topology::Topology {
+        JellyfishBuilder::new(30, 10, 6).seed(4).build().unwrap()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PathPolicy::ecmp8().label(), "ECMP-8");
+        assert_eq!(PathPolicy::ksp8().label(), "8-shortest-paths");
+        assert_eq!(TransportPolicy::Tcp { flows: 1 }.label(), "TCP 1 flow");
+        assert_eq!(TransportPolicy::Tcp { flows: 8 }.label(), "TCP 8 flows");
+        assert_eq!(TransportPolicy::Mptcp { subflows: 8 }.label(), "MPTCP 8 subflows");
+    }
+
+    #[test]
+    fn subflow_counts_and_coupling() {
+        assert_eq!(TransportPolicy::Tcp { flows: 8 }.subflow_count(), 8);
+        assert_eq!(TransportPolicy::Tcp { flows: 0 }.subflow_count(), 1);
+        assert_eq!(TransportPolicy::Mptcp { subflows: 8 }.subflow_count(), 8);
+        assert!(!TransportPolicy::Tcp { flows: 8 }.coupled());
+        assert!(TransportPolicy::Mptcp { subflows: 8 }.coupled());
+    }
+
+    #[test]
+    fn mptcp_over_ksp_spreads_across_distinct_paths() {
+        let topo = graph();
+        let paths = assign_subflow_paths(
+            topo.graph(),
+            0,
+            15,
+            PathPolicy::ksp8(),
+            TransportPolicy::Mptcp { subflows: 8 },
+            7,
+        );
+        assert_eq!(paths.len(), 8);
+        let distinct: std::collections::HashSet<_> = paths.iter().collect();
+        // With 8 candidate paths available, every subflow gets its own path.
+        let candidates = PathPolicy::ksp8().candidate_paths(topo.graph(), 0, 15);
+        assert_eq!(distinct.len(), candidates.len().min(8));
+    }
+
+    #[test]
+    fn ecmp_uses_only_shortest_paths() {
+        let topo = graph();
+        let g = topo.graph();
+        let sp_len = jellyfish_routing::shortest::shortest_path(g, 0, 15).unwrap().len();
+        let paths = assign_subflow_paths(
+            g,
+            0,
+            15,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 8 },
+            3,
+        );
+        assert_eq!(paths.len(), 8);
+        for p in &paths {
+            assert_eq!(p.len(), sp_len, "ECMP must not use longer paths");
+        }
+    }
+
+    #[test]
+    fn ksp_can_use_longer_paths() {
+        let topo = graph();
+        let g = topo.graph();
+        let candidates = PathPolicy::ksp8().candidate_paths(g, 0, 15);
+        let sp_len = candidates[0].len();
+        assert!(
+            candidates.iter().any(|p| p.len() > sp_len),
+            "k-shortest paths should include longer-than-shortest paths on a random graph"
+        );
+    }
+
+    #[test]
+    fn assignment_is_deterministic_per_seed() {
+        let topo = graph();
+        let a = assign_subflow_paths(topo.graph(), 2, 20, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 4 }, 9);
+        let b = assign_subflow_paths(topo.graph(), 2, 20, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 4 }, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_when_unreachable() {
+        let mut g = jellyfish_topology::Graph::new(3);
+        g.add_edge(0, 1);
+        let paths = assign_subflow_paths(&g, 0, 2, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 1 }, 0);
+        assert!(paths.is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Structural properties of switch-level topologies: path-length
+//! distributions, diameter, reachability profiles.
+//!
+//! These drive Figure 1(c) (fraction of server pairs within h hops) and
+//! Figure 5 (mean path length and diameter versus network size).
+
+use crate::graph::{Graph, NodeId};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Summary statistics of the all-pairs shortest-path-length distribution
+/// between switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathLengthStats {
+    /// Mean shortest-path length over all ordered reachable pairs.
+    pub mean: f64,
+    /// Maximum shortest-path length (graph diameter); 0 for graphs with < 2 nodes.
+    pub diameter: usize,
+    /// `histogram[d]` = number of ordered switch pairs at distance `d`
+    /// (index 0 unused except for the trivial self-distance, which is not counted).
+    pub histogram: Vec<usize>,
+    /// Number of ordered pairs that are unreachable from each other.
+    pub unreachable_pairs: usize,
+}
+
+impl PathLengthStats {
+    /// Fraction of reachable ordered pairs whose distance is `<= h` hops.
+    pub fn fraction_within(&self, h: usize) -> f64 {
+        let total: usize = self.histogram.iter().skip(1).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: usize = self.histogram.iter().skip(1).take(h).sum();
+        within as f64 / total as f64
+    }
+
+    /// The `q`-quantile (0 <= q <= 1) of the pairwise distance distribution.
+    pub fn quantile(&self, q: f64) -> usize {
+        let total: usize = self.histogram.iter().skip(1).sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as usize;
+        let mut acc = 0usize;
+        for (d, &count) in self.histogram.iter().enumerate().skip(1) {
+            acc += count;
+            if acc >= target.max(1) {
+                return d;
+            }
+        }
+        self.diameter
+    }
+}
+
+/// Breadth-first distances from `source` to every node (usize::MAX when
+/// unreachable).
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in graph.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Computes the switch-to-switch path-length statistics via repeated BFS.
+pub fn path_length_stats(graph: &Graph) -> PathLengthStats {
+    let n = graph.num_nodes();
+    let mut histogram: Vec<usize> = Vec::new();
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    let mut diameter = 0usize;
+    let mut unreachable = 0usize;
+    for src in 0..n {
+        let dist = bfs_distances(graph, src);
+        for (dst, &d) in dist.iter().enumerate() {
+            if dst == src {
+                continue;
+            }
+            if d == usize::MAX {
+                unreachable += 1;
+                continue;
+            }
+            if d >= histogram.len() {
+                histogram.resize(d + 1, 0);
+            }
+            histogram[d] += 1;
+            sum += d as u64;
+            count += 1;
+            diameter = diameter.max(d);
+        }
+    }
+    PathLengthStats {
+        mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        diameter,
+        histogram,
+        unreachable_pairs: unreachable,
+    }
+}
+
+/// Server-pair path-length histogram: the distance between two servers is the
+/// switch-to-switch distance between their ToR switches plus two server
+/// links (servers on the same switch are 2 hops apart).
+///
+/// Returns `histogram[h]` = number of ordered server pairs at exactly `h`
+/// hops, which is what Figure 1(c) plots (as fractions).
+pub fn server_pair_histogram(topo: &Topology) -> Vec<u64> {
+    let g = topo.graph();
+    let n = g.num_nodes();
+    let mut histogram: Vec<u64> = Vec::new();
+    let bump = |h: usize, pairs: u64, hist: &mut Vec<u64>| {
+        if pairs == 0 {
+            return;
+        }
+        if h >= hist.len() {
+            hist.resize(h + 1, 0);
+        }
+        hist[h] += pairs;
+    };
+    for src in 0..n {
+        let s_src = topo.servers(src) as u64;
+        if s_src == 0 {
+            continue;
+        }
+        // Same-switch pairs: distance 2, ordered pairs s*(s-1).
+        bump(2, s_src * (s_src.saturating_sub(1)), &mut histogram);
+        let dist = bfs_distances(g, src);
+        for (dst, &d) in dist.iter().enumerate() {
+            if dst == src || d == usize::MAX {
+                continue;
+            }
+            let s_dst = topo.servers(dst) as u64;
+            if s_dst == 0 {
+                continue;
+            }
+            bump(d + 2, s_src * s_dst, &mut histogram);
+        }
+    }
+    histogram
+}
+
+/// Fraction of ordered server pairs within `h` hops, from a histogram
+/// produced by [`server_pair_histogram`].
+pub fn fraction_of_server_pairs_within(histogram: &[u64], h: usize) -> f64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let within: u64 = histogram.iter().take(h + 1).sum();
+    within as f64 / total as f64
+}
+
+/// Number of switches reachable from `source` within `h` hops (excluding the
+/// source itself). Used for the "concentric rings" intuition of Figure 1.
+pub fn reachable_within(graph: &Graph, source: NodeId, h: usize) -> usize {
+    bfs_distances(graph, source)
+        .iter()
+        .enumerate()
+        .filter(|&(v, &d)| v != source && d != usize::MAX && d <= h)
+        .count()
+}
+
+/// Theoretical diameter upper bound for random regular graphs
+/// (Bollobás & de la Vega): `1 + ceil(log_{r-1}((2 + eps) * r * N * ln N))`.
+///
+/// Returns `None` when `r < 3` (the bound needs `r - 1 >= 2`).
+pub fn rrg_diameter_upper_bound(n: usize, r: usize, eps: f64) -> Option<usize> {
+    if r < 3 || n < 2 {
+        return None;
+    }
+    let n_f = n as f64;
+    let r_f = r as f64;
+    let inner = (2.0 + eps) * r_f * n_f * n_f.ln();
+    let log = inner.ln() / (r_f - 1.0).ln();
+    Some(1 + log.ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTree;
+    use crate::rrg::JellyfishBuilder;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable_nodes() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn cycle_statistics() {
+        let g = cycle(6);
+        let stats = path_length_stats(&g);
+        assert_eq!(stats.diameter, 3);
+        // Distances from any node: 1,1,2,2,3 -> mean 1.8.
+        assert!((stats.mean - 1.8).abs() < 1e-12);
+        assert_eq!(stats.unreachable_pairs, 0);
+        assert_eq!(stats.histogram[1], 12);
+        assert_eq!(stats.histogram[2], 12);
+        assert_eq!(stats.histogram[3], 6);
+        assert!((stats.fraction_within(2) - 24.0 / 30.0).abs() < 1e-12);
+        assert_eq!(stats.quantile(0.5), 2);
+        assert_eq!(stats.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn disconnected_pairs_counted() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let stats = path_length_stats(&g);
+        assert_eq!(stats.unreachable_pairs, 8);
+        assert_eq!(stats.diameter, 1);
+    }
+
+    #[test]
+    fn jellyfish_shorter_paths_than_fat_tree_same_equipment() {
+        // The headline observation behind Figure 1(c): with the same
+        // equipment, the RRG has a lower mean inter-switch path length.
+        let (ft, jf) = crate::fattree::same_equipment_pair(6, 54, 1).unwrap();
+        let ft_stats = path_length_stats(ft.topology().graph());
+        let jf_stats = path_length_stats(jf.graph());
+        assert!(
+            jf_stats.mean < ft_stats.mean,
+            "jellyfish mean {} not below fat-tree mean {}",
+            jf_stats.mean,
+            ft_stats.mean
+        );
+        assert!(jf_stats.diameter <= ft_stats.diameter);
+    }
+
+    #[test]
+    fn server_pair_histogram_single_switch() {
+        let g = Graph::new(1);
+        let topo = Topology::homogeneous(g, 4, 3);
+        let hist = server_pair_histogram(&topo);
+        // 3 servers on one switch: 6 ordered pairs, all at 2 hops.
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[2], 6);
+        assert!((fraction_of_server_pairs_within(&hist, 2) - 1.0).abs() < 1e-12);
+        assert_eq!(fraction_of_server_pairs_within(&hist, 1), 0.0);
+    }
+
+    #[test]
+    fn server_pair_histogram_two_switches() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        let topo = Topology::homogeneous(g, 4, 2);
+        let hist = server_pair_histogram(&topo);
+        // Same-switch: 2 switches × 2 ordered pairs = 4 at distance 2.
+        // Cross-switch: 2×2 ordered pairs × 2 directions = 8 at distance 3.
+        assert_eq!(hist[2], 4);
+        assert_eq!(hist[3], 8);
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn fig1c_shape_686_servers() {
+        // Scaled-down check of the Fig. 1(c) claim: in Jellyfish nearly all
+        // server pairs are within 5 hops while in the same-equipment fat-tree
+        // only a small fraction is. (Full 686-server check runs in the
+        // integration tests / figures binary.)
+        let ft = FatTree::new(8).unwrap(); // 80 switches, 128 servers
+        let jf = JellyfishBuilder::new(80, 8, 6).seed(4).build().unwrap();
+        let ft_hist = server_pair_histogram(ft.topology());
+        let jf_hist = server_pair_histogram(&jf);
+        let ft_frac5 = fraction_of_server_pairs_within(&ft_hist, 5);
+        let jf_frac5 = fraction_of_server_pairs_within(&jf_hist, 5);
+        assert!(jf_frac5 > ft_frac5, "jellyfish {jf_frac5} <= fat-tree {ft_frac5}");
+        assert!(jf_frac5 > 0.9);
+    }
+
+    #[test]
+    fn reachable_within_counts_rings() {
+        let g = cycle(8);
+        assert_eq!(reachable_within(&g, 0, 1), 2);
+        assert_eq!(reachable_within(&g, 0, 2), 4);
+        assert_eq!(reachable_within(&g, 0, 4), 7);
+    }
+
+    #[test]
+    fn rrg_diameter_bound_matches_paper_growth() {
+        // The bound grows logarithmically with N (base r-1); spot-check
+        // monotonicity and rough magnitude for k=48, r=36 switches.
+        let b1 = rrg_diameter_upper_bound(100, 36, 0.1).unwrap();
+        let b2 = rrg_diameter_upper_bound(3200, 36, 0.1).unwrap();
+        assert!(b2 >= b1);
+        assert!(b2 <= 8, "bound unexpectedly large: {b2}");
+        assert!(rrg_diameter_upper_bound(100, 2, 0.1).is_none());
+    }
+
+    #[test]
+    fn measured_diameter_within_theoretical_bound() {
+        let topo = JellyfishBuilder::new(200, 12, 9).seed(5).build().unwrap();
+        let stats = path_length_stats(topo.graph());
+        let bound = rrg_diameter_upper_bound(200, 9, 0.1).unwrap();
+        assert!(stats.diameter <= bound, "diameter {} exceeds bound {}", stats.diameter, bound);
+    }
+}

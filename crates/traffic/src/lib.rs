@@ -1,0 +1,431 @@
+//! Traffic-matrix generation for the Jellyfish (NSDI 2012) reproduction.
+//!
+//! The paper's primary workload is **random permutation traffic**: each
+//! server sends at its full line rate to exactly one other server and
+//! receives from exactly one other server, with the permutation drawn
+//! uniformly at random (§4, evaluation methodology). This crate generates
+//! that workload — plus a few others useful for extensions — at the server
+//! level and maps it onto switch-level demands.
+//!
+//! Servers are numbered globally: server `j` of switch `i` gets the id
+//! obtained by counting servers switch by switch in node order (see
+//! [`ServerMap`]).
+//!
+//! ```
+//! use jellyfish_topology::JellyfishBuilder;
+//! use jellyfish_traffic::{ServerMap, TrafficMatrix};
+//!
+//! let topo = JellyfishBuilder::new(10, 6, 3).seed(1).build().unwrap();
+//! let servers = ServerMap::new(&topo);
+//! let tm = TrafficMatrix::random_permutation(&servers, 7);
+//! assert_eq!(tm.flows().len(), servers.num_servers());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jellyfish_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Mapping between global server ids and the switches hosting them.
+#[derive(Debug, Clone)]
+pub struct ServerMap {
+    /// `switch_of[s]` is the ToR switch hosting server `s`.
+    switch_of: Vec<NodeId>,
+    /// `first_server[i]` is the id of the first server on switch `i`
+    /// (servers of a switch are contiguous); has one extra trailing entry
+    /// equal to the total server count.
+    first_server: Vec<usize>,
+}
+
+impl ServerMap {
+    /// Builds the server map of a topology.
+    pub fn new(topo: &Topology) -> Self {
+        let mut switch_of = Vec::with_capacity(topo.total_servers());
+        let mut first_server = Vec::with_capacity(topo.num_switches() + 1);
+        for i in topo.graph().nodes() {
+            first_server.push(switch_of.len());
+            for _ in 0..topo.servers(i) {
+                switch_of.push(i);
+            }
+        }
+        first_server.push(switch_of.len());
+        ServerMap {
+            switch_of,
+            first_server,
+        }
+    }
+
+    /// Total number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.switch_of.len()
+    }
+
+    /// The switch hosting server `s`.
+    pub fn switch_of(&self, s: usize) -> NodeId {
+        self.switch_of[s]
+    }
+
+    /// The global ids of the servers hosted by switch `i`.
+    pub fn servers_of(&self, i: NodeId) -> std::ops::Range<usize> {
+        self.first_server[i]..self.first_server[i + 1]
+    }
+}
+
+/// A single server-to-server demand, in units of the server line rate
+/// (1.0 = the server sends at its full NIC rate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Sending server (global id).
+    pub src: usize,
+    /// Receiving server (global id).
+    pub dst: usize,
+    /// Demand as a fraction of the line rate.
+    pub demand: f64,
+}
+
+/// A server-level traffic matrix: a list of flows plus the server map used
+/// to interpret them.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    flows: Vec<Flow>,
+    num_servers: usize,
+    name: String,
+}
+
+impl TrafficMatrix {
+    /// Creates a traffic matrix from explicit flows.
+    pub fn from_flows(flows: Vec<Flow>, num_servers: usize, name: impl Into<String>) -> Self {
+        for f in &flows {
+            assert!(f.src < num_servers && f.dst < num_servers, "flow endpoints out of range");
+            assert!(f.demand >= 0.0, "negative demand");
+        }
+        TrafficMatrix {
+            flows,
+            num_servers,
+            name: name.into(),
+        }
+    }
+
+    /// Random permutation traffic (the paper's workload): a uniform random
+    /// derangement-ish permutation where no server sends to itself; each flow
+    /// has unit demand.
+    ///
+    /// Servers hosted on the same switch may still be paired (the paper does
+    /// not exclude that), but a server never sends to itself.
+    pub fn random_permutation(servers: &ServerMap, seed: u64) -> Self {
+        let n = servers.num_servers();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dst: Vec<usize> = (0..n).collect();
+        if n > 1 {
+            loop {
+                dst.shuffle(&mut rng);
+                if dst.iter().enumerate().all(|(s, &d)| s != d) {
+                    break;
+                }
+            }
+        }
+        let flows = if n > 1 {
+            (0..n)
+                .map(|s| Flow {
+                    src: s,
+                    dst: dst[s],
+                    demand: 1.0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        TrafficMatrix {
+            flows,
+            num_servers: n,
+            name: format!("random-permutation(seed={seed})"),
+        }
+    }
+
+    /// All-to-all traffic: every ordered server pair exchanges `1/(n-1)` of
+    /// the line rate, so every server sends (and receives) at exactly line
+    /// rate in aggregate.
+    pub fn all_to_all(servers: &ServerMap) -> Self {
+        let n = servers.num_servers();
+        let mut flows = Vec::with_capacity(n.saturating_sub(1) * n);
+        if n > 1 {
+            let demand = 1.0 / (n - 1) as f64;
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        flows.push(Flow { src: s, dst: d, demand });
+                    }
+                }
+            }
+        }
+        TrafficMatrix {
+            flows,
+            num_servers: n,
+            name: "all-to-all".to_string(),
+        }
+    }
+
+    /// Hotspot traffic: a `fraction` of servers (at least one) are chosen as
+    /// hot destinations; every other server sends its full line rate to a
+    /// uniformly chosen hot server. Models incast-style skew.
+    pub fn hotspot(servers: &ServerMap, fraction: f64, seed: u64) -> Self {
+        let n = servers.num_servers();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hot_count = ((n as f64 * fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, n.max(1));
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        let hot: Vec<usize> = ids.into_iter().take(hot_count).collect();
+        let mut flows = Vec::new();
+        for s in 0..n {
+            let candidates: Vec<usize> = hot.iter().copied().filter(|&h| h != s).collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let d = candidates[rng.gen_range(0..candidates.len())];
+            flows.push(Flow { src: s, dst: d, demand: 1.0 });
+        }
+        TrafficMatrix {
+            flows,
+            num_servers: n,
+            name: format!("hotspot(fraction={fraction})"),
+        }
+    }
+
+    /// Stride traffic: server `s` sends to server `(s + stride) mod n` at
+    /// full rate. A structured pattern useful as an adversarial complement to
+    /// the random permutation.
+    pub fn stride(servers: &ServerMap, stride: usize) -> Self {
+        let n = servers.num_servers();
+        let flows = if n > 1 && stride % n != 0 {
+            (0..n)
+                .map(|s| Flow {
+                    src: s,
+                    dst: (s + stride) % n,
+                    demand: 1.0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        TrafficMatrix {
+            flows,
+            num_servers: n,
+            name: format!("stride({stride})"),
+        }
+    }
+
+    /// The flows of this matrix.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Number of servers the matrix was generated for.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Matrix name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total offered demand (in server line rates).
+    pub fn total_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand).sum()
+    }
+
+    /// Aggregates the server-level flows into switch-level demands using a
+    /// server map: returns a list of `(src_switch, dst_switch, demand)` with
+    /// one entry per switch pair that has non-zero demand. Flows between
+    /// servers on the same switch are excluded (they never cross the
+    /// interconnect).
+    pub fn switch_demands(&self, servers: &ServerMap) -> Vec<(NodeId, NodeId, f64)> {
+        use std::collections::HashMap;
+        let mut agg: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        for f in &self.flows {
+            let s = servers.switch_of(f.src);
+            let d = servers.switch_of(f.dst);
+            if s != d {
+                *agg.entry((s, d)).or_insert(0.0) += f.demand;
+            }
+        }
+        let mut out: Vec<(NodeId, NodeId, f64)> =
+            agg.into_iter().map(|((s, d), v)| (s, d, v)).collect();
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+
+    /// Per-server egress load (sum of demands sent by each server).
+    pub fn egress_load(&self) -> Vec<f64> {
+        let mut load = vec![0.0; self.num_servers];
+        for f in &self.flows {
+            load[f.src] += f.demand;
+        }
+        load
+    }
+
+    /// Per-server ingress load (sum of demands received by each server).
+    pub fn ingress_load(&self) -> Vec<f64> {
+        let mut load = vec![0.0; self.num_servers];
+        for f in &self.flows {
+            load[f.dst] += f.demand;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::JellyfishBuilder;
+
+    fn topo() -> jellyfish_topology::Topology {
+        JellyfishBuilder::new(12, 8, 5).seed(3).build().unwrap()
+    }
+
+    #[test]
+    fn server_map_contiguous_and_complete() {
+        let t = topo();
+        let m = ServerMap::new(&t);
+        assert_eq!(m.num_servers(), 12 * 3);
+        for i in t.graph().nodes() {
+            let range = m.servers_of(i);
+            assert_eq!(range.len(), 3);
+            for s in range {
+                assert_eq!(m.switch_of(s), i);
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let t = topo();
+        let m = ServerMap::new(&t);
+        let tm = TrafficMatrix::random_permutation(&m, 11);
+        let n = m.num_servers();
+        assert_eq!(tm.flows().len(), n);
+        let mut sends = vec![0usize; n];
+        let mut recvs = vec![0usize; n];
+        for f in tm.flows() {
+            assert_ne!(f.src, f.dst, "server sends to itself");
+            assert_eq!(f.demand, 1.0);
+            sends[f.src] += 1;
+            recvs[f.dst] += 1;
+        }
+        assert!(sends.iter().all(|&c| c == 1));
+        assert!(recvs.iter().all(|&c| c == 1));
+        assert_eq!(tm.total_demand(), n as f64);
+    }
+
+    #[test]
+    fn random_permutation_deterministic_per_seed() {
+        let t = topo();
+        let m = ServerMap::new(&t);
+        let a = TrafficMatrix::random_permutation(&m, 5);
+        let b = TrafficMatrix::random_permutation(&m, 5);
+        let c = TrafficMatrix::random_permutation(&m, 6);
+        assert_eq!(a.flows(), b.flows());
+        assert_ne!(a.flows(), c.flows());
+    }
+
+    #[test]
+    fn all_to_all_load_is_unit() {
+        let t = JellyfishBuilder::new(5, 6, 3).seed(2).build().unwrap();
+        let m = ServerMap::new(&t);
+        let tm = TrafficMatrix::all_to_all(&m);
+        let n = m.num_servers();
+        assert_eq!(tm.flows().len(), n * (n - 1));
+        for load in tm.egress_load() {
+            assert!((load - 1.0).abs() < 1e-9);
+        }
+        for load in tm.ingress_load() {
+            assert!((load - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_hot_servers_only() {
+        let t = topo();
+        let m = ServerMap::new(&t);
+        let tm = TrafficMatrix::hotspot(&m, 0.1, 4);
+        let n = m.num_servers();
+        let hot_count = (n as f64 * 0.1).round() as usize;
+        let mut dsts: Vec<usize> = tm.flows().iter().map(|f| f.dst).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert!(dsts.len() <= hot_count.max(1));
+        assert!(tm.flows().len() >= n - hot_count);
+        for f in tm.flows() {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn stride_wraps_around() {
+        let t = JellyfishBuilder::new(4, 6, 3).seed(1).build().unwrap();
+        let m = ServerMap::new(&t);
+        let tm = TrafficMatrix::stride(&m, 3);
+        assert_eq!(tm.flows().len(), 12);
+        for f in tm.flows() {
+            assert_eq!(f.dst, (f.src + 3) % 12);
+        }
+        // stride 0 (mod n) produces no flows.
+        assert!(TrafficMatrix::stride(&m, 0).flows().is_empty());
+        assert!(TrafficMatrix::stride(&m, 12).flows().is_empty());
+    }
+
+    #[test]
+    fn switch_demands_exclude_intra_switch_flows() {
+        let t = JellyfishBuilder::new(4, 6, 3).seed(1).build().unwrap();
+        let m = ServerMap::new(&t);
+        // Handcrafted: server 0 -> 1 (same switch 0), server 0 -> 5 (switch 1),
+        // server 3 -> 8 (switch 1 -> switch 2).
+        let tm = TrafficMatrix::from_flows(
+            vec![
+                Flow { src: 0, dst: 1, demand: 1.0 },
+                Flow { src: 0, dst: 5, demand: 0.5 },
+                Flow { src: 3, dst: 8, demand: 0.25 },
+            ],
+            m.num_servers(),
+            "handmade",
+        );
+        let demands = tm.switch_demands(&m);
+        assert_eq!(demands.len(), 2);
+        assert_eq!(demands[0], (0, 1, 0.5));
+        assert_eq!(demands[1], (1, 2, 0.25));
+    }
+
+    #[test]
+    fn from_flows_validates_ranges() {
+        let t = JellyfishBuilder::new(4, 6, 3).seed(1).build().unwrap();
+        let m = ServerMap::new(&t);
+        let tm = TrafficMatrix::from_flows(
+            vec![Flow { src: 0, dst: 2, demand: 0.5 }],
+            m.num_servers(),
+            "ok",
+        );
+        assert_eq!(tm.total_demand(), 0.5);
+        assert_eq!(tm.name(), "ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_flows_panics_on_bad_endpoint() {
+        TrafficMatrix::from_flows(vec![Flow { src: 0, dst: 99, demand: 1.0 }], 4, "bad");
+    }
+
+    #[test]
+    fn single_server_has_no_flows() {
+        let t = JellyfishBuilder::new(1, 4, 0).build().unwrap();
+        let m = ServerMap::new(&t);
+        assert_eq!(m.num_servers(), 4);
+        let t1 = JellyfishBuilder::new(1, 1, 0).build().unwrap();
+        let m1 = ServerMap::new(&t1);
+        assert_eq!(m1.num_servers(), 1);
+        assert!(TrafficMatrix::random_permutation(&m1, 0).flows().is_empty());
+        assert!(TrafficMatrix::all_to_all(&m1).flows().is_empty());
+    }
+}
