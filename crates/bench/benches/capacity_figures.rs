@@ -17,7 +17,8 @@ fn bench_mcf_epsilon_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for &eps in &[0.15f64, 0.08] {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
-            let opts = ThroughputOptions { epsilon: eps, stop_at_full: false, ..Default::default() };
+            let opts =
+                ThroughputOptions { epsilon: eps, stop_at_full: false, ..Default::default() };
             b.iter(|| normalized_throughput(&topo, &servers, &tm, opts));
         });
     }

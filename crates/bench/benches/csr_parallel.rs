@@ -1,0 +1,69 @@
+//! The PR-level numbers for the CSR snapshot refactor: pointer-chasing
+//! `Vec<Vec<NodeId>>` adjacency walks vs flat [`CsrGraph`] scans for
+//! all-pairs BFS, the additional rayon speedup on top, and serial vs
+//! parallel [`PathTable`] construction at paper scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jellyfish_routing::path_table::{PathTable, RoutingScheme};
+use jellyfish_routing::shortest::{all_pairs_distances, all_pairs_distances_serial};
+use jellyfish_topology::properties::bfs_distances;
+use jellyfish_topology::JellyfishBuilder;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Paper scale: the Jellyfish equivalent of a k=14 fat-tree (245 switches,
+/// 14 ports, 11 network ports) used throughout §5 of the paper.
+const N: usize = 245;
+const PORTS: usize = 14;
+const NET_DEGREE: usize = 11;
+
+fn bench_all_pairs_bfs(c: &mut Criterion) {
+    let topo = JellyfishBuilder::new(N, PORTS, NET_DEGREE).seed(1).build().unwrap();
+    let g = topo.graph();
+    let csr = topo.csr();
+    let mut group = c.benchmark_group("all_pairs_bfs");
+    group.sample_size(10);
+    group.bench_function("adjacency_walk_serial", |b| {
+        b.iter(|| {
+            let total: usize = (0..g.num_nodes())
+                .map(|s| bfs_distances(g, s).iter().filter(|&&d| d != usize::MAX).sum::<usize>())
+                .sum();
+            black_box(total)
+        });
+    });
+    group.bench_function("csr_serial", |b| {
+        b.iter(|| black_box(all_pairs_distances_serial(&csr)));
+    });
+    group.bench_function("csr_rayon", |b| {
+        b.iter(|| black_box(all_pairs_distances(&csr)));
+    });
+    group.finish();
+}
+
+fn bench_path_table_build(c: &mut Criterion) {
+    let topo = JellyfishBuilder::new(N, PORTS, NET_DEGREE).seed(2).build().unwrap();
+    let csr = topo.csr();
+    // A random permutation of the switches, as in the Figure 9 workload.
+    let mut dsts: Vec<usize> = (0..N).collect();
+    dsts.shuffle(&mut StdRng::seed_from_u64(9));
+    let pairs: Vec<(usize, usize)> = (0..N).zip(dsts).filter(|(s, d)| s != d).collect();
+    let mut group = c.benchmark_group("path_table_build_ksp8");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(PathTable::build_serial(&csr, RoutingScheme::ksp8(), pairs.iter().copied()))
+        });
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| black_box(PathTable::build(&csr, RoutingScheme::ksp8(), pairs.iter().copied())));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all_pairs_bfs, bench_path_table_build
+}
+criterion_main!(benches);

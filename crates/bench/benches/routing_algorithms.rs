@@ -11,7 +11,7 @@ use jellyfish_traffic::{ServerMap, TrafficMatrix};
 
 fn bench_yen(c: &mut Criterion) {
     let topo = JellyfishBuilder::new(245, 14, 11).seed(1).build().unwrap();
-    let g = topo.graph();
+    let g = &topo.csr();
     let mut group = c.benchmark_group("yen_k_shortest_paths");
     for &k in &[1usize, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
@@ -23,7 +23,7 @@ fn bench_yen(c: &mut Criterion) {
 
 fn bench_ecmp(c: &mut Criterion) {
     let topo = JellyfishBuilder::new(245, 14, 11).seed(2).build().unwrap();
-    let g = topo.graph();
+    let g = &topo.csr();
     let mut group = c.benchmark_group("ecmp_enumeration");
     for &way in &[8usize, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(way), &way, |b, &way| {
@@ -37,13 +37,11 @@ fn bench_fig9_path_tables(c: &mut Criterion) {
     // Figure 9 at laptop scale: path table + ranked link path counts for a
     // random permutation on an 80-switch Jellyfish.
     let topo = JellyfishBuilder::new(80, 10, 7).seed(3).build().unwrap();
+    let csr = topo.csr();
     let servers = ServerMap::new(&topo);
     let tm = TrafficMatrix::random_permutation(&servers, 9);
-    let pairs: Vec<(usize, usize)> = tm
-        .switch_demands(&servers)
-        .into_iter()
-        .map(|(s, d, _)| (s, d))
-        .collect();
+    let pairs: Vec<(usize, usize)> =
+        tm.switch_demands(&servers).into_iter().map(|(s, d, _)| (s, d)).collect();
     let mut group = c.benchmark_group("fig9_path_diversity");
     group.sample_size(10);
     for (label, scheme) in [
@@ -53,8 +51,8 @@ fn bench_fig9_path_tables(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let table = PathTable::build(topo.graph(), scheme, pairs.iter().copied());
-                table.ranked_link_path_counts(topo.graph())
+                let table = PathTable::build(&csr, scheme, pairs.iter().copied());
+                table.ranked_link_path_counts(&csr)
             });
         });
     }

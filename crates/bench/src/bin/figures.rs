@@ -17,11 +17,7 @@ use jellyfish::figures::{self, Scale};
 use jellyfish_bench::{render_rows, render_series_table};
 
 fn parse_scale(args: &[String]) -> Scale {
-    match args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(String::as_str)
     {
         Some("paper") => Scale::Paper,
         Some("tiny") => Scale::Tiny,
@@ -43,11 +39,17 @@ fn run_experiment(name: &str, scale: Scale, seed: u64) {
         "fig1c" => print!("{}", render_series_table(&figures::fig1c_path_length_cdf(scale, seed))),
         "fig2a" => print!("{}", render_series_table(&figures::fig2a_bisection_vs_servers())),
         "fig2b" => print!("{}", render_series_table(&figures::fig2b_equipment_cost())),
-        "fig2c" => print!("{}", render_series_table(&figures::fig2c_servers_at_full_capacity(scale, seed))),
+        "fig2c" => {
+            print!("{}", render_series_table(&figures::fig2c_servers_at_full_capacity(scale, seed)))
+        }
         "fig3" => print!("{}", render_series_table(&figures::fig3_degree_diameter(scale, seed))),
         "fig4" => print!("{}", render_rows(&figures::fig4_swdc_comparison(scale, seed))),
-        "fig5" => print!("{}", render_series_table(&figures::fig5_path_length_vs_size(scale, seed))),
-        "fig6" => print!("{}", render_series_table(&figures::fig6_incremental_vs_scratch(scale, seed))),
+        "fig5" => {
+            print!("{}", render_series_table(&figures::fig5_path_length_vs_size(scale, seed)))
+        }
+        "fig6" => {
+            print!("{}", render_series_table(&figures::fig6_incremental_vs_scratch(scale, seed)))
+        }
         "fig7" => {
             println!("budget\tjellyfish_bisection\tclos_bisection\tservers");
             for s in figures::fig7_legup_comparison(scale, seed) {
@@ -62,7 +64,12 @@ fn run_experiment(name: &str, scale: Scale, seed: u64) {
         "table1" => {
             println!("congestion_control\tfat-tree ECMP\tjellyfish ECMP\tjellyfish 8-KSP");
             for (label, ft, jf_ecmp, jf_ksp) in figures::table1(scale, seed) {
-                println!("{label}\t{:.1}%\t{:.1}%\t{:.1}%", ft * 100.0, jf_ecmp * 100.0, jf_ksp * 100.0);
+                println!(
+                    "{label}\t{:.1}%\t{:.1}%\t{:.1}%",
+                    ft * 100.0,
+                    jf_ecmp * 100.0,
+                    jf_ksp * 100.0
+                );
             }
         }
         "fig10" => {
@@ -80,11 +87,14 @@ fn run_experiment(name: &str, scale: Scale, seed: u64) {
         "fig13" => {
             for (label, tputs, jain) in figures::fig13_fairness(scale, seed) {
                 println!("{label}: {} flows, Jain index {:.4}", tputs.len(), jain);
-                let preview: Vec<String> = tputs.iter().take(10).map(|t| format!("{t:.3}")).collect();
+                let preview: Vec<String> =
+                    tputs.iter().take(10).map(|t| format!("{t:.3}")).collect();
                 println!("  lowest flows: {}", preview.join(", "));
             }
         }
-        "fig14" => print!("{}", render_series_table(&figures::fig14_cable_localization(scale, seed))),
+        "fig14" => {
+            print!("{}", render_series_table(&figures::fig14_cable_localization(scale, seed)))
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
             std::process::exit(2);
@@ -102,8 +112,8 @@ fn main() {
     let scale = parse_scale(&args);
     let seed = parse_seed(&args);
     let all = [
-        "fig1c", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "table1", "fig10", "fig11", "fig13", "fig14",
+        "fig1c", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "table1", "fig10", "fig11", "fig13", "fig14",
     ];
     if name == "all" {
         for n in all {

@@ -24,7 +24,7 @@ pub fn render_series_table(series: &[Series]) -> String {
     }
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mut out = String::new();
-    out.push_str("x");
+    out.push('x');
     for s in series {
         out.push('\t');
         out.push_str(&s.label);
@@ -32,12 +32,7 @@ pub fn render_series_table(series: &[Series]) -> String {
     out.push('\n');
     let maps: Vec<BTreeMap<u64, f64>> = series
         .iter()
-        .map(|s| {
-            s.points
-                .iter()
-                .map(|&(x, y)| ((x * 1e6) as u64, y))
-                .collect()
-        })
+        .map(|s| s.points.iter().map(|&(x, y)| ((x * 1e6) as u64, y)).collect())
         .collect();
     for &x in &xs {
         out.push_str(&format!("{x:.3}"));

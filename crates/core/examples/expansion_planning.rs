@@ -10,10 +10,7 @@ use jellyfish::topology::properties::path_length_stats;
 
 fn main() {
     // Start with a modest cluster: 20 racks of 12-port switches, 4 servers each.
-    let mut topo = JellyfishBuilder::new(20, 12, 8)
-        .seed(42)
-        .build()
-        .expect("valid parameters");
+    let mut topo = JellyfishBuilder::new(20, 12, 8).seed(42).build().expect("valid parameters");
     println!("initial: {} racks, {} servers", topo.num_switches(), topo.total_servers());
     println!();
     println!("stage  racks  servers  cables-moved  mean-path  diameter  permutation-throughput");

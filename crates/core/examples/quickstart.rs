@@ -9,10 +9,8 @@ use jellyfish::topology::properties::path_length_stats;
 fn main() {
     // RRG(60, 12, 8): 60 ToR switches with 12 ports, 8 towards the network,
     // 4 servers each — 240 servers total.
-    let topo = JellyfishBuilder::new(60, 12, 8)
-        .seed(2012)
-        .build()
-        .expect("valid Jellyfish parameters");
+    let topo =
+        JellyfishBuilder::new(60, 12, 8).seed(2012).build().expect("valid Jellyfish parameters");
     println!("topology       : {}", topo.name());
     println!("switches       : {}", topo.num_switches());
     println!("servers        : {}", topo.total_servers());

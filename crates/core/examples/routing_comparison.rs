@@ -12,16 +12,12 @@ use jellyfish::sim::net::{LinkParams, Network};
 use jellyfish::sim::workload::build_connections;
 
 fn run(topo: &Topology, path: PathPolicy, transport: TransportPolicy, seed: u64) -> (f64, f64) {
+    let csr = topo.csr();
     let servers = ServerMap::new(topo);
     let tm = TrafficMatrix::random_permutation(&servers, seed);
-    let conns = build_connections(topo, &servers, &tm, path, transport, seed);
-    let net = Network::build(topo, &servers, LinkParams::default());
-    let config = SimConfig {
-        duration: 8.0,
-        warmup: 2.0,
-        seed,
-        ..Default::default()
-    };
+    let conns = build_connections(&csr, &servers, &tm, path, transport, seed);
+    let net = Network::build(&csr, &servers, LinkParams::default());
+    let config = SimConfig { duration: 8.0, warmup: 2.0, seed, ..Default::default() };
     let report = Simulator::new(net, conns, config).run();
     let jain = jain_fairness_index(&report.sorted_throughputs());
     (report.mean_throughput(), jain)

@@ -34,11 +34,7 @@ pub struct FloorPlan {
 
 impl Default for FloorPlan {
     fn default() -> Self {
-        FloorPlan {
-            rack_pitch: 0.6,
-            electrical_limit: 10.0,
-            central_switch_cluster: true,
-        }
+        FloorPlan { rack_pitch: 0.6, electrical_limit: 10.0, central_switch_cluster: true }
     }
 }
 
@@ -88,7 +84,8 @@ pub fn cable_report(topo: &Topology, plan: FloorPlan) -> CableReport {
         lengths.push(length);
     }
     let switch_cables = lengths.len();
-    let mean = if lengths.is_empty() { 0.0 } else { lengths.iter().sum::<f64>() / lengths.len() as f64 };
+    let mean =
+        if lengths.is_empty() { 0.0 } else { lengths.iter().sum::<f64>() / lengths.len() as f64 };
     let max = lengths.iter().cloned().fold(0.0, f64::max);
     let optical = if lengths.is_empty() {
         0.0
@@ -122,9 +119,7 @@ pub fn two_layer_jellyfish(
         ));
     }
     if network_degree > ports {
-        return Err(TopologyError::InvalidParameters(
-            "network degree exceeds port count".into(),
-        ));
+        return Err(TopologyError::InvalidParameters("network degree exceeds port count".into()));
     }
     let local_fraction = local_fraction.clamp(0.0, 1.0);
     let per_container = switches / containers;
@@ -185,10 +180,8 @@ fn random_regular_within(
     if extra_degree == 0 || members.len() < 2 {
         return;
     }
-    let target: std::collections::HashMap<usize, usize> = members
-        .iter()
-        .map(|&v| (v, graph.degree(v) + extra_degree))
-        .collect();
+    let target: std::collections::HashMap<usize, usize> =
+        members.iter().map(|&v| (v, graph.degree(v) + extra_degree)).collect();
     let mut free: Vec<usize> = members.to_vec();
     let mut stall = 0usize;
     while free.len() >= 2 {
@@ -219,11 +212,7 @@ pub fn measured_local_fraction(topo: &Topology, per_container: usize) -> f64 {
     if total == 0 || per_container == 0 {
         return 0.0;
     }
-    let local = topo
-        .graph()
-        .edges()
-        .filter(|e| e.a / per_container == e.b / per_container)
-        .count();
+    let local = topo.graph().edges().filter(|e| e.a / per_container == e.b / per_container).count();
     local as f64 / total as f64
 }
 
@@ -258,13 +247,8 @@ mod tests {
     fn distributed_layout_needs_longer_cables_than_cluster() {
         let topo = JellyfishBuilder::new(400, 24, 12).seed(3).build().unwrap();
         let cluster = cable_report(&topo, FloorPlan::default());
-        let spread = cable_report(
-            &topo,
-            FloorPlan {
-                central_switch_cluster: false,
-                ..Default::default()
-            },
-        );
+        let spread =
+            cable_report(&topo, FloorPlan { central_switch_cluster: false, ..Default::default() });
         assert!(spread.mean_length > cluster.mean_length);
         assert!(spread.max_length > cluster.max_length);
         assert!(spread.optical_fraction >= cluster.optical_fraction);
@@ -277,10 +261,7 @@ mod tests {
             let topo = two_layer_jellyfish(80, 10, 6, 4, frac, 7).unwrap();
             assert_eq!(topo.num_switches(), 80);
             let measured = measured_local_fraction(&topo, per_container);
-            assert!(
-                (measured - frac).abs() < 0.15,
-                "requested {frac}, measured {measured}"
-            );
+            assert!((measured - frac).abs() < 0.15, "requested {frac}, measured {measured}");
             assert!(topo.graph().is_connected());
             assert!(topo.check_invariants().is_ok());
         }

@@ -115,7 +115,7 @@ pub fn servers_at_full_throughput(
         return CapacityResult { servers: 0, verified: false };
     }
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if feasible(mid, mid as u64) {
             lo = mid;
         } else {
@@ -179,7 +179,13 @@ mod tests {
         let result = servers_at_full_throughput(switches, ports, fast_opts());
         assert!(result.servers >= switches, "at least one server per switch");
         assert!(result.servers <= switches * (ports - 1));
-        let topo = jellyfish_with_servers(switches, ports, result.servers, fast_opts().seed ^ result.servers as u64).unwrap();
+        let topo = jellyfish_with_servers(
+            switches,
+            ports,
+            result.servers,
+            fast_opts().seed ^ result.servers as u64,
+        )
+        .unwrap();
         assert!(supports_full_throughput(
             &topo,
             1,

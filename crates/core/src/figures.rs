@@ -8,6 +8,13 @@
 //! exposes these through a CLI (`figures <experiment>`) and through Criterion
 //! benchmark groups; EXPERIMENTS.md records the measured outputs next to the
 //! paper's reported values.
+//!
+//! Every figure takes one [`CsrGraph`](jellyfish_topology::CsrGraph)
+//! snapshot per topology and hands it to routing/flow/sim, and the
+//! embarrassingly parallel sweeps (per-size and per-configuration loops,
+//! Table 1 cells) fan out with rayon. Each parallel item derives its own
+//! seed exactly as the serial loop did, so results are seed-for-seed
+//! identical to a serial run.
 
 use crate::cabling::two_layer_jellyfish;
 use crate::capacity::jellyfish_with_servers;
@@ -33,6 +40,7 @@ use jellyfish_topology::properties::{
 use jellyfish_topology::swdc::{figure4_swdc, Lattice};
 use jellyfish_topology::JellyfishBuilder;
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use rayon::prelude::*;
 
 /// Instance-size presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,23 +152,24 @@ pub fn fig2c_servers_at_full_capacity(scale: Scale, seed: u64) -> Vec<Series> {
         Scale::Laptop => vec![6, 8, 10],
         Scale::Tiny => vec![4, 6],
     };
-    let mut jf = Vec::new();
-    let mut ft = Vec::new();
-    for k in ks {
-        let switches = FatTree::switches_for_port_count(k);
-        let ports = FatTree::ports_for_port_count(k);
-        let ft_servers = FatTree::servers_for_port_count(k);
-        ft.push((ports as f64, ft_servers as f64));
-        // Binary search servers for the same equipment.
-        let opts = crate::capacity::CapacitySearchOptions {
-            probe_samples: if scale == Scale::Paper { 3 } else { 1 },
-            verify_samples: if scale == Scale::Paper { 10 } else { 2 },
-            throughput: ThroughputOptions::default(),
-            seed,
-        };
-        let result = crate::capacity::servers_at_full_throughput(switches, k, opts);
-        jf.push((ports as f64, result.servers as f64));
-    }
+    let points: Vec<((f64, f64), (f64, f64))> = ks
+        .into_par_iter()
+        .map(|k| {
+            let switches = FatTree::switches_for_port_count(k);
+            let ports = FatTree::ports_for_port_count(k);
+            let ft_servers = FatTree::servers_for_port_count(k);
+            // Binary search servers for the same equipment.
+            let opts = crate::capacity::CapacitySearchOptions {
+                probe_samples: if scale == Scale::Paper { 3 } else { 1 },
+                verify_samples: if scale == Scale::Paper { 10 } else { 2 },
+                throughput: ThroughputOptions::default(),
+                seed,
+            };
+            let result = crate::capacity::servers_at_full_throughput(switches, k, opts);
+            ((ports as f64, result.servers as f64), (ports as f64, ft_servers as f64))
+        })
+        .collect();
+    let (jf, ft) = points.into_iter().unzip();
     vec![
         Series::new("Jellyfish (Optimal routing)", jf),
         Series::new("Fat-tree (Optimal routing)", ft),
@@ -176,23 +185,32 @@ pub fn fig3_degree_diameter(scale: Scale, seed: u64) -> Vec<Series> {
         Scale::Laptop => FIGURE3_CONFIGS[..5].to_vec(),
         Scale::Tiny => vec![(20, 6, 4), (24, 8, 5)],
     };
-    let mut dd_points = Vec::new();
-    let mut jf_points = Vec::new();
-    for (i, &(n, ports, degree)) in configs.iter().enumerate() {
-        // Attach servers so the degree-diameter graph is *not* at full
-        // bisection (the paper chooses server counts that keep the benchmark
-        // below saturation so its full capacity is visible).
-        let servers_per_switch = (ports - degree).min(degree / 2).max(1);
-        let (bench, jelly) = figure3_pair(n, ports, degree, servers_per_switch, seed)
-            .expect("figure 3 configuration is valid");
-        let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-        for (topo, points) in [(&bench, &mut dd_points), (&jelly, &mut jf_points)] {
-            let servers = ServerMap::new(topo);
-            let tm = TrafficMatrix::random_permutation(&servers, seed ^ i as u64);
-            let r = normalized_throughput(topo, &servers, &tm, opts);
-            points.push((i as f64, r.normalized));
-        }
-    }
+    let rows: Vec<((f64, f64), (f64, f64))> = configs
+        .iter()
+        .copied()
+        .enumerate()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(i, (n, ports, degree))| {
+            // Attach servers so the degree-diameter graph is *not* at full
+            // bisection (the paper chooses server counts that keep the
+            // benchmark below saturation so its full capacity is visible).
+            let servers_per_switch = (ports - degree).min(degree / 2).max(1);
+            let (bench, jelly) = figure3_pair(n, ports, degree, servers_per_switch, seed)
+                .expect("figure 3 configuration is valid");
+            let opts =
+                ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
+            let mut row = [(0.0, 0.0); 2];
+            for (slot, topo) in [&bench, &jelly].into_iter().enumerate() {
+                let servers = ServerMap::new(topo);
+                let tm = TrafficMatrix::random_permutation(&servers, seed ^ i as u64);
+                let r = normalized_throughput(topo, &servers, &tm, opts);
+                row[slot] = (i as f64, r.normalized);
+            }
+            (row[0], row[1])
+        })
+        .collect();
+    let (dd_points, jf_points) = rows.into_iter().unzip();
     vec![
         Series::new("Best-known Degree-Diameter Graph", dd_points),
         Series::new("Jellyfish", jf_points),
@@ -213,10 +231,7 @@ pub fn fig4_swdc_comparison(scale: Scale, seed: u64) -> Vec<(String, f64)> {
     }
     let topos: Vec<(String, jellyfish_topology::Topology)> = vec![
         ("Jellyfish".to_string(), jelly),
-        (
-            "Small World Ring".to_string(),
-            figure4_swdc(Lattice::Ring, nodes, 2, seed).unwrap(),
-        ),
+        ("Small World Ring".to_string(), figure4_swdc(Lattice::Ring, nodes, 2, seed).unwrap()),
         (
             "Small World 2D-Torus".to_string(),
             figure4_swdc(Lattice::Torus2D, nodes, 2, seed).unwrap(),
@@ -250,14 +265,16 @@ pub fn fig5_path_length_vs_size(scale: Scale, seed: u64) -> Vec<Series> {
         Scale::Tiny => vec![20, 40],
     };
     let servers_per = ports - degree;
-    let mut scratch_mean = Vec::new();
-    let mut scratch_diam = Vec::new();
-    for &n in &sizes {
-        let topo = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
-        let stats = path_length_stats(topo.graph());
-        scratch_mean.push(((n * servers_per) as f64, stats.mean));
-        scratch_diam.push(((n * servers_per) as f64, stats.diameter as f64));
-    }
+    let scratch: Vec<((f64, f64), (f64, f64))> = sizes
+        .par_iter()
+        .map(|&n| {
+            let topo = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
+            let stats = path_length_stats(topo.graph());
+            let x = (n * servers_per) as f64;
+            ((x, stats.mean), (x, stats.diameter as f64))
+        })
+        .collect();
+    let (scratch_mean, scratch_diam): (Vec<_>, Vec<_>) = scratch.into_iter().unzip();
     // Incremental: grow from the smallest size to the largest in steps.
     let first = sizes[0];
     let last = *sizes.last().unwrap();
@@ -287,24 +304,31 @@ pub fn fig6_incremental_vs_scratch(scale: Scale, seed: u64) -> Vec<Series> {
         Scale::Tiny => (10, 30, 10),
     };
     let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
+    // Growth is inherently sequential; the per-stage evaluations are not.
     let stages = grow_schedule(start, end, step, 12, 8, seed).unwrap();
-    let mut incremental = Vec::new();
-    let mut scratch = Vec::new();
-    for stage in &stages {
-        let servers = ServerMap::new(stage);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ stage.num_switches() as u64);
-        let r = normalized_throughput(stage, &servers, &tm, opts);
-        incremental.push((stage.total_servers() as f64, r.normalized));
+    let rows: Vec<((f64, f64), (f64, f64))> = stages
+        .par_iter()
+        .map(|stage| {
+            let servers = ServerMap::new(stage);
+            let tm =
+                TrafficMatrix::random_permutation(&servers, seed ^ stage.num_switches() as u64);
+            let r = normalized_throughput(stage, &servers, &tm, opts);
 
-        let fresh = JellyfishBuilder::new(stage.num_switches(), 12, 8)
-            .seed(seed ^ 0xABC ^ stage.num_switches() as u64)
-            .build()
-            .unwrap();
-        let servers_f = ServerMap::new(&fresh);
-        let tm_f = TrafficMatrix::random_permutation(&servers_f, seed ^ stage.num_switches() as u64);
-        let rf = normalized_throughput(&fresh, &servers_f, &tm_f, opts);
-        scratch.push((fresh.total_servers() as f64, rf.normalized));
-    }
+            let fresh = JellyfishBuilder::new(stage.num_switches(), 12, 8)
+                .seed(seed ^ 0xABC ^ stage.num_switches() as u64)
+                .build()
+                .unwrap();
+            let servers_f = ServerMap::new(&fresh);
+            let tm_f =
+                TrafficMatrix::random_permutation(&servers_f, seed ^ stage.num_switches() as u64);
+            let rf = normalized_throughput(&fresh, &servers_f, &tm_f, opts);
+            (
+                (stage.total_servers() as f64, r.normalized),
+                (fresh.total_servers() as f64, rf.normalized),
+            )
+        })
+        .collect();
+    let (incremental, scratch) = rows.into_iter().unzip();
     vec![
         Series::new("Jellyfish (Incremental)", incremental),
         Series::new("Jellyfish (From Scratch)", scratch),
@@ -350,22 +374,25 @@ pub fn fig8_failure_resilience(scale: Scale, seed: u64) -> Vec<Series> {
     // servers on the same switches (the paper: 544 vs 432).
     let ft = FatTree::new(k).unwrap();
     let jf_servers = FatTree::servers_for_port_count(k) * 5 / 4;
-    let jf = jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
+    let jf =
+        jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
     let fractions = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
     let mut out = Vec::new();
     for (label, topo) in [
         (format!("Jellyfish ({} Servers)", jf.total_servers()), jf),
         (format!("Fat-tree ({} Servers)", ft.topology().total_servers()), ft.into_topology()),
     ] {
-        let mut points = Vec::new();
-        for &f in &fractions {
-            let mut failed = topo.clone();
-            fail_random_links(&mut failed, f, seed ^ ((f * 100.0) as u64));
-            let servers = ServerMap::new(&failed);
-            let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x8);
-            let r = normalized_throughput(&failed, &servers, &tm, opts);
-            points.push((f, r.normalized));
-        }
+        let points = fractions
+            .par_iter()
+            .map(|&f| {
+                let mut failed = topo.clone();
+                fail_random_links(&mut failed, f, seed ^ ((f * 100.0) as u64));
+                let servers = ServerMap::new(&failed);
+                let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x8);
+                let r = normalized_throughput(&failed, &servers, &tm, opts);
+                (f, r.normalized)
+            })
+            .collect();
         out.push(Series::new(label, points));
     }
     out
@@ -381,23 +408,23 @@ pub fn fig9_path_diversity(scale: Scale, seed: u64) -> Vec<Series> {
     let topo = JellyfishBuilder::new(switches, ports, degree).seed(seed).build().unwrap();
     let servers = ServerMap::new(&topo);
     let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x9);
-    let pairs: Vec<(usize, usize)> = tm
-        .switch_demands(&servers)
-        .into_iter()
-        .map(|(s, d, _)| (s, d))
-        .collect();
-    let mut out = Vec::new();
-    for scheme in [RoutingScheme::ksp8(), RoutingScheme::ecmp64(), RoutingScheme::ecmp8()] {
-        let table = PathTable::build(topo.graph(), scheme, pairs.iter().copied());
-        let ranked = table.ranked_link_path_counts(topo.graph());
-        let points = ranked
-            .iter()
-            .enumerate()
-            .map(|(rank, &count)| (rank as f64, count as f64))
-            .collect();
-        out.push(Series::new(scheme.label(), points));
-    }
-    out
+    let pairs: Vec<(usize, usize)> =
+        tm.switch_demands(&servers).into_iter().map(|(s, d, _)| (s, d)).collect();
+    let csr = topo.csr();
+    [RoutingScheme::ksp8(), RoutingScheme::ecmp64(), RoutingScheme::ecmp8()]
+        .to_vec()
+        .into_par_iter()
+        .map(|scheme| {
+            let table = PathTable::build(&csr, scheme, pairs.iter().copied());
+            let ranked = table.ranked_link_path_counts(&csr);
+            let points = ranked
+                .iter()
+                .enumerate()
+                .map(|(rank, &count)| (rank as f64, count as f64))
+                .collect();
+            Series::new(scheme.label(), points)
+        })
+        .collect()
 }
 
 /// One cell of Table 1: mean normalized per-server throughput for a
@@ -410,15 +437,11 @@ pub fn table1_cell(
     duration: f64,
 ) -> f64 {
     let servers = ServerMap::new(topo);
+    let csr = topo.csr();
     let tm = TrafficMatrix::random_permutation(&servers, seed);
-    let conns = build_connections(topo, &servers, &tm, path_policy, transport, seed);
-    let net = Network::build(topo, &servers, LinkParams::default());
-    let config = SimConfig {
-        duration,
-        warmup: duration * 0.25,
-        seed,
-        ..Default::default()
-    };
+    let conns = build_connections(&csr, &servers, &tm, path_policy, transport, seed);
+    let net = Network::build(&csr, &servers, LinkParams::default());
+    let config = SimConfig { duration, warmup: duration * 0.25, seed, ..Default::default() };
     Simulator::new(net, conns, config).run().mean_throughput()
 }
 
@@ -435,22 +458,32 @@ pub fn table1(scale: Scale, seed: u64) -> Vec<(String, f64, f64, f64)> {
     let ft = FatTree::new(k).unwrap().into_topology();
     // Jellyfish with ~13% more servers (the paper compares 780 vs 686).
     let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
-    let jf = jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
+    let jf =
+        jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
     let transports = [
         TransportPolicy::Tcp { flows: 1 },
         TransportPolicy::Tcp { flows: 8 },
         TransportPolicy::Mptcp { subflows: 8 },
     ];
+    // Every (topology, routing, transport) cell is an independent simulation:
+    // run all nine in parallel and reassemble the rows.
+    let cells: Vec<f64> = transports
+        .iter()
+        .flat_map(|&t| {
+            [
+                (&ft, PathPolicy::ecmp8(), t),
+                (&jf, PathPolicy::ecmp8(), t),
+                (&jf, PathPolicy::ksp8(), t),
+            ]
+        })
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(topo, policy, t)| table1_cell(topo, policy, t, seed, duration))
+        .collect();
     transports
         .iter()
-        .map(|&t| {
-            (
-                t.label(),
-                table1_cell(&ft, PathPolicy::ecmp8(), t, seed, duration),
-                table1_cell(&jf, PathPolicy::ecmp8(), t, seed, duration),
-                table1_cell(&jf, PathPolicy::ksp8(), t, seed, duration),
-            )
-        })
+        .enumerate()
+        .map(|(i, &t)| (t.label(), cells[3 * i], cells[3 * i + 1], cells[3 * i + 2]))
         .collect()
 }
 
@@ -466,30 +499,37 @@ pub fn fig10_packet_vs_optimal(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)
         Scale::Tiny => vec![(12, 9, 6), (20, 9, 6)],
     };
     let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    let mut rows = Vec::new();
-    for (i, &(n, ports, degree)) in sizes.iter().enumerate() {
-        let topo = JellyfishBuilder::new(n, ports, degree).seed(seed ^ i as u64).build().unwrap();
-        let servers = ServerMap::new(&topo);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ (i as u64) << 4);
-        let optimal = normalized_throughput(&topo, &servers, &tm, opts).normalized;
-        let conns = build_connections(
-            &topo,
-            &servers,
-            &tm,
-            PathPolicy::ksp8(),
-            TransportPolicy::Mptcp { subflows: 8 },
-            seed,
-        );
-        let packet_proxy = if n <= 60 {
-            let net = Network::build(&topo, &servers, LinkParams::default());
-            let cfg = SimConfig { duration: 6.0, warmup: 1.5, seed, ..Default::default() };
-            Simulator::new(net, conns, cfg).run().mean_throughput()
-        } else {
-            max_min_fair_allocation(&topo, &conns).mean_throughput()
-        };
-        rows.push((topo.total_servers(), optimal, packet_proxy));
-    }
-    rows
+    sizes
+        .iter()
+        .copied()
+        .enumerate()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(i, (n, ports, degree))| {
+            let topo =
+                JellyfishBuilder::new(n, ports, degree).seed(seed ^ i as u64).build().unwrap();
+            let servers = ServerMap::new(&topo);
+            let csr = topo.csr();
+            let tm = TrafficMatrix::random_permutation(&servers, seed ^ (i as u64) << 4);
+            let optimal = normalized_throughput(&topo, &servers, &tm, opts).normalized;
+            let conns = build_connections(
+                &csr,
+                &servers,
+                &tm,
+                PathPolicy::ksp8(),
+                TransportPolicy::Mptcp { subflows: 8 },
+                seed,
+            );
+            let packet_proxy = if n <= 60 {
+                let net = Network::build(&csr, &servers, LinkParams::default());
+                let cfg = SimConfig { duration: 6.0, warmup: 1.5, seed, ..Default::default() };
+                Simulator::new(net, conns, cfg).run().mean_throughput()
+            } else {
+                max_min_fair_allocation(&conns).mean_throughput()
+            };
+            (topo.total_servers(), optimal, packet_proxy)
+        })
+        .collect()
 }
 
 /// Figures 11 and 12: servers supported at the fat-tree's packet-level
@@ -503,41 +543,54 @@ pub fn fig11_12_packet_capacity(scale: Scale, seed: u64) -> Vec<(usize, usize, f
         Scale::Laptop => vec![6, 8, 10],
         Scale::Tiny => vec![4, 6],
     };
-    let mut rows = Vec::new();
-    for k in ks {
-        let ft = FatTree::new(k).unwrap().into_topology();
-        let ft_tp = fluid_throughput(&ft, PathPolicy::ecmp8(), TransportPolicy::Mptcp { subflows: 8 }, seed);
-        // Find the largest Jellyfish server count whose fluid throughput is
-        // at least the fat-tree's.
-        let switches = FatTree::switches_for_port_count(k);
-        let ft_servers = FatTree::servers_for_port_count(k);
-        let mut lo = ft_servers;
-        let mut hi = switches * (k - 1);
-        let feasible = |servers: usize| -> bool {
-            jellyfish_with_servers(switches, k, servers, seed)
-                .map(|jf| {
-                    fluid_throughput(&jf, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, seed)
-                        >= ft_tp - 1e-9
-                })
-                .unwrap_or(false)
-        };
-        if !feasible(lo) {
-            rows.push((ft.total_ports(), ft_servers, ft_tp, ft_servers, ft_tp));
-            continue;
-        }
-        while lo < hi {
-            let mid = (lo + hi + 1) / 2;
-            if feasible(mid) {
-                lo = mid;
-            } else {
-                hi = mid - 1;
+    ks.into_par_iter()
+        .map(|k| {
+            let ft = FatTree::new(k).unwrap().into_topology();
+            let ft_tp = fluid_throughput(
+                &ft,
+                PathPolicy::ecmp8(),
+                TransportPolicy::Mptcp { subflows: 8 },
+                seed,
+            );
+            // Find the largest Jellyfish server count whose fluid throughput is
+            // at least the fat-tree's.
+            let switches = FatTree::switches_for_port_count(k);
+            let ft_servers = FatTree::servers_for_port_count(k);
+            let mut lo = ft_servers;
+            let mut hi = switches * (k - 1);
+            let feasible = |servers: usize| -> bool {
+                jellyfish_with_servers(switches, k, servers, seed)
+                    .map(|jf| {
+                        fluid_throughput(
+                            &jf,
+                            PathPolicy::ksp8(),
+                            TransportPolicy::Mptcp { subflows: 8 },
+                            seed,
+                        ) >= ft_tp - 1e-9
+                    })
+                    .unwrap_or(false)
+            };
+            if !feasible(lo) {
+                return (ft.total_ports(), ft_servers, ft_tp, ft_servers, ft_tp);
             }
-        }
-        let jf = jellyfish_with_servers(switches, k, lo, seed).unwrap();
-        let jf_tp = fluid_throughput(&jf, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, seed);
-        rows.push((ft.total_ports(), ft_servers, ft_tp, lo, jf_tp));
-    }
-    rows
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if feasible(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let jf = jellyfish_with_servers(switches, k, lo, seed).unwrap();
+            let jf_tp = fluid_throughput(
+                &jf,
+                PathPolicy::ksp8(),
+                TransportPolicy::Mptcp { subflows: 8 },
+                seed,
+            );
+            (ft.total_ports(), ft_servers, ft_tp, lo, jf_tp)
+        })
+        .collect()
 }
 
 fn fluid_throughput(
@@ -548,8 +601,8 @@ fn fluid_throughput(
 ) -> f64 {
     let servers = ServerMap::new(topo);
     let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x11);
-    let conns = build_connections(topo, &servers, &tm, path_policy, transport, seed);
-    max_min_fair_allocation(topo, &conns).mean_throughput()
+    let conns = build_connections(&topo.csr(), &servers, &tm, path_policy, transport, seed);
+    max_min_fair_allocation(&conns).mean_throughput()
 }
 
 /// Figure 13: per-flow normalized throughput distribution and Jain's fairness
@@ -559,7 +612,8 @@ pub fn fig13_fairness(scale: Scale, seed: u64) -> Vec<(String, Vec<f64>, f64)> {
     let k = scale.pick(14, 8, 6);
     let ft = FatTree::new(k).unwrap().into_topology();
     let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
-    let jf = jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
+    let jf =
+        jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
     let mut out = Vec::new();
     for (label, topo, policy) in [
         ("Jellyfish".to_string(), &jf, PathPolicy::ksp8()),
@@ -567,8 +621,15 @@ pub fn fig13_fairness(scale: Scale, seed: u64) -> Vec<(String, Vec<f64>, f64)> {
     ] {
         let servers = ServerMap::new(topo);
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x13);
-        let conns = build_connections(topo, &servers, &tm, policy, TransportPolicy::Mptcp { subflows: 8 }, seed);
-        let report = max_min_fair_allocation(topo, &conns);
+        let conns = build_connections(
+            &topo.csr(),
+            &servers,
+            &tm,
+            policy,
+            TransportPolicy::Mptcp { subflows: 8 },
+            seed,
+        );
+        let report = max_min_fair_allocation(&conns);
         let mut tputs = report.throughputs.clone();
         tputs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let jain = jain_fairness_index(&tputs);
@@ -589,25 +650,35 @@ pub fn fig14_cable_localization(scale: Scale, seed: u64) -> Vec<Series> {
     };
     let fractions = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8];
     let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    let mut out = Vec::new();
-    for &(n, ports, degree, containers) in &sizes {
-        // Unrestricted baseline.
-        let base = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
-        let base_servers = ServerMap::new(&base);
-        let base_tm = TrafficMatrix::random_permutation(&base_servers, seed ^ 0x14);
-        let base_tp = normalized_throughput(&base, &base_servers, &base_tm, opts).normalized;
-        let mut points = Vec::new();
-        for &f in &fractions {
-            let topo = two_layer_jellyfish(n, ports, degree, containers, f, seed ^ ((f * 10.0) as u64))
-                .expect("two-layer construction succeeds");
-            let servers = ServerMap::new(&topo);
-            let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x14);
-            let tp = normalized_throughput(&topo, &servers, &tm, opts).normalized;
-            points.push((f, if base_tp > 0.0 { tp / base_tp } else { 0.0 }));
-        }
-        out.push(Series::new(format!("{} Servers", base.total_servers()), points));
-    }
-    out
+    sizes
+        .into_par_iter()
+        .map(|(n, ports, degree, containers)| {
+            // Unrestricted baseline.
+            let base = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
+            let base_servers = ServerMap::new(&base);
+            let base_tm = TrafficMatrix::random_permutation(&base_servers, seed ^ 0x14);
+            let base_tp = normalized_throughput(&base, &base_servers, &base_tm, opts).normalized;
+            let points = fractions
+                .par_iter()
+                .map(|&f| {
+                    let topo = two_layer_jellyfish(
+                        n,
+                        ports,
+                        degree,
+                        containers,
+                        f,
+                        seed ^ ((f * 10.0) as u64),
+                    )
+                    .expect("two-layer construction succeeds");
+                    let servers = ServerMap::new(&topo);
+                    let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x14);
+                    let tp = normalized_throughput(&topo, &servers, &tm, opts).normalized;
+                    (f, if base_tp > 0.0 { tp / base_tp } else { 0.0 })
+                })
+                .collect();
+            Series::new(format!("{} Servers", base.total_servers()), points)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -653,7 +724,7 @@ mod tests {
         // (27,648) at a lower port cost (linear interpolation between the
         // 20k and 30k sweep points stays below the fat-tree's 138,240 ports).
         let jf48 = series.iter().find(|s| s.label == "Jellyfish; 48 ports").unwrap();
-        let below = jf48.points.iter().filter(|p| p.0 <= 27_648.0).last().unwrap();
+        let below = jf48.points.iter().rfind(|p| p.0 <= 27_648.0).unwrap();
         let cost_per_server = below.1 / below.0;
         let interpolated = cost_per_server * 27_648.0;
         assert!(interpolated < FatTree::ports_for_port_count(48) as f64);

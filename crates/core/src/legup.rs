@@ -78,7 +78,12 @@ fn normalized_bisection(topo: &Topology, seed: u64) -> f64 {
 /// How many switches (ToR, `ports`-port, `servers_per_switch` servers each,
 /// rest of the ports cabled randomly) a given budget buys for Jellyfish,
 /// including cable costs.
-fn jellyfish_switches_for_budget(budget: f64, ports: usize, servers_per_switch: usize, cost: &CostModel) -> usize {
+fn jellyfish_switches_for_budget(
+    budget: f64,
+    ports: usize,
+    servers_per_switch: usize,
+    cost: &CostModel,
+) -> usize {
     // Per switch: the switch itself + cables for its servers + half a cable
     // per network port (each network cable is shared by two ports).
     let network_ports = ports - servers_per_switch;
@@ -145,20 +150,26 @@ pub fn run_expansion_comparison(
             // Both arms must absorb the new servers first.
             new_leaves = scenario.first_expansion_servers.div_ceil(spt);
             servers += scenario.first_expansion_servers;
-            let rack_price = scenario.cost.switch_cost(ports) + scenario.cost.per_cable * spt as f64;
+            let rack_price =
+                scenario.cost.switch_cost(ports) + scenario.cost.per_cable * spt as f64;
             budget_jf -= rack_price * new_leaves as f64;
             for i in 0..new_leaves {
                 jf_ports_list.push(ports);
                 jf_degrees.push(ports - spt);
                 let _ = i;
             }
-            jellyfish = build_heterogeneous(&jf_ports_list, &jf_degrees, scenario.seed ^ stage as u64)?;
+            jellyfish =
+                build_heterogeneous(&jf_ports_list, &jf_degrees, scenario.seed ^ stage as u64)?;
         }
         // Jellyfish: spend the remaining budget on pure network switches.
         let extra_switches =
             jellyfish_switches_for_budget(budget_jf.max(0.0), ports, 0, &scenario.cost);
         for i in 0..extra_switches {
-            add_network_switch(&mut jellyfish, ports, scenario.seed ^ (stage as u64) << 8 ^ i as u64)?;
+            add_network_switch(
+                &mut jellyfish,
+                ports,
+                scenario.seed ^ (stage as u64) << 8 ^ i as u64,
+            )?;
         }
         // Clos: the planner gets the same budget and leaf requirement.
         let clos_stage = clos_planner.expand(scenario.stage_budget, new_leaves)?;

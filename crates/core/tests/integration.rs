@@ -84,14 +84,26 @@ fn jellyfish_degrades_gracefully_under_link_failures() {
     let baseline = {
         let servers = ServerMap::new(&topo);
         let tm = TrafficMatrix::random_permutation(&servers, 3);
-        normalized_throughput(&topo, &servers, &tm, ThroughputOptions { stop_at_full: false, ..Default::default() }).normalized
+        normalized_throughput(
+            &topo,
+            &servers,
+            &tm,
+            ThroughputOptions { stop_at_full: false, ..Default::default() },
+        )
+        .normalized
     };
     let mut failed = topo.clone();
     fail_random_links(&mut failed, 0.15, SEED);
     let degraded = {
         let servers = ServerMap::new(&failed);
         let tm = TrafficMatrix::random_permutation(&servers, 3);
-        normalized_throughput(&failed, &servers, &tm, ThroughputOptions { stop_at_full: false, ..Default::default() }).normalized
+        normalized_throughput(
+            &failed,
+            &servers,
+            &tm,
+            ThroughputOptions { stop_at_full: false, ..Default::default() },
+        )
+        .normalized
     };
     assert!(degraded > 0.0);
     assert!(
@@ -105,18 +117,19 @@ fn jellyfish_degrades_gracefully_under_link_failures() {
 #[test]
 fn packet_and_fluid_engines_agree_roughly() {
     let topo = JellyfishBuilder::new(16, 8, 5).seed(SEED).build().unwrap();
+    let csr = topo.csr();
     let servers = ServerMap::new(&topo);
     let tm = TrafficMatrix::random_permutation(&servers, 5);
     let conns = build_connections(
-        &topo,
+        &csr,
         &servers,
         &tm,
         PathPolicy::ksp8(),
         TransportPolicy::Mptcp { subflows: 8 },
         SEED,
     );
-    let fluid = max_min_fair_allocation(&topo, &conns).mean_throughput();
-    let net = Network::build(&topo, &servers, LinkParams::default());
+    let fluid = max_min_fair_allocation(&conns).mean_throughput();
+    let net = Network::build(&csr, &servers, LinkParams::default());
     let cfg = SimConfig { duration: 8.0, warmup: 2.0, seed: SEED, ..Default::default() };
     let packet = Simulator::new(net, conns, cfg).run().mean_throughput();
     assert!(packet > 0.0 && fluid > 0.0);
@@ -162,4 +175,25 @@ fn cable_localization_costs_little_throughput() {
         let at_mid = s.points.iter().find(|p| (p.0 - 0.6).abs() < 0.01).map(|p| p.1).unwrap();
         assert!(at_mid >= at_low * 0.55, "60% localization dropped {at_low} -> {at_mid}");
     }
+}
+
+/// The rayon-parallel figure pipelines are deterministic: every parallel
+/// item derives its seed from (figure seed, item index) exactly as a serial
+/// loop would, so two runs — regardless of thread count or scheduling —
+/// produce bit-identical results.
+#[test]
+fn parallel_figures_are_deterministic() {
+    let series_eq = |a: &[figures::Series], b: &[figures::Series]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| x.label == y.label && x.points == y.points)
+    };
+    let f1a = figures::fig1c_path_length_cdf(Scale::Tiny, SEED);
+    let f1b = figures::fig1c_path_length_cdf(Scale::Tiny, SEED);
+    assert!(series_eq(&f1a, &f1b), "fig1c differs between runs");
+    let f5a = figures::fig5_path_length_vs_size(Scale::Tiny, SEED);
+    let f5b = figures::fig5_path_length_vs_size(Scale::Tiny, SEED);
+    assert!(series_eq(&f5a, &f5b), "fig5 differs between runs");
+    let t1a = figures::table1(Scale::Tiny, SEED);
+    let t1b = figures::table1(Scale::Tiny, SEED);
+    assert_eq!(t1a, t1b, "table1 differs between runs");
 }

@@ -14,10 +14,11 @@
 //! the total line rate of the servers in one partition, exactly as the paper
 //! does; values above 1 mean overprovisioning.
 
-use jellyfish_topology::{Graph, NodeId, Topology};
+use jellyfish_topology::{CsrGraph, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Bollobás lower bound on the number of edges crossing any balanced
 /// bisection of an r-regular graph on `n` nodes:
@@ -64,7 +65,8 @@ pub fn fattree_bisection_links(k: usize) -> f64 {
 
 /// Normalized bisection bandwidth of the full fat-tree (1.0 by construction).
 pub fn fattree_normalized_bisection(k: usize) -> f64 {
-    fattree_bisection_links(k) / (jellyfish_topology::fattree::FatTree::servers_for_port_count(k) as f64 / 2.0)
+    fattree_bisection_links(k)
+        / (jellyfish_topology::fattree::FatTree::servers_for_port_count(k) as f64 / 2.0)
 }
 
 /// Smallest number of switches `N` (using `ports`-port switches with
@@ -72,7 +74,11 @@ pub fn fattree_normalized_bisection(k: usize) -> f64 {
 /// certifies full (normalized ≥ 1) bisection bandwidth for `servers` servers,
 /// or `None` if the per-switch server count doesn't divide evenly at any
 /// feasible N. Used by the Figure 2(b) equipment-cost curves.
-pub fn jellyfish_full_bisection_switches(servers: usize, ports: usize, network_degree: usize) -> Option<usize> {
+pub fn jellyfish_full_bisection_switches(
+    servers: usize,
+    ports: usize,
+    network_degree: usize,
+) -> Option<usize> {
     let per_switch = ports - network_degree;
     if per_switch == 0 {
         return None;
@@ -96,7 +102,7 @@ pub fn jellyfish_full_bisection_cost(servers: usize, ports: usize) -> Option<(us
     for r in 1..ports {
         if let Some(n) = jellyfish_full_bisection_switches(servers, ports, r) {
             let cost = n * ports;
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, r));
             }
         }
@@ -117,81 +123,122 @@ pub struct BisectionCut {
 }
 
 /// Kernighan–Lin style heuristic minimum bisection of the switch graph,
-/// balanced by switch count. `restarts` independent random starts are
-/// performed and the best cut kept.
+/// balanced by switch count. `restarts` independent random starts run in
+/// parallel (each with its own seed derived from `seed`) and the best cut is
+/// kept, ties broken by restart index so the result is deterministic.
 pub fn min_bisection_heuristic(topo: &Topology, restarts: usize, seed: u64) -> BisectionCut {
-    let g = topo.graph();
-    let n = g.num_nodes();
+    let csr = topo.csr();
+    let n = csr.num_nodes();
     let half = n / 2;
-    let mut best_cut = usize::MAX;
-    let mut best_partition: Vec<bool> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(seed);
 
-    for _ in 0..restarts.max(1) {
-        // Random balanced start.
-        let mut order: Vec<NodeId> = (0..n).collect();
-        order.shuffle(&mut rng);
-        let mut in_a = vec![false; n];
-        for &v in order.iter().take(half) {
-            in_a[v] = true;
-        }
-        // Local improvement: repeatedly find the best swap (a in A, b in B)
-        // that reduces the cut, until no improving swap exists.
-        let mut improved = true;
-        while improved {
-            improved = false;
-            let mut best_gain = 0isize;
-            let mut best_pair = None;
-            let d_values: Vec<isize> = (0..n).map(|v| swap_gain_component(g, &in_a, v)).collect();
-            for a in 0..n {
-                if !in_a[a] {
-                    continue;
-                }
-                for b in 0..n {
-                    if in_a[b] {
-                        continue;
-                    }
-                    let w = if g.has_edge(a, b) { 1isize } else { 0 };
-                    let gain = d_values[a] + d_values[b] - 2 * w;
-                    if gain > best_gain {
-                        best_gain = gain;
-                        best_pair = Some((a, b));
-                    }
-                }
+    let runs: Vec<(usize, Vec<bool>)> = (0..restarts.max(1))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|restart| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            // Random balanced start.
+            let mut order: Vec<NodeId> = (0..n).collect();
+            order.shuffle(&mut rng);
+            let mut in_a = vec![false; n];
+            for &v in order.iter().take(half) {
+                in_a[v] = true;
             }
-            if let Some((a, b)) = best_pair {
-                in_a[a] = false;
-                in_a[b] = true;
-                improved = true;
-            }
-        }
-        let cut = g.cut_size(&in_a);
-        if cut < best_cut {
-            best_cut = cut;
-            best_partition = in_a;
-        }
-    }
-
-    let partition: Vec<NodeId> = best_partition
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &inside)| inside.then_some(v))
+            kl_refine(&csr, &mut in_a);
+            (csr.cut_size(&in_a), in_a)
+        })
         .collect();
+    let (best_cut, best_partition) =
+        runs.into_iter().min_by_key(|&(cut, _)| cut).expect("at least one restart");
+
+    let partition: Vec<NodeId> =
+        best_partition.iter().enumerate().filter_map(|(v, &inside)| inside.then_some(v)).collect();
     let servers_a: usize = partition.iter().map(|&v| topo.servers(v)).sum();
     let servers_b: usize = topo.total_servers() - servers_a;
     let denom = servers_a.min(servers_b).max(1) as f64;
-    BisectionCut {
-        partition,
-        crossing_links: best_cut,
-        normalized: best_cut as f64 / denom,
+    BisectionCut { partition, crossing_links: best_cut, normalized: best_cut as f64 / denom }
+}
+
+/// One Kernighan–Lin refinement of the balanced partition `in_a`, run to a
+/// fixed point. Each pass tentatively swaps the best unlocked (A, B) pair —
+/// negative gains allowed, both nodes locked afterwards — until no unlocked
+/// pair remains, then commits the prefix of swaps with the largest cumulative
+/// cut reduction. Passes repeat until one fails to improve the cut. All ties
+/// break on the lowest node index, so the result is deterministic.
+fn kl_refine(csr: &CsrGraph, in_a: &mut [bool]) {
+    let n = in_a.len();
+    loop {
+        // D-values (external minus internal degree) relative to the partition
+        // at the start of the pass; membership stays fixed until the commit.
+        let mut d: Vec<isize> = (0..n).map(|v| swap_gain_component(csr, in_a, v)).collect();
+        let mut locked = vec![false; n];
+        let mut swaps: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut gains: Vec<isize> = Vec::new();
+        loop {
+            let mut best: Option<(isize, NodeId, NodeId)> = None;
+            for a in 0..n {
+                if locked[a] || !in_a[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if locked[b] || in_a[b] {
+                        continue;
+                    }
+                    let w = if csr.has_edge(a, b) { 1isize } else { 0 };
+                    let gain = d[a] + d[b] - 2 * w;
+                    if best.is_none_or(|(g, _, _)| gain > g) {
+                        best = Some((gain, a, b));
+                    }
+                }
+            }
+            let Some((gain, a, b)) = best else { break };
+            locked[a] = true;
+            locked[b] = true;
+            swaps.push((a, b));
+            gains.push(gain);
+            // Update D-values of unlocked neighbors as if (a, b) had swapped:
+            // a neighbor of `a` on A's side gains an external edge (+2), on
+            // B's side loses one (−2); symmetrically for neighbors of `b`.
+            for &x in csr.neighbors(a) {
+                let x = x as usize;
+                if !locked[x] {
+                    d[x] += if in_a[x] { 2 } else { -2 };
+                }
+            }
+            for &x in csr.neighbors(b) {
+                let x = x as usize;
+                if !locked[x] {
+                    d[x] += if in_a[x] { -2 } else { 2 };
+                }
+            }
+        }
+        // Commit the best prefix of tentative swaps (smallest prefix on ties).
+        let mut best_sum = 0isize;
+        let mut best_len = 0usize;
+        let mut running = 0isize;
+        for (i, &g) in gains.iter().enumerate() {
+            running += g;
+            if running > best_sum {
+                best_sum = running;
+                best_len = i + 1;
+            }
+        }
+        if best_len == 0 {
+            return;
+        }
+        for &(a, b) in &swaps[..best_len] {
+            in_a[a] = false;
+            in_a[b] = true;
+        }
     }
 }
 
 /// D-value of the Kernighan–Lin gain: external minus internal degree.
-fn swap_gain_component(g: &Graph, in_a: &[bool], v: NodeId) -> isize {
+fn swap_gain_component(csr: &CsrGraph, in_a: &[bool], v: NodeId) -> isize {
     let mut external = 0isize;
     let mut internal = 0isize;
-    for &u in g.neighbors(v) {
+    for &u in csr.neighbors(v) {
+        let u = u as usize;
         if in_a[u] == in_a[v] {
             internal += 1;
         } else {

@@ -17,10 +17,16 @@
 //!   shortest paths). This is both much faster and exactly the quantity
 //!   "best possible load balancing over k-shortest paths", which the paper's
 //!   §5 routing study approaches from below with MPTCP.
+//!
+//! Both consume a [`CsrGraph`] snapshot, and all per-arc state (lengths,
+//! accumulated flow) lives in flat vectors indexed by the snapshot's dense
+//! arc ids — the inner Dijkstra loop never touches a hash map. See
+//! DESIGN.md, substitution 1, for the CPLEX substitution argument and the
+//! snapshot contract.
 
-use jellyfish_routing::shortest::weighted_shortest_path;
+use jellyfish_routing::shortest::weighted_shortest_path_arcs;
 use jellyfish_routing::Path;
-use jellyfish_topology::{Graph, NodeId};
+use jellyfish_topology::{ArcId, CsrGraph, NodeId};
 use std::collections::HashMap;
 
 /// One commodity: a demand from a source switch to a destination switch.
@@ -49,11 +55,7 @@ pub struct McfOptions {
 
 impl Default for McfOptions {
     fn default() -> Self {
-        McfOptions {
-            epsilon: 0.05,
-            link_capacity: 1.0,
-            lambda_cap: None,
-        }
+        McfOptions { epsilon: 0.05, link_capacity: 1.0, lambda_cap: None }
     }
 }
 
@@ -85,62 +87,74 @@ impl McfSolution {
     }
 }
 
-/// Internal per-arc state for the multiplicative-weights algorithm.
+/// Internal per-arc state for the multiplicative-weights algorithm: flat
+/// slices indexed by dense arc id.
 struct ArcState {
-    length: HashMap<(NodeId, NodeId), f64>,
-    flow: HashMap<(NodeId, NodeId), f64>,
+    length: Vec<f64>,
+    flow: Vec<f64>,
     capacity: f64,
+    /// Running total of `length · capacity` over all arcs, updated
+    /// incrementally in `send_on_arcs` (the textbook loop re-sums every
+    /// iteration; the increment is exact because each update multiplies a
+    /// single arc's length).
+    total_weighted_length: f64,
 }
 
 impl ArcState {
-    fn new(graph: &Graph, capacity: f64, delta: f64) -> Self {
-        let mut length = HashMap::new();
-        let mut flow = HashMap::new();
-        for e in graph.edges() {
-            for arc in [(e.a, e.b), (e.b, e.a)] {
-                length.insert(arc, delta / capacity);
-                flow.insert(arc, 0.0);
-            }
-        }
+    fn new(csr: &CsrGraph, capacity: f64, delta: f64) -> Self {
+        let num_arcs = csr.num_arcs();
         ArcState {
-            length,
-            flow,
+            length: vec![delta / capacity; num_arcs],
+            flow: vec![0.0; num_arcs],
             capacity,
+            total_weighted_length: delta * num_arcs as f64,
         }
     }
 
+    #[inline]
     fn total_weighted_length(&self) -> f64 {
-        self.length.values().map(|&l| l * self.capacity).sum()
+        self.total_weighted_length
     }
 
-    fn path_bottleneck(&self, path: &Path) -> f64 {
-        let _ = path;
+    fn path_bottleneck(&self) -> f64 {
         self.capacity
     }
 
-    fn send_on_path(&mut self, path: &Path, amount: f64, epsilon: f64) {
-        for w in path.windows(2) {
-            let arc = (w[0], w[1]);
-            *self.flow.get_mut(&arc).expect("arc exists") += amount;
-            let l = self.length.get_mut(&arc).expect("arc exists");
-            *l *= 1.0 + epsilon * amount / self.capacity;
+    fn send_on_arcs(&mut self, arcs: &[ArcId], amount: f64, epsilon: f64) {
+        for &arc in arcs {
+            self.flow[arc] += amount;
+            let old = self.length[arc];
+            let new = old * (1.0 + epsilon * amount / self.capacity);
+            self.length[arc] = new;
+            self.total_weighted_length += (new - old) * self.capacity;
         }
     }
 
-    fn arc_length(&self, u: NodeId, v: NodeId) -> f64 {
-        *self.length.get(&(u, v)).unwrap_or(&f64::INFINITY)
+    #[inline]
+    fn arc_length(&self, arc: ArcId) -> f64 {
+        self.length[arc]
     }
 }
 
-/// Validates commodities against the graph; zero-demand commodities and
+/// Maps a node path to its arc ids. Panics if the path uses a non-link.
+fn path_arcs(csr: &CsrGraph, path: &Path) -> Vec<ArcId> {
+    path.windows(2)
+        .map(|w| csr.arc_index(w[0], w[1]).expect("path traverses a link absent from the snapshot"))
+        .collect()
+}
+
+/// Validates commodities against the snapshot; zero-demand commodities and
 /// self-loops are dropped.
-fn sanitize(graph: &Graph, commodities: &[Commodity]) -> Vec<Commodity> {
+fn sanitize(csr: &CsrGraph, commodities: &[Commodity]) -> Vec<Commodity> {
     commodities
         .iter()
         .copied()
         .filter(|c| c.src != c.dst && c.demand > 0.0)
         .inspect(|c| {
-            assert!(c.src < graph.num_nodes() && c.dst < graph.num_nodes(), "commodity endpoint out of range");
+            assert!(
+                c.src < csr.num_nodes() && c.dst < csr.num_nodes(),
+                "commodity endpoint out of range"
+            );
         })
         .collect()
 }
@@ -153,12 +167,12 @@ fn sanitize(graph: &Graph, commodities: &[Commodity]) -> Vec<Commodity> {
 /// as soon as λ ≥ c can be certified, which is much faster when only a
 /// threshold matters.
 pub fn max_concurrent_flow(
-    graph: &Graph,
+    csr: &CsrGraph,
     commodities: &[Commodity],
     opts: McfOptions,
 ) -> McfSolution {
-    let commodities = sanitize(graph, commodities);
-    if commodities.is_empty() || graph.num_edges() == 0 {
+    let commodities = sanitize(csr, commodities);
+    if commodities.is_empty() || csr.num_edges() == 0 {
         return McfSolution {
             lambda: if commodities.is_empty() { f64::INFINITY } else { 0.0 },
             link_utilization: HashMap::new(),
@@ -166,10 +180,10 @@ pub fn max_concurrent_flow(
         };
     }
     let eps = opts.epsilon.clamp(1e-3, 0.5);
-    let num_arcs = 2 * graph.num_edges();
+    let num_arcs = csr.num_arcs();
     // Garg–Könemann initialization.
     let delta = (1.0 + eps) / ((1.0 + eps) * num_arcs as f64).powf(1.0 / eps);
-    let mut arcs = ArcState::new(graph, opts.link_capacity, delta);
+    let mut arcs = ArcState::new(csr, opts.link_capacity, delta);
     let scaling = ((1.0 + eps) / delta).ln() / (1.0 + eps).ln();
     let mut phases = 0.0f64;
     let mut path_computations = 0usize;
@@ -181,9 +195,10 @@ pub fn max_concurrent_flow(
                 if arcs.total_weighted_length() >= 1.0 {
                     break 'outer;
                 }
-                let weight = |u: NodeId, v: NodeId| arcs.arc_length(u, v);
                 path_computations += 1;
-                let Some((path, _)) = weighted_shortest_path(graph, c.src, c.dst, weight) else {
+                let found =
+                    weighted_shortest_path_arcs(csr, c.src, c.dst, |arc| arcs.arc_length(arc));
+                let Some((path, _)) = found else {
                     // Unreachable destination: λ is zero.
                     return McfSolution {
                         lambda: 0.0,
@@ -191,8 +206,9 @@ pub fn max_concurrent_flow(
                         path_computations,
                     };
                 };
-                let send = remaining.min(arcs.path_bottleneck(&path));
-                arcs.send_on_path(&path, send, eps);
+                let send = remaining.min(arcs.path_bottleneck());
+                let ids = path_arcs(csr, &path);
+                arcs.send_on_arcs(&ids, send, eps);
                 remaining -= send;
             }
         }
@@ -210,12 +226,8 @@ pub fn max_concurrent_flow(
         Some(cap) => lambda_raw.min(cap),
         None => lambda_raw,
     };
-    let utilization = scaled_utilization(&arcs, &commodities, lambda_raw, phases);
-    McfSolution {
-        lambda,
-        link_utilization: utilization,
-        path_computations,
-    }
+    let utilization = scaled_utilization(csr, &arcs, lambda_raw, phases);
+    McfSolution { lambda, link_utilization: utilization, path_computations }
 }
 
 /// Max-concurrent flow restricted to the provided paths: `paths[j]` is the
@@ -226,7 +238,7 @@ pub fn max_concurrent_flow(
 /// handing the k shortest paths to an optimal rate controller — and is the
 /// quantity the paper's MPTCP-over-k-shortest-paths stack approximates.
 pub fn max_concurrent_flow_on_paths(
-    graph: &Graph,
+    csr: &CsrGraph,
     commodities: &[Commodity],
     paths: &[Vec<Path>],
     opts: McfOptions,
@@ -235,7 +247,7 @@ pub fn max_concurrent_flow_on_paths(
     let keep: Vec<usize> = (0..commodities.len())
         .filter(|&j| commodities[j].src != commodities[j].dst && commodities[j].demand > 0.0)
         .collect();
-    if keep.is_empty() || graph.num_edges() == 0 {
+    if keep.is_empty() || csr.num_edges() == 0 {
         return McfSolution {
             lambda: if keep.is_empty() { f64::INFINITY } else { 0.0 },
             link_utilization: HashMap::new(),
@@ -243,17 +255,21 @@ pub fn max_concurrent_flow_on_paths(
         };
     }
     let eps = opts.epsilon.clamp(1e-3, 0.5);
-    let num_arcs = 2 * graph.num_edges();
+    let num_arcs = csr.num_arcs();
     let delta = (1.0 + eps) / ((1.0 + eps) * num_arcs as f64).powf(1.0 / eps);
-    let mut arcs = ArcState::new(graph, opts.link_capacity, delta);
+    let mut arcs = ArcState::new(csr, opts.link_capacity, delta);
     let scaling = ((1.0 + eps) / delta).ln() / (1.0 + eps).ln();
     let mut phases = 0.0f64;
 
+    // Pre-resolve every admissible path to arc ids once; the inner loop then
+    // scores candidates by flat slice lookups only.
+    let mut arc_paths: Vec<Vec<Vec<ArcId>>> = vec![Vec::new(); commodities.len()];
     for &j in &keep {
         assert!(!paths[j].is_empty(), "commodity {j} has an empty path set");
         for p in &paths[j] {
             assert_eq!(p.first(), Some(&commodities[j].src));
             assert_eq!(p.last(), Some(&commodities[j].dst));
+            arc_paths[j].push(path_arcs(csr, p));
         }
     }
 
@@ -266,17 +282,16 @@ pub fn max_concurrent_flow_on_paths(
                     break 'outer;
                 }
                 // Cheapest admissible path under current lengths.
-                let best = paths[j]
+                let best = arc_paths[j]
                     .iter()
                     .min_by(|a, b| {
-                        let ca: f64 = a.windows(2).map(|w| arcs.arc_length(w[0], w[1])).sum();
-                        let cb: f64 = b.windows(2).map(|w| arcs.arc_length(w[0], w[1])).sum();
+                        let ca: f64 = a.iter().map(|&arc| arcs.arc_length(arc)).sum();
+                        let cb: f64 = b.iter().map(|&arc| arcs.arc_length(arc)).sum();
                         ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("non-empty path set");
-                let send = remaining.min(arcs.path_bottleneck(best));
-                let best = best.clone();
-                arcs.send_on_path(&best, send, eps);
+                let send = remaining.min(arcs.path_bottleneck());
+                arcs.send_on_arcs(best, send, eps);
                 remaining -= send;
             }
         }
@@ -293,13 +308,8 @@ pub fn max_concurrent_flow_on_paths(
         Some(cap) => lambda_raw.min(cap),
         None => lambda_raw,
     };
-    let kept: Vec<Commodity> = keep.iter().map(|&j| commodities[j]).collect();
-    let utilization = scaled_utilization(&arcs, &kept, lambda_raw, phases);
-    McfSolution {
-        lambda,
-        link_utilization: utilization,
-        path_computations: 0,
-    }
+    let utilization = scaled_utilization(csr, &arcs, lambda_raw, phases);
+    McfSolution { lambda, link_utilization: utilization, path_computations: 0 }
 }
 
 /// Converts raw accumulated flow into per-arc utilization consistent with the
@@ -307,21 +317,22 @@ pub fn max_concurrent_flow_on_paths(
 /// (feasible) flow is the accumulated flow divided by the number of phases,
 /// then multiplied by λ to express the concurrently-routable fraction.
 fn scaled_utilization(
+    csr: &CsrGraph,
     arcs: &ArcState,
-    commodities: &[Commodity],
     lambda_raw: f64,
     phases: f64,
 ) -> HashMap<(NodeId, NodeId), f64> {
-    let _ = commodities;
     let mut out = HashMap::new();
     if phases <= 0.0 {
         return out;
     }
-    for (&arc, &f) in &arcs.flow {
-        // Flow per phase, scaled to the feasible λ fraction of a single phase.
-        let per_phase = f / phases;
-        let scale = if lambda_raw > 0.0 { 1.0 } else { 0.0 };
-        out.insert(arc, (per_phase * scale / arcs.capacity).min(1.0));
+    let scale = if lambda_raw > 0.0 { 1.0 } else { 0.0 };
+    for u in csr.nodes() {
+        for arc in csr.arc_range(u) {
+            // Flow per phase, scaled to the feasible λ fraction of a phase.
+            let per_phase = arcs.flow[arc] / phases;
+            out.insert((u, csr.arc_target(arc)), (per_phase * scale / arcs.capacity).min(1.0));
+        }
     }
     out
 }
@@ -332,10 +343,10 @@ mod tests {
     use jellyfish_routing::yen::k_shortest_paths;
     use jellyfish_topology::{Graph, JellyfishBuilder};
 
-    fn single_link() -> Graph {
+    fn single_link() -> CsrGraph {
         let mut g = Graph::new(2);
         g.add_edge(0, 1);
-        g
+        CsrGraph::from_graph(&g)
     }
 
     #[test]
@@ -359,10 +370,8 @@ mod tests {
     fn two_opposite_commodities_use_both_directions() {
         // Full-duplex link: 0→1 and 1→0 each get their own unit arc.
         let g = single_link();
-        let commodities = [
-            Commodity { src: 0, dst: 1, demand: 1.0 },
-            Commodity { src: 1, dst: 0, demand: 1.0 },
-        ];
+        let commodities =
+            [Commodity { src: 0, dst: 1, demand: 1.0 }, Commodity { src: 1, dst: 0, demand: 1.0 }];
         let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
         assert!((sol.lambda - 1.0).abs() < 0.1, "lambda = {}", sol.lambda);
     }
@@ -375,6 +384,7 @@ mod tests {
         g.add_edge(1, 3);
         g.add_edge(0, 2);
         g.add_edge(2, 3);
+        let g = CsrGraph::from_graph(&g);
         let commodities = [Commodity { src: 0, dst: 3, demand: 2.0 }];
         let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
         assert!((sol.lambda - 1.0).abs() < 0.1, "lambda = {}", sol.lambda);
@@ -389,10 +399,9 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(2, 3);
-        let commodities = [
-            Commodity { src: 0, dst: 3, demand: 1.0 },
-            Commodity { src: 1, dst: 3, demand: 1.0 },
-        ];
+        let g = CsrGraph::from_graph(&g);
+        let commodities =
+            [Commodity { src: 0, dst: 3, demand: 1.0 }, Commodity { src: 1, dst: 3, demand: 1.0 }];
         let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
         assert!((sol.lambda - 0.5).abs() < 0.06, "lambda = {}", sol.lambda);
     }
@@ -401,6 +410,7 @@ mod tests {
     fn unreachable_destination_gives_zero() {
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
+        let g = CsrGraph::from_graph(&g);
         let commodities = [Commodity { src: 0, dst: 2, demand: 1.0 }];
         let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
         assert_eq!(sol.lambda, 0.0);
@@ -423,10 +433,7 @@ mod tests {
     fn lambda_cap_stops_early() {
         let g = single_link();
         let commodities = [Commodity { src: 0, dst: 1, demand: 0.01 }];
-        let opts = McfOptions {
-            lambda_cap: Some(1.0),
-            ..Default::default()
-        };
+        let opts = McfOptions { lambda_cap: Some(1.0), ..Default::default() };
         let sol = max_concurrent_flow(&g, &commodities, opts);
         assert!((sol.lambda - 1.0).abs() < 1e-9);
         // Without the cap λ would be ~100; with it we stop at 1.0.
@@ -439,10 +446,7 @@ mod tests {
     fn link_capacity_scales_lambda() {
         let g = single_link();
         let commodities = [Commodity { src: 0, dst: 1, demand: 1.0 }];
-        let opts = McfOptions {
-            link_capacity: 4.0,
-            ..Default::default()
-        };
+        let opts = McfOptions { link_capacity: 4.0, ..Default::default() };
         let sol = max_concurrent_flow(&g, &commodities, opts);
         assert!((sol.lambda - 4.0).abs() < 0.4, "lambda = {}", sol.lambda);
     }
@@ -452,6 +456,7 @@ mod tests {
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
         g.add_edge(1, 2);
+        let g = CsrGraph::from_graph(&g);
         let commodities = [Commodity { src: 0, dst: 2, demand: 1.0 }];
         let coarse = max_concurrent_flow(
             &g,
@@ -470,20 +475,28 @@ mod tests {
     #[test]
     fn path_restricted_matches_full_solver_when_paths_suffice() {
         let topo = JellyfishBuilder::new(16, 6, 4).seed(1).build().unwrap();
-        let g = topo.graph();
-        let commodities: Vec<Commodity> = (0..8)
-            .map(|i| Commodity { src: i, dst: i + 8, demand: 1.0 })
-            .collect();
-        let paths: Vec<Vec<Path>> = commodities
-            .iter()
-            .map(|c| k_shortest_paths(g, c.src, c.dst, 8))
-            .collect();
-        let full = max_concurrent_flow(g, &commodities, McfOptions::default());
-        let restricted = max_concurrent_flow_on_paths(g, &commodities, &paths, McfOptions::default());
+        let g = topo.csr();
+        let commodities: Vec<Commodity> =
+            (0..8).map(|i| Commodity { src: i, dst: i + 8, demand: 1.0 }).collect();
+        let paths: Vec<Vec<Path>> =
+            commodities.iter().map(|c| k_shortest_paths(&g, c.src, c.dst, 8)).collect();
+        let full = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        let restricted =
+            max_concurrent_flow_on_paths(&g, &commodities, &paths, McfOptions::default());
         // Restricting to 8 shortest paths can only lose a little capacity
         // (allow for the ±ε noise of both approximations).
-        assert!(restricted.lambda <= full.lambda * 1.1 + 0.05, "restricted {} vs full {}", restricted.lambda, full.lambda);
-        assert!(restricted.lambda >= 0.75 * full.lambda, "restricted {} vs full {}", restricted.lambda, full.lambda);
+        assert!(
+            restricted.lambda <= full.lambda * 1.1 + 0.05,
+            "restricted {} vs full {}",
+            restricted.lambda,
+            full.lambda
+        );
+        assert!(
+            restricted.lambda >= 0.75 * full.lambda,
+            "restricted {} vs full {}",
+            restricted.lambda,
+            full.lambda
+        );
     }
 
     #[test]
@@ -491,10 +504,9 @@ mod tests {
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
         g.add_edge(1, 2);
-        let commodities = [
-            Commodity { src: 0, dst: 2, demand: 1.0 },
-            Commodity { src: 1, dst: 2, demand: 1.0 },
-        ];
+        let g = CsrGraph::from_graph(&g);
+        let commodities =
+            [Commodity { src: 0, dst: 2, demand: 1.0 }, Commodity { src: 1, dst: 2, demand: 1.0 }];
         let paths = vec![vec![vec![0, 1, 2]], vec![vec![1, 2]]];
         let sol = max_concurrent_flow_on_paths(&g, &commodities, &paths, McfOptions::default());
         assert!((sol.lambda - 0.5).abs() < 0.06, "lambda = {}", sol.lambda);
@@ -513,12 +525,24 @@ mod tests {
         // 20 switches, degree 6, only 2 servers each: lots of headroom, so a
         // permutation across switches should reach λ >= 1.
         let topo = JellyfishBuilder::new(20, 8, 6).seed(2).build().unwrap();
-        let g = topo.graph();
-        let commodities: Vec<Commodity> = (0..20)
-            .map(|i| Commodity { src: i, dst: (i + 7) % 20, demand: 2.0 })
-            .collect();
+        let g = topo.csr();
+        let commodities: Vec<Commodity> =
+            (0..20).map(|i| Commodity { src: i, dst: (i + 7) % 20, demand: 2.0 }).collect();
         let opts = McfOptions { lambda_cap: Some(1.0), ..Default::default() };
-        let sol = max_concurrent_flow(g, &commodities, opts);
+        let sol = max_concurrent_flow(&g, &commodities, opts);
         assert!((sol.lambda - 1.0).abs() < 1e-9, "lambda = {}", sol.lambda);
+    }
+
+    #[test]
+    fn utilization_keys_cover_all_arcs() {
+        let topo = JellyfishBuilder::new(10, 6, 3).seed(4).build().unwrap();
+        let g = topo.csr();
+        let commodities = [Commodity { src: 0, dst: 5, demand: 1.0 }];
+        let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
+        assert_eq!(sol.link_utilization.len(), g.num_arcs());
+        for (&(u, v), &util) in &sol.link_utilization {
+            assert!(g.has_edge(u, v));
+            assert!((0.0..=1.0).contains(&util));
+        }
     }
 }

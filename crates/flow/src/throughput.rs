@@ -11,6 +11,7 @@ use crate::mcf::{max_concurrent_flow, max_concurrent_flow_on_paths, Commodity, M
 use jellyfish_routing::yen::k_shortest_paths;
 use jellyfish_topology::Topology;
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use rayon::prelude::*;
 
 /// How the admissible paths are chosen for the throughput computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,11 +36,7 @@ pub struct ThroughputOptions {
 
 impl Default for ThroughputOptions {
     fn default() -> Self {
-        ThroughputOptions {
-            epsilon: 0.05,
-            routing: RoutingModel::Optimal,
-            stop_at_full: true,
-        }
+        ThroughputOptions { epsilon: 0.05, routing: RoutingModel::Optimal, stop_at_full: true }
     }
 }
 
@@ -76,10 +73,8 @@ pub fn normalized_throughput(
     opts: ThroughputOptions,
 ) -> ThroughputResult {
     let demands = tm.switch_demands(servers);
-    let commodities: Vec<Commodity> = demands
-        .iter()
-        .map(|&(s, d, demand)| Commodity { src: s, dst: d, demand })
-        .collect();
+    let commodities: Vec<Commodity> =
+        demands.iter().map(|&(s, d, demand)| Commodity { src: s, dst: d, demand }).collect();
     if commodities.is_empty() {
         return ThroughputResult {
             lambda: f64::INFINITY,
@@ -93,12 +88,14 @@ pub fn normalized_throughput(
         link_capacity: 1.0,
         lambda_cap: if opts.stop_at_full { Some(1.0) } else { None },
     };
+    let csr = topo.csr();
     let solution = match opts.routing {
-        RoutingModel::Optimal => max_concurrent_flow(topo.graph(), &commodities, mcf_opts),
+        RoutingModel::Optimal => max_concurrent_flow(&csr, &commodities, mcf_opts),
         RoutingModel::KShortestPaths(k) => {
+            // Per-commodity path sets are independent: fan them out.
             let paths: Vec<_> = commodities
-                .iter()
-                .map(|c| k_shortest_paths(topo.graph(), c.src, c.dst, k.max(1)))
+                .par_iter()
+                .map(|c| k_shortest_paths(&csr, c.src, c.dst, k.max(1)))
                 .collect();
             if paths.iter().any(Vec::is_empty) {
                 return ThroughputResult {
@@ -108,12 +105,12 @@ pub fn normalized_throughput(
                     epsilon: opts.epsilon,
                 };
             }
-            max_concurrent_flow_on_paths(topo.graph(), &commodities, &paths, mcf_opts)
+            max_concurrent_flow_on_paths(&csr, &commodities, &paths, mcf_opts)
         }
     };
     ThroughputResult {
         lambda: solution.lambda,
-        normalized: solution.lambda.min(1.0).max(0.0),
+        normalized: solution.lambda.clamp(0.0, 1.0),
         commodities: commodities.len(),
         epsilon: opts.epsilon,
     }
@@ -225,7 +222,8 @@ mod tests {
     #[test]
     fn permutation_stats_bounds() {
         let topo = JellyfishBuilder::new(12, 8, 5).seed(2).build().unwrap();
-        let (mean, min, max) = permutation_throughput_stats(&topo, 3, ThroughputOptions::default(), 9);
+        let (mean, min, max) =
+            permutation_throughput_stats(&topo, 3, ThroughputOptions::default(), 9);
         assert!(min <= mean && mean <= max);
         assert!(max <= 1.0 + 1e-9);
         assert!(min >= 0.0);

@@ -8,15 +8,15 @@
 //! to an ECMP path budget the way a switch's hash table would, and hashes
 //! flows onto them.
 
-use crate::{Path, shortest::bfs};
-use jellyfish_topology::{Graph, NodeId};
+use crate::{shortest::bfs, Path};
+use jellyfish_topology::{CsrGraph, NodeId};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Enumerates *all* shortest paths from `src` to `dst`, up to `limit` paths
 /// (the enumeration is depth-first over the shortest-path DAG and stops once
 /// `limit` paths have been produced).
-pub fn all_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, limit: usize) -> Vec<Path> {
+pub fn all_shortest_paths(csr: &CsrGraph, src: NodeId, dst: NodeId, limit: usize) -> Vec<Path> {
     if limit == 0 {
         return Vec::new();
     }
@@ -24,18 +24,18 @@ pub fn all_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, limit: usize)
         return vec![vec![src]];
     }
     // Distances *to dst* let us walk the DAG forward from src.
-    let to_dst = bfs(graph, dst).dist;
+    let to_dst = bfs(csr, dst).dist;
     if to_dst[src] == usize::MAX {
         return Vec::new();
     }
     let mut paths = Vec::new();
     let mut stack: Path = vec![src];
-    dfs_shortest(graph, dst, &to_dst, &mut stack, &mut paths, limit);
+    dfs_shortest(csr, dst, &to_dst, &mut stack, &mut paths, limit);
     paths
 }
 
 fn dfs_shortest(
-    graph: &Graph,
+    csr: &CsrGraph,
     dst: NodeId,
     to_dst: &[usize],
     stack: &mut Path,
@@ -50,17 +50,14 @@ fn dfs_shortest(
         out.push(stack.clone());
         return;
     }
-    // Sort neighbors for deterministic enumeration order.
-    let mut next: Vec<NodeId> = graph
-        .neighbors(u)
-        .iter()
-        .copied()
-        .filter(|&v| to_dst[v] != usize::MAX && to_dst[v] + 1 == to_dst[u])
-        .collect();
-    next.sort_unstable();
-    for v in next {
+    // CSR rows are sorted, so the enumeration order is deterministic.
+    for &v in csr.neighbors(u) {
+        let v = v as NodeId;
+        if to_dst[v] == usize::MAX || to_dst[v] + 1 != to_dst[u] {
+            continue;
+        }
         stack.push(v);
-        dfs_shortest(graph, dst, to_dst, stack, out, limit);
+        dfs_shortest(csr, dst, to_dst, stack, out, limit);
         stack.pop();
         if out.len() >= limit {
             return;
@@ -91,8 +88,8 @@ impl EcmpConfig {
 
     /// The ECMP path set for one pair: all shortest paths, truncated to the
     /// ECMP width in deterministic (enumeration) order.
-    pub fn paths(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<Path> {
-        all_shortest_paths(graph, src, dst, self.way)
+    pub fn paths(&self, csr: &CsrGraph, src: NodeId, dst: NodeId) -> Vec<Path> {
+        all_shortest_paths(csr, src, dst, self.way)
     }
 
     /// Deterministically hashes a flow identifier onto one of the installed
@@ -123,10 +120,11 @@ mod tests {
 
     #[test]
     fn all_shortest_paths_in_cycle() {
-        let mut g = Graph::new(6);
+        let mut g = jellyfish_topology::Graph::new(6);
         for i in 0..6 {
             g.add_edge(i, (i + 1) % 6);
         }
+        let g = CsrGraph::from_graph(&g);
         // Opposite nodes have exactly 2 shortest paths.
         let paths = all_shortest_paths(&g, 0, 3, 16);
         assert_eq!(paths.len(), 2);
@@ -137,7 +135,7 @@ mod tests {
     #[test]
     fn limit_truncates_enumeration() {
         let ft = FatTree::new(4).unwrap();
-        let g = ft.topology().graph();
+        let g = &ft.topology().csr();
         // Two edge switches in different pods have (k/2)^2 = 4 shortest paths.
         let full = all_shortest_paths(g, 0, 2, 64);
         assert_eq!(full.len(), 4);
@@ -148,7 +146,7 @@ mod tests {
     #[test]
     fn paths_are_shortest_and_valid() {
         let topo = JellyfishBuilder::new(40, 10, 6).seed(3).build().unwrap();
-        let g = topo.graph();
+        let g = &topo.csr();
         let sp = crate::shortest::shortest_path(g, 1, 30).unwrap();
         let paths = all_shortest_paths(g, 1, 30, 64);
         assert!(!paths.is_empty());
@@ -163,8 +161,9 @@ mod tests {
 
     #[test]
     fn self_and_unreachable_pairs() {
-        let mut g = Graph::new(3);
+        let mut g = jellyfish_topology::Graph::new(3);
         g.add_edge(0, 1);
+        let g = CsrGraph::from_graph(&g);
         assert_eq!(all_shortest_paths(&g, 2, 2, 8), vec![vec![2]]);
         assert!(all_shortest_paths(&g, 0, 2, 8).is_empty());
         assert!(all_shortest_paths(&g, 0, 1, 0).is_empty());
@@ -173,7 +172,7 @@ mod tests {
     #[test]
     fn ecmp_width_limits_path_set() {
         let ft = FatTree::new(6).unwrap();
-        let g = ft.topology().graph();
+        let g = &ft.topology().csr();
         // Cross-pod edge switches in a k=6 fat-tree have 9 shortest paths.
         let full = all_shortest_paths(g, 0, 4, 1024);
         assert_eq!(full.len(), 9);
@@ -186,7 +185,7 @@ mod tests {
     #[test]
     fn flow_hashing_is_deterministic_and_spreads() {
         let ft = FatTree::new(4).unwrap();
-        let g = ft.topology().graph();
+        let g = &ft.topology().csr();
         let cfg = EcmpConfig::eight_way();
         let paths = cfg.paths(g, 0, 2);
         assert_eq!(paths.len(), 4);

@@ -4,14 +4,20 @@
 //! diversity on a random graph — `k`-shortest-path routing (Yen's algorithm)
 //! is needed to use Jellyfish's capacity. This crate provides:
 //!
-//! * [`shortest`] — BFS shortest paths, all-pairs distances and weighted
-//!   Dijkstra;
+//! * [`shortest`] — BFS shortest paths, rayon-parallel all-pairs distances,
+//!   and weighted Dijkstra (node-pair and dense per-arc weight variants);
 //! * [`yen`] — Yen's loopless k-shortest-paths algorithm (hand-rolled, no
 //!   external graph crate);
 //! * [`ecmp`] — enumeration of equal-cost shortest paths with an ECMP-style
 //!   bounded next-hop fan-out and flow hashing;
 //! * [`path_table`] — per source–destination path sets (the routing state a
-//!   switch would hold) and the link path-count statistics behind Figure 9.
+//!   switch would hold), built in parallel, and the link path-count
+//!   statistics behind Figure 9.
+//!
+//! Every entry point consumes an immutable
+//! [`CsrGraph`](jellyfish_topology::CsrGraph) snapshot (take one with
+//! [`Topology::csr`](jellyfish_topology::Topology::csr)); the mutable
+//! `Graph` never crosses into this crate.
 //!
 //! Paths are switch-level: a path is a sequence of switch ids with
 //! consecutive entries adjacent in the topology graph.
@@ -21,7 +27,8 @@
 //! use jellyfish_routing::yen::k_shortest_paths;
 //!
 //! let topo = JellyfishBuilder::new(30, 8, 5).seed(3).build().unwrap();
-//! let paths = k_shortest_paths(topo.graph(), 0, 17, 8);
+//! let csr = topo.csr();
+//! let paths = k_shortest_paths(&csr, 0, 17, 8);
 //! assert!(!paths.is_empty() && paths.len() <= 8);
 //! // Paths are sorted by length and loop-free.
 //! assert!(paths.windows(2).all(|w| w[0].len() <= w[1].len()));
@@ -44,24 +51,24 @@ pub fn path_hops(path: &Path) -> usize {
     path.len().saturating_sub(1)
 }
 
-/// Checks that `path` is a valid simple path in `graph`.
-pub fn is_valid_simple_path(graph: &jellyfish_topology::Graph, path: &Path) -> bool {
+/// Checks that `path` is a valid simple path in the snapshot.
+pub fn is_valid_simple_path(csr: &jellyfish_topology::CsrGraph, path: &Path) -> bool {
     if path.is_empty() {
         return false;
     }
     let mut seen = std::collections::HashSet::with_capacity(path.len());
     for &n in path {
-        if n >= graph.num_nodes() || !seen.insert(n) {
+        if n >= csr.num_nodes() || !seen.insert(n) {
             return false;
         }
     }
-    path.windows(2).all(|w| graph.has_edge(w[0], w[1]))
+    path.windows(2).all(|w| csr.has_edge(w[0], w[1]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jellyfish_topology::Graph;
+    use jellyfish_topology::{CsrGraph, Graph};
 
     #[test]
     fn path_hops_counts_links() {
@@ -75,11 +82,12 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(2, 3);
-        assert!(is_valid_simple_path(&g, &vec![0, 1, 2, 3]));
-        assert!(is_valid_simple_path(&g, &vec![2]));
-        assert!(!is_valid_simple_path(&g, &vec![]));
-        assert!(!is_valid_simple_path(&g, &vec![0, 2]), "not adjacent");
-        assert!(!is_valid_simple_path(&g, &vec![0, 1, 0]), "loop");
-        assert!(!is_valid_simple_path(&g, &vec![0, 9]), "out of range");
+        let csr = CsrGraph::from_graph(&g);
+        assert!(is_valid_simple_path(&csr, &vec![0, 1, 2, 3]));
+        assert!(is_valid_simple_path(&csr, &vec![2]));
+        assert!(!is_valid_simple_path(&csr, &vec![]));
+        assert!(!is_valid_simple_path(&csr, &vec![0, 2]), "not adjacent");
+        assert!(!is_valid_simple_path(&csr, &vec![0, 1, 0]), "loop");
+        assert!(!is_valid_simple_path(&csr, &vec![0, 9]), "out of range");
     }
 }

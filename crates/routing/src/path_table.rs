@@ -5,11 +5,17 @@
 //! permutation workload with (a) 8-way ECMP, (b) 64-way ECMP, and (c)
 //! 8-shortest-path routing. The punchline: under ECMP most links are on very
 //! few paths, so capacity sits idle.
+//!
+//! [`PathTable::build`] computes the per-pair path sets in parallel with
+//! rayon (each pair's computation is independent), producing exactly the
+//! same table as [`PathTable::build_serial`]. Link counts are accumulated in
+//! a flat per-arc array indexed by the snapshot's dense arc ids.
 
 use crate::ecmp::EcmpConfig;
 use crate::yen::k_shortest_paths;
 use crate::Path;
-use jellyfish_topology::{Graph, NodeId};
+use jellyfish_topology::{CsrGraph, NodeId};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// The routing scheme used to build a path table.
@@ -44,10 +50,10 @@ impl RoutingScheme {
     }
 
     /// Computes the path set for one switch pair under this scheme.
-    pub fn paths(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<Path> {
+    pub fn paths(&self, csr: &CsrGraph, src: NodeId, dst: NodeId) -> Vec<Path> {
         match *self {
-            RoutingScheme::Ecmp { way } => EcmpConfig { way }.paths(graph, src, dst),
-            RoutingScheme::KShortestPaths { k } => k_shortest_paths(graph, src, dst, k),
+            RoutingScheme::Ecmp { way } => EcmpConfig { way }.paths(csr, src, dst),
+            RoutingScheme::KShortestPaths { k } => k_shortest_paths(csr, src, dst, k),
         }
     }
 
@@ -62,25 +68,43 @@ impl RoutingScheme {
 
 /// A path table: the set of installed paths for a collection of
 /// source–destination switch pairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PathTable {
     paths: HashMap<(NodeId, NodeId), Vec<Path>>,
 }
 
+/// Deduplicates pairs (first occurrence wins) and drops self-pairs,
+/// preserving order so the parallel and serial builds see the same work list.
+fn unique_pairs(pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
+    let mut seen = std::collections::HashSet::new();
+    pairs.into_iter().filter(|&(s, d)| s != d && seen.insert((s, d))).collect()
+}
+
 impl PathTable {
-    /// Builds the table for the given switch pairs under `scheme`.
+    /// Builds the table for the given switch pairs under `scheme`, computing
+    /// the per-pair path sets in parallel. Seed-for-seed identical to
+    /// [`PathTable::build_serial`].
     pub fn build(
-        graph: &Graph,
+        csr: &CsrGraph,
         scheme: RoutingScheme,
         pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
     ) -> Self {
-        let mut paths = HashMap::new();
-        for (s, d) in pairs {
-            if s == d {
-                continue;
-            }
-            paths.entry((s, d)).or_insert_with(|| scheme.paths(graph, s, d));
-        }
+        let work = unique_pairs(pairs);
+        let paths = work.into_par_iter().map(|(s, d)| ((s, d), scheme.paths(csr, s, d))).collect();
+        PathTable { paths }
+    }
+
+    /// Serial reference implementation of [`PathTable::build`]; used by the
+    /// determinism tests and as the benchmark baseline.
+    pub fn build_serial(
+        csr: &CsrGraph,
+        scheme: RoutingScheme,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let paths = unique_pairs(pairs)
+            .into_iter()
+            .map(|(s, d)| ((s, d), scheme.paths(csr, s, d)))
+            .collect();
         PathTable { paths }
     }
 
@@ -104,30 +128,41 @@ impl PathTable {
         self.paths.iter()
     }
 
-    /// Counts, for every *directed* inter-switch link, the number of distinct
-    /// installed paths that traverse it. Links never traversed are included
-    /// with a count of zero. This is the Figure 9 quantity.
-    pub fn directed_link_path_counts(&self, graph: &Graph) -> HashMap<(NodeId, NodeId), usize> {
-        let mut counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
-        for e in graph.edges() {
-            counts.insert((e.a, e.b), 0);
-            counts.insert((e.b, e.a), 0);
-        }
+    /// Counts, for every directed arc (dense [`jellyfish_topology::ArcId`]
+    /// order), the number of installed paths traversing it. Arcs never
+    /// traversed hold zero. This is the flat Figure 9 accumulator.
+    pub fn arc_path_counts(&self, csr: &CsrGraph) -> Vec<usize> {
+        let mut counts = vec![0usize; csr.num_arcs()];
         for paths in self.paths.values() {
             for p in paths {
                 for w in p.windows(2) {
-                    *counts.entry((w[0], w[1])).or_insert(0) += 1;
+                    let arc = csr
+                        .arc_index(w[0], w[1])
+                        .expect("installed path uses a link absent from the snapshot");
+                    counts[arc] += 1;
                 }
             }
         }
         counts
     }
 
+    /// Counts, for every *directed* inter-switch link, the number of distinct
+    /// installed paths that traverse it. Links never traversed are included
+    /// with a count of zero. This is the Figure 9 quantity keyed by node
+    /// pair; the hot path is [`PathTable::arc_path_counts`].
+    pub fn directed_link_path_counts(&self, csr: &CsrGraph) -> HashMap<(NodeId, NodeId), usize> {
+        self.arc_path_counts(csr)
+            .into_iter()
+            .enumerate()
+            .map(|(arc, count)| ((csr.arc_source(arc), csr.arc_target(arc)), count))
+            .collect()
+    }
+
     /// The Figure 9 series: per-directed-link path counts sorted ascending
     /// ("rank of link" on the x axis, "# distinct paths link is on" on the y
     /// axis).
-    pub fn ranked_link_path_counts(&self, graph: &Graph) -> Vec<usize> {
-        let mut counts: Vec<usize> = self.directed_link_path_counts(graph).into_values().collect();
+    pub fn ranked_link_path_counts(&self, csr: &CsrGraph) -> Vec<usize> {
+        let mut counts = self.arc_path_counts(csr);
         counts.sort_unstable();
         counts
     }
@@ -135,8 +170,8 @@ impl PathTable {
     /// Fraction of directed links that lie on at most `threshold` distinct
     /// paths (the paper quotes 55% of links on <= 2 paths under ECMP vs 6%
     /// under 8-shortest-paths, for the 686-server Jellyfish).
-    pub fn fraction_links_with_at_most(&self, graph: &Graph, threshold: usize) -> f64 {
-        let ranked = self.ranked_link_path_counts(graph);
+    pub fn fraction_links_with_at_most(&self, csr: &CsrGraph, threshold: usize) -> f64 {
+        let ranked = self.ranked_link_path_counts(csr);
         if ranked.is_empty() {
             return 0.0;
         }
@@ -174,11 +209,9 @@ mod tests {
     #[test]
     fn table_skips_self_pairs_and_counts() {
         let topo = JellyfishBuilder::new(20, 8, 5).seed(1).build().unwrap();
-        let table = PathTable::build(
-            topo.graph(),
-            RoutingScheme::ksp8(),
-            vec![(0, 5), (5, 0), (3, 3), (7, 12)],
-        );
+        let csr = topo.csr();
+        let table =
+            PathTable::build(&csr, RoutingScheme::ksp8(), vec![(0, 5), (5, 0), (3, 3), (7, 12)]);
         assert_eq!(table.num_pairs(), 3);
         assert!(table.num_paths() >= 3);
         assert!(table.paths_for(3, 3).is_empty());
@@ -187,12 +220,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_serial() {
+        let topo = JellyfishBuilder::new(30, 8, 5).seed(12).build().unwrap();
+        let csr = topo.csr();
+        let pairs = permutation_pairs(30, 13);
+        for scheme in [RoutingScheme::ecmp8(), RoutingScheme::ksp8()] {
+            let par = PathTable::build(&csr, scheme, pairs.iter().copied());
+            let ser = PathTable::build_serial(&csr, scheme, pairs.iter().copied());
+            assert_eq!(par.num_pairs(), ser.num_pairs());
+            for (&(s, d), paths) in ser.iter() {
+                assert_eq!(par.paths_for(s, d), paths.as_slice(), "pair ({s}, {d})");
+            }
+            assert_eq!(par.ranked_link_path_counts(&csr), ser.ranked_link_path_counts(&csr));
+        }
+    }
+
+    #[test]
     fn link_counts_cover_every_directed_link() {
         let topo = JellyfishBuilder::new(20, 8, 5).seed(2).build().unwrap();
-        let table = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), permutation_pairs(20, 3));
-        let counts = table.directed_link_path_counts(topo.graph());
+        let csr = topo.csr();
+        let table = PathTable::build(&csr, RoutingScheme::ecmp8(), permutation_pairs(20, 3));
+        let counts = table.directed_link_path_counts(&csr);
         assert_eq!(counts.len(), 2 * topo.num_links());
-        let ranked = table.ranked_link_path_counts(topo.graph());
+        let ranked = table.ranked_link_path_counts(&csr);
         assert_eq!(ranked.len(), 2 * topo.num_links());
         assert!(ranked.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -200,14 +250,15 @@ mod tests {
     #[test]
     fn link_count_totals_match_path_hops() {
         let topo = JellyfishBuilder::new(15, 8, 5).seed(4).build().unwrap();
-        let table = PathTable::build(topo.graph(), RoutingScheme::ksp8(), permutation_pairs(15, 5));
-        let counts = table.directed_link_path_counts(topo.graph());
+        let csr = topo.csr();
+        let table = PathTable::build(&csr, RoutingScheme::ksp8(), permutation_pairs(15, 5));
+        let counts = table.directed_link_path_counts(&csr);
         let total_from_counts: usize = counts.values().sum();
-        let total_hops: usize = table
-            .iter()
-            .flat_map(|(_, paths)| paths.iter().map(|p| p.len() - 1))
-            .sum();
+        let total_hops: usize =
+            table.iter().flat_map(|(_, paths)| paths.iter().map(|p| p.len() - 1)).sum();
         assert_eq!(total_from_counts, total_hops);
+        let flat_total: usize = table.arc_path_counts(&csr).iter().sum();
+        assert_eq!(flat_total, total_hops);
     }
 
     #[test]
@@ -215,11 +266,12 @@ mod tests {
         // The Figure 9 effect: 8-shortest-path routing leaves far fewer links
         // with <= 2 paths than 8-way ECMP on a Jellyfish topology.
         let topo = JellyfishBuilder::new(60, 10, 6).seed(6).build().unwrap();
+        let csr = topo.csr();
         let pairs = permutation_pairs(60, 7);
-        let ecmp = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), pairs.clone());
-        let ksp = PathTable::build(topo.graph(), RoutingScheme::ksp8(), pairs);
-        let f_ecmp = ecmp.fraction_links_with_at_most(topo.graph(), 2);
-        let f_ksp = ksp.fraction_links_with_at_most(topo.graph(), 2);
+        let ecmp = PathTable::build(&csr, RoutingScheme::ecmp8(), pairs.clone());
+        let ksp = PathTable::build(&csr, RoutingScheme::ksp8(), pairs);
+        let f_ecmp = ecmp.fraction_links_with_at_most(&csr, 2);
+        let f_ksp = ksp.fraction_links_with_at_most(&csr, 2);
         assert!(
             f_ksp < f_ecmp,
             "k-shortest paths ({f_ksp}) should leave fewer underused links than ECMP ({f_ecmp})"
@@ -229,18 +281,20 @@ mod tests {
     #[test]
     fn ecmp64_no_worse_than_ecmp8() {
         let topo = JellyfishBuilder::new(40, 10, 6).seed(8).build().unwrap();
+        let csr = topo.csr();
         let pairs = permutation_pairs(40, 9);
-        let e8 = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), pairs.clone());
-        let e64 = PathTable::build(topo.graph(), RoutingScheme::ecmp64(), pairs);
+        let e8 = PathTable::build(&csr, RoutingScheme::ecmp8(), pairs.clone());
+        let e64 = PathTable::build(&csr, RoutingScheme::ecmp64(), pairs);
         assert!(e64.num_paths() >= e8.num_paths());
     }
 
     #[test]
     fn empty_table_fraction_is_zero() {
         let topo = JellyfishBuilder::new(10, 6, 3).seed(1).build().unwrap();
-        let table = PathTable::build(topo.graph(), RoutingScheme::ecmp8(), Vec::new());
+        let csr = topo.csr();
+        let table = PathTable::build(&csr, RoutingScheme::ecmp8(), Vec::new());
         assert_eq!(table.num_pairs(), 0);
         // All links have zero paths -> fraction with <= 2 is 1.0 (all of them).
-        assert!((table.fraction_links_with_at_most(topo.graph(), 2) - 1.0).abs() < 1e-12);
+        assert!((table.fraction_links_with_at_most(&csr, 2) - 1.0).abs() < 1e-12);
     }
 }

@@ -1,8 +1,15 @@
-//! Shortest-path primitives: BFS (unit weights), all-pairs distances, and a
-//! weighted Dijkstra used by Yen's algorithm and by cost-aware cabling code.
+//! Shortest-path primitives: BFS (unit weights), all-pairs distances, and
+//! weighted Dijkstras used by Yen's algorithm, cost-aware cabling code, and
+//! the flow solver.
+//!
+//! All functions traverse an immutable [`CsrGraph`] snapshot; the all-pairs
+//! sweep fans the per-source searches out with rayon and is bit-identical to
+//! the serial variant (each source's result is independent and merged in
+//! source order).
 
 use crate::Path;
-use jellyfish_topology::{Graph, NodeId};
+use jellyfish_topology::{ArcId, CsrGraph, NodeId};
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -37,39 +44,44 @@ impl BfsTree {
 }
 
 /// Breadth-first search from `source`.
-pub fn bfs(graph: &Graph, source: NodeId) -> BfsTree {
-    let n = graph.num_nodes();
+pub fn bfs(csr: &CsrGraph, source: NodeId) -> BfsTree {
+    let n = csr.num_nodes();
     let mut dist = vec![usize::MAX; n];
     let mut parent = vec![usize::MAX; n];
     let mut queue = VecDeque::new();
     dist[source] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for &v in graph.neighbors(u) {
+        let du = dist[u];
+        for &v in csr.neighbors(u) {
+            let v = v as usize;
             if dist[v] == usize::MAX {
-                dist[v] = dist[u] + 1;
+                dist[v] = du + 1;
                 parent[v] = u;
                 queue.push_back(v);
             }
         }
     }
-    BfsTree {
-        dist,
-        parent,
-        source,
-    }
+    BfsTree { dist, parent, source }
 }
 
 /// One shortest path from `src` to `dst` (hop count metric), or `None` if
 /// unreachable.
-pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
-    bfs(graph, src).path_to(dst)
+pub fn shortest_path(csr: &CsrGraph, src: NodeId, dst: NodeId) -> Option<Path> {
+    bfs(csr, src).path_to(dst)
 }
 
 /// All-pairs shortest-path distances (hop counts), `usize::MAX` when
-/// unreachable. Runs one BFS per node: O(N·(N+E)).
-pub fn all_pairs_distances(graph: &Graph) -> Vec<Vec<usize>> {
-    graph.nodes().map(|s| bfs(graph, s).dist).collect()
+/// unreachable. One rayon task per BFS source; results are identical to
+/// [`all_pairs_distances_serial`].
+pub fn all_pairs_distances(csr: &CsrGraph) -> Vec<Vec<usize>> {
+    csr.nodes().collect::<Vec<_>>().into_par_iter().map(|s| csr.bfs_distances(s)).collect()
+}
+
+/// Serial reference implementation of [`all_pairs_distances`]; used by the
+/// determinism tests and as the benchmark baseline.
+pub fn all_pairs_distances_serial(csr: &CsrGraph) -> Vec<Vec<usize>> {
+    csr.nodes().map(|s| csr.bfs_distances(s)).collect()
 }
 
 /// Dijkstra over per-link weights supplied by `weight(u, v)`.
@@ -78,11 +90,34 @@ pub fn all_pairs_distances(graph: &Graph) -> Vec<Vec<usize>> {
 /// only called for adjacent pairs. Nodes may be excluded from the search by
 /// returning `f64::INFINITY`, which is how Yen's spur computation masks
 /// removed links without mutating the graph.
-pub fn dijkstra_with<F>(graph: &Graph, source: NodeId, weight: F) -> (Vec<f64>, Vec<usize>)
+pub fn dijkstra_with<F>(csr: &CsrGraph, source: NodeId, weight: F) -> (Vec<f64>, Vec<usize>)
 where
     F: Fn(NodeId, NodeId) -> f64,
 {
-    let n = graph.num_nodes();
+    // The scan loop already holds the arc's source node, so the adapter never
+    // pays an `arc_source` binary search per relaxed arc.
+    dijkstra_core(csr, source, |u, arc| weight(u, csr.arc_target(arc)))
+}
+
+/// Dijkstra with weights indexed by dense [`ArcId`] — the hot-path variant
+/// the flow solver uses so per-arc state lives in a flat slice.
+///
+/// Same contract as [`dijkstra_with`]: non-negative weights, `INFINITY`
+/// masks an arc.
+pub fn dijkstra_arcs<F>(csr: &CsrGraph, source: NodeId, arc_weight: F) -> (Vec<f64>, Vec<usize>)
+where
+    F: Fn(ArcId) -> f64,
+{
+    dijkstra_core(csr, source, |_, arc| arc_weight(arc))
+}
+
+/// The shared Dijkstra scan; the weight callback receives the arc's source
+/// node (free in the scan loop) alongside the arc id.
+fn dijkstra_core<F>(csr: &CsrGraph, source: NodeId, arc_weight: F) -> (Vec<f64>, Vec<usize>)
+where
+    F: Fn(NodeId, ArcId) -> f64,
+{
+    let n = csr.num_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut parent = vec![usize::MAX; n];
     let mut heap: BinaryHeap<Reverse<(OrderedF64, NodeId)>> = BinaryHeap::new();
@@ -92,11 +127,12 @@ where
         if d > dist[u] {
             continue;
         }
-        for &v in graph.neighbors(u) {
-            let w = weight(u, v);
+        for arc in csr.arc_range(u) {
+            let w = arc_weight(u, arc);
             if !w.is_finite() || w < 0.0 {
                 continue;
             }
+            let v = csr.arc_target(arc);
             let nd = d + w;
             if nd + 1e-15 < dist[v] {
                 dist[v] = nd;
@@ -108,17 +144,7 @@ where
     (dist, parent)
 }
 
-/// Shortest path by Dijkstra under the given weight function.
-pub fn weighted_shortest_path<F>(
-    graph: &Graph,
-    src: NodeId,
-    dst: NodeId,
-    weight: F,
-) -> Option<(Path, f64)>
-where
-    F: Fn(NodeId, NodeId) -> f64,
-{
-    let (dist, parent) = dijkstra_with(graph, src, weight);
+fn extract_path(src: NodeId, dst: NodeId, dist: &[f64], parent: &[usize]) -> Option<(Path, f64)> {
     if !dist[dst].is_finite() {
         return None;
     }
@@ -133,6 +159,34 @@ where
     }
     path.reverse();
     Some((path, dist[dst]))
+}
+
+/// Shortest path by Dijkstra under the given node-pair weight function.
+pub fn weighted_shortest_path<F>(
+    csr: &CsrGraph,
+    src: NodeId,
+    dst: NodeId,
+    weight: F,
+) -> Option<(Path, f64)>
+where
+    F: Fn(NodeId, NodeId) -> f64,
+{
+    let (dist, parent) = dijkstra_with(csr, src, weight);
+    extract_path(src, dst, &dist, &parent)
+}
+
+/// Shortest path by Dijkstra under a dense per-arc weight function.
+pub fn weighted_shortest_path_arcs<F>(
+    csr: &CsrGraph,
+    src: NodeId,
+    dst: NodeId,
+    arc_weight: F,
+) -> Option<(Path, f64)>
+where
+    F: Fn(ArcId) -> f64,
+{
+    let (dist, parent) = dijkstra_arcs(csr, src, arc_weight);
+    extract_path(src, dst, &dist, &parent)
 }
 
 /// Total-ordered f64 wrapper for use in the Dijkstra heap. NaN is never
@@ -157,9 +211,9 @@ impl Ord for OrderedF64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jellyfish_topology::JellyfishBuilder;
+    use jellyfish_topology::{Graph, JellyfishBuilder};
 
-    fn grid3x3() -> Graph {
+    fn grid3x3() -> CsrGraph {
         // 0-1-2 / 3-4-5 / 6-7-8 grid, no wraparound.
         let mut g = Graph::new(9);
         for y in 0..3 {
@@ -173,7 +227,7 @@ mod tests {
                 }
             }
         }
-        g
+        CsrGraph::from_graph(&g)
     }
 
     #[test]
@@ -201,7 +255,8 @@ mod tests {
     fn bfs_unreachable() {
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
-        let t = bfs(&g, 0);
+        let csr = CsrGraph::from_graph(&g);
+        let t = bfs(&csr, 0);
         assert!(t.path_to(2).is_none());
         assert_eq!(t.dist[2], usize::MAX);
     }
@@ -210,9 +265,9 @@ mod tests {
     fn all_pairs_symmetric() {
         let g = grid3x3();
         let d = all_pairs_distances(&g);
-        for u in 0..9 {
-            for v in 0..9 {
-                assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u]);
             }
         }
         assert_eq!(d[0][8], 4);
@@ -220,13 +275,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_all_pairs_matches_serial() {
+        let topo = JellyfishBuilder::new(60, 10, 6).seed(11).build().unwrap();
+        let csr = topo.csr();
+        assert_eq!(all_pairs_distances(&csr), all_pairs_distances_serial(&csr));
+    }
+
+    #[test]
     fn dijkstra_unit_weights_matches_bfs() {
         let topo = JellyfishBuilder::new(40, 8, 5).seed(2).build().unwrap();
-        let g = topo.graph();
-        let b = bfs(g, 0);
-        let (d, _) = dijkstra_with(g, 0, |_, _| 1.0);
+        let g = topo.csr();
+        let b = bfs(&g, 0);
+        let (d, _) = dijkstra_with(&g, 0, |_, _| 1.0);
         for v in g.nodes() {
             assert!((d[v] - b.dist[v] as f64).abs() < 1e-9, "node {v}");
+        }
+    }
+
+    #[test]
+    fn arc_weights_match_pair_weights() {
+        let topo = JellyfishBuilder::new(30, 8, 5).seed(4).build().unwrap();
+        let csr = topo.csr();
+        // A weight that depends on the endpoints, expressed both ways.
+        let pair_weight = |u: usize, v: usize| 1.0 + ((u * 7 + v * 13) % 5) as f64;
+        let (d1, _) = dijkstra_with(&csr, 3, pair_weight);
+        let (d2, _) =
+            dijkstra_arcs(&csr, 3, |arc| pair_weight(csr.arc_source(arc), csr.arc_target(arc)));
+        for v in csr.nodes() {
+            assert!((d1[v] - d2[v]).abs() < 1e-12, "node {v}");
         }
     }
 
@@ -237,6 +313,7 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(0, 2);
+        let csr = CsrGraph::from_graph(&g);
         let weight = |u: usize, v: usize| {
             if (u.min(v), u.max(v)) == (0, 2) {
                 10.0
@@ -244,7 +321,7 @@ mod tests {
                 1.0
             }
         };
-        let (path, cost) = weighted_shortest_path(&g, 0, 2, weight).unwrap();
+        let (path, cost) = weighted_shortest_path(&csr, 0, 2, weight).unwrap();
         assert_eq!(path, vec![0, 1, 2]);
         assert!((cost - 2.0).abs() < 1e-12);
     }
@@ -254,6 +331,7 @@ mod tests {
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
         g.add_edge(1, 2);
+        let csr = CsrGraph::from_graph(&g);
         let weight = |u: usize, v: usize| {
             if (u.min(v), u.max(v)) == (1, 2) {
                 f64::INFINITY
@@ -261,7 +339,7 @@ mod tests {
                 1.0
             }
         };
-        assert!(weighted_shortest_path(&g, 0, 2, weight).is_none());
+        assert!(weighted_shortest_path(&csr, 0, 2, weight).is_none());
     }
 
     #[test]

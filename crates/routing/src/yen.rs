@@ -12,21 +12,22 @@
 
 use crate::shortest::weighted_shortest_path;
 use crate::Path;
-use jellyfish_topology::{Graph, NodeId};
+use jellyfish_topology::{CsrGraph, NodeId};
+use rayon::prelude::*;
 use std::collections::{BTreeSet, HashSet};
 
 /// Finds up to `k` loopless shortest paths from `src` to `dst` using unit
 /// link weights (hop count). Paths are returned sorted by (length, lexical
 /// order) and are pairwise distinct. Returns an empty vector if `dst` is
 /// unreachable; returns `[[src]]` when `src == dst`.
-pub fn k_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    k_shortest_paths_weighted(graph, src, dst, k, |_, _| 1.0)
+pub fn k_shortest_paths(csr: &CsrGraph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    k_shortest_paths_weighted(csr, src, dst, k, |_, _| 1.0)
 }
 
 /// Weighted variant of [`k_shortest_paths`]; `weight(u, v)` must be positive
 /// and finite for every link.
 pub fn k_shortest_paths_weighted<F>(
-    graph: &Graph,
+    csr: &CsrGraph,
     src: NodeId,
     dst: NodeId,
     k: usize,
@@ -41,7 +42,7 @@ where
     if src == dst {
         return vec![vec![src]];
     }
-    let Some((first, _)) = weighted_shortest_path(graph, src, dst, weight) else {
+    let Some((first, _)) = weighted_shortest_path(csr, src, dst, weight) else {
         return Vec::new();
     };
 
@@ -80,8 +81,7 @@ where
                 }
                 weight(u, v)
             };
-            if let Some((spur_path, _)) = weighted_shortest_path(graph, spur_node, dst, spur_weight)
-            {
+            if let Some((spur_path, _)) = weighted_shortest_path(csr, spur_node, dst, spur_weight) {
                 let mut total: Path = root[..spur_idx].to_vec();
                 total.extend(spur_path);
                 // Guard against any residual loop (should not happen).
@@ -113,17 +113,17 @@ where
 /// All-pairs k-shortest paths; `paths[s][d]` holds the path set from `s` to
 /// `d` (empty on the diagonal). Intended for the moderate sizes the paper's
 /// packet-level experiments use.
-pub fn all_pairs_k_shortest(graph: &Graph, k: usize) -> Vec<Vec<Vec<Path>>> {
-    let n = graph.num_nodes();
-    let mut table = vec![vec![Vec::new(); n]; n];
-    for s in 0..n {
-        for d in 0..n {
-            if s != d {
-                table[s][d] = k_shortest_paths(graph, s, d, k);
-            }
-        }
-    }
-    table
+pub fn all_pairs_k_shortest(csr: &CsrGraph, k: usize) -> Vec<Vec<Vec<Path>>> {
+    let n = csr.num_nodes();
+    csr.nodes()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|s| {
+            (0..n)
+                .map(|d| if s == d { Vec::new() } else { k_shortest_paths(csr, s, d, k) })
+                .collect()
+        })
+        .collect()
 }
 
 fn has_duplicate(path: &Path) -> bool {
@@ -157,10 +157,10 @@ impl Ord for CostKey {
 mod tests {
     use super::*;
     use crate::is_valid_simple_path;
-    use jellyfish_topology::JellyfishBuilder;
+    use jellyfish_topology::{Graph, JellyfishBuilder};
 
     /// The classic example graph used to illustrate Yen's algorithm.
-    fn diamond() -> Graph {
+    fn diamond() -> CsrGraph {
         // 0 -- 1 -- 3
         //  \   |   /
         //   \  2  /
@@ -173,7 +173,7 @@ mod tests {
         g.add_edge(4, 3);
         g.add_edge(1, 2);
         g.add_edge(2, 4);
-        g
+        CsrGraph::from_graph(&g)
     }
 
     #[test]
@@ -217,6 +217,7 @@ mod tests {
     fn unreachable_and_self_cases() {
         let mut g = Graph::new(3);
         g.add_edge(0, 1);
+        let g = CsrGraph::from_graph(&g);
         assert!(k_shortest_paths(&g, 0, 2, 4).is_empty());
         assert_eq!(k_shortest_paths(&g, 1, 1, 4), vec![vec![1]]);
     }
@@ -227,6 +228,7 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(2, 3);
+        let g = CsrGraph::from_graph(&g);
         let paths = k_shortest_paths(&g, 0, 3, 8);
         assert_eq!(paths, vec![vec![0, 1, 2, 3]]);
     }
@@ -237,6 +239,7 @@ mod tests {
         for i in 0..6 {
             g.add_edge(i, (i + 1) % 6);
         }
+        let g = CsrGraph::from_graph(&g);
         let paths = k_shortest_paths(&g, 0, 3, 8);
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].len(), 4);
@@ -261,7 +264,7 @@ mod tests {
     #[test]
     fn jellyfish_8_shortest_paths_are_valid_and_distinct() {
         let topo = JellyfishBuilder::new(40, 10, 6).seed(5).build().unwrap();
-        let g = topo.graph();
+        let g = &topo.csr();
         for (s, d) in [(0usize, 20usize), (3, 35), (11, 29)] {
             let paths = k_shortest_paths(g, s, d, 8);
             assert_eq!(paths.len(), 8, "expected 8 paths between {s} and {d}");
@@ -281,15 +284,15 @@ mod tests {
     #[test]
     fn all_pairs_table_dimensions() {
         let topo = JellyfishBuilder::new(12, 6, 3).seed(1).build().unwrap();
-        let table = all_pairs_k_shortest(topo.graph(), 4);
+        let table = all_pairs_k_shortest(&topo.csr(), 4);
         assert_eq!(table.len(), 12);
-        for s in 0..12 {
-            for d in 0..12 {
+        for (s, row) in table.iter().enumerate() {
+            for (d, cell) in row.iter().enumerate() {
                 if s == d {
-                    assert!(table[s][d].is_empty());
+                    assert!(cell.is_empty());
                 } else {
-                    assert!(!table[s][d].is_empty());
-                    assert!(table[s][d].len() <= 4);
+                    assert!(!cell.is_empty());
+                    assert!(cell.len() <= 4);
                 }
             }
         }

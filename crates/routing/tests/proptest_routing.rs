@@ -21,7 +21,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let topo = JellyfishBuilder::new(n, 9, 5).seed(seed).build().unwrap();
-        let g = topo.graph();
+        let g = &topo.csr();
         let src = 0;
         let dst = n / 2;
         let paths = k_shortest_paths(g, src, dst, k);
@@ -45,7 +45,7 @@ proptest! {
     #[test]
     fn ecmp_paths_are_shortest(n in 10usize..40, seed in any::<u64>()) {
         let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
-        let g = topo.graph();
+        let g = &topo.csr();
         let dist = bfs(g, 1).dist;
         for dst in [n - 1, n / 2, 2] {
             if dst == 1 { continue; }
@@ -65,7 +65,7 @@ proptest! {
     #[test]
     fn ksp_at_least_as_many_paths_as_ecmp(n in 12usize..40, seed in any::<u64>()) {
         let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
-        let g = topo.graph();
+        let g = &topo.csr();
         let ecmp = all_shortest_paths(g, 0, n - 1, 8);
         let ksp = k_shortest_paths(g, 0, n - 1, 8);
         prop_assert!(ksp.len() >= ecmp.len());
@@ -77,11 +77,26 @@ proptest! {
     fn path_table_conservation(n in 10usize..30, seed in any::<u64>()) {
         let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
         let pairs: Vec<_> = (0..n).map(|s| (s, (s + n / 2) % n)).filter(|(s, d)| s != d).collect();
-        let table = PathTable::build(topo.graph(), RoutingScheme::ksp8(), pairs);
-        let counts = table.directed_link_path_counts(topo.graph());
+        let csr = topo.csr();
+        let table = PathTable::build(&csr, RoutingScheme::ksp8(), pairs);
+        let counts = table.directed_link_path_counts(&csr);
         let total: usize = counts.values().sum();
         let hops: usize = table.iter().flat_map(|(_, ps)| ps.iter().map(|p| p.len() - 1)).sum();
         prop_assert_eq!(total, hops);
         prop_assert_eq!(counts.len(), 2 * topo.num_links());
+    }
+
+    /// The rayon path-table build is identical to the serial build for every
+    /// scheme and workload — parallelism must never change results.
+    #[test]
+    fn path_table_parallel_matches_serial(n in 10usize..30, seed in any::<u64>()) {
+        let topo = JellyfishBuilder::new(n, 8, 5).seed(seed).build().unwrap();
+        let csr = topo.csr();
+        let pairs: Vec<_> = (0..n).map(|s| (s, (s * 7 + 3) % n)).filter(|(s, d)| s != d).collect();
+        for scheme in [RoutingScheme::ecmp8(), RoutingScheme::ecmp64(), RoutingScheme::ksp8()] {
+            let par = PathTable::build(&csr, scheme, pairs.iter().copied());
+            let ser = PathTable::build_serial(&csr, scheme, pairs.iter().copied());
+            prop_assert_eq!(par, ser);
+        }
     }
 }

@@ -110,10 +110,7 @@ struct ConnState {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
     Arrive(Packet),
-    TimeoutCheck {
-        conn: usize,
-        subflow: usize,
-    },
+    TimeoutCheck { conn: usize, subflow: usize },
     WarmupSnapshot,
 }
 
@@ -129,10 +126,7 @@ impl PartialOrd for TimeKey {
 }
 impl Ord for TimeKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.1.cmp(&other.1))
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal).then(self.1.cmp(&other.1))
     }
 }
 
@@ -200,8 +194,7 @@ impl Simulator {
 
     fn schedule(&mut self, time: f64, event: Event) {
         self.event_counter += 1;
-        self.events
-            .push(Reverse((TimeKey(time, self.event_counter), EventBox(event))));
+        self.events.push(Reverse((TimeKey(time, self.event_counter), EventBox(event))));
     }
 
     /// Runs the simulation to completion and reports per-connection goodput.
@@ -330,13 +323,7 @@ impl Simulator {
         let size = if pkt.is_ack { ACK_SIZE } else { 1.0 };
         match self.network.transmit_sized(u, v, self.now, size) {
             TransmitOutcome::Delivered { arrival } => {
-                self.schedule(
-                    arrival,
-                    Event::Arrive(Packet {
-                        hop: pkt.hop + 1,
-                        ..pkt
-                    }),
-                );
+                self.schedule(arrival, Event::Arrive(Packet { hop: pkt.hop + 1, ..pkt }));
             }
             TransmitOutcome::Dropped => {
                 // Silently lost; the sender recovers via dupacks or RTO.
@@ -416,11 +403,8 @@ impl Simulator {
             return 1.0 / c.subflows[sub].sender.cwnd.max(1.0);
         }
         let cwnds: Vec<f64> = c.subflows.iter().map(|s| s.sender.cwnd).collect();
-        let rtts: Vec<f64> = c
-            .subflows
-            .iter()
-            .map(|s| s.sender.srtt.unwrap_or(self.config.initial_rto))
-            .collect();
+        let rtts: Vec<f64> =
+            c.subflows.iter().map(|s| s.sender.srtt.unwrap_or(self.config.initial_rto)).collect();
         lia_increase_per_ack(&cwnds, &rtts, sub)
     }
 
@@ -489,15 +473,11 @@ mod tests {
     ) -> SimReport {
         let topo = JellyfishBuilder::new(switches, ports, degree).seed(seed).build().unwrap();
         let servers = ServerMap::new(&topo);
+        let csr = topo.csr();
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0xABCD);
-        let conns = build_connections(&topo, &servers, &tm, path_policy, transport, seed);
-        let net = Network::build(&topo, &servers, LinkParams::default());
-        let config = SimConfig {
-            duration: 6.0,
-            warmup: 1.5,
-            seed,
-            ..Default::default()
-        };
+        let conns = build_connections(&csr, &servers, &tm, path_policy, transport, seed);
+        let net = Network::build(&csr, &servers, LinkParams::default());
+        let config = SimConfig { duration: 6.0, warmup: 1.5, seed, ..Default::default() };
         Simulator::new(net, conns, config).run()
     }
 
@@ -512,16 +492,22 @@ mod tests {
             servers.num_servers(),
             "single",
         );
+        let csr = topo.csr();
         let conns = build_connections(
-            &topo,
+            &csr,
             &servers,
             &tm,
             PathPolicy::ksp8(),
             TransportPolicy::Tcp { flows: 1 },
             3,
         );
-        let net = Network::build(&topo, &servers, LinkParams::default());
-        let report = Simulator::new(net, conns, SimConfig { duration: 8.0, warmup: 2.0, ..Default::default() }).run();
+        let net = Network::build(&csr, &servers, LinkParams::default());
+        let report = Simulator::new(
+            net,
+            conns,
+            SimConfig { duration: 8.0, warmup: 2.0, ..Default::default() },
+        )
+        .run();
         assert_eq!(report.connections.len(), 1);
         let tput = report.connections[0].normalized_throughput;
         assert!(tput > 0.8, "single unconstrained flow got {tput}");
@@ -544,9 +530,22 @@ mod tests {
             servers.num_servers(),
             "bottleneck",
         );
-        let conns = build_connections(&topo, &servers, &tm, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 1 }, 1);
-        let net = Network::build(&topo, &servers, LinkParams::default());
-        let report = Simulator::new(net, conns, SimConfig { duration: 12.0, warmup: 3.0, ..Default::default() }).run();
+        let csr = topo.csr();
+        let conns = build_connections(
+            &csr,
+            &servers,
+            &tm,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 1 },
+            1,
+        );
+        let net = Network::build(&csr, &servers, LinkParams::default());
+        let report = Simulator::new(
+            net,
+            conns,
+            SimConfig { duration: 12.0, warmup: 3.0, ..Default::default() },
+        )
+        .run();
         let t: Vec<f64> = report.connections.iter().map(|c| c.normalized_throughput).collect();
         let sum = t[0] + t[1];
         assert!(sum > 0.7 && sum <= 1.05, "bottleneck share sum = {sum}");
@@ -564,8 +563,10 @@ mod tests {
         // ECMP-vs-KSP ordering of Table 1 needs the paper's topology sizes,
         // where ECMP's shortest-path diversity genuinely runs out — see
         // EXPERIMENTS.md and the `figures table1` command.)
-        let ecmp = small_sim(12, 9, 6, PathPolicy::ecmp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
-        let ksp = small_sim(12, 9, 6, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
+        let ecmp =
+            small_sim(12, 9, 6, PathPolicy::ecmp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
+        let ksp =
+            small_sim(12, 9, 6, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
         let tcp8 = small_sim(12, 9, 6, PathPolicy::ksp8(), TransportPolicy::Tcp { flows: 8 }, 5);
         for (label, report) in [("ecmp/mptcp", &ecmp), ("ksp/mptcp", &ksp), ("ksp/tcp8", &tcp8)] {
             let m = report.mean_throughput();
@@ -575,7 +576,8 @@ mod tests {
         // at this scale (the win appears at larger, oversubscribed sizes).
         assert!(ksp.mean_throughput() >= 0.8 * ecmp.mean_throughput());
         // Determinism: identical seed, identical result.
-        let ksp_again = small_sim(12, 9, 6, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
+        let ksp_again =
+            small_sim(12, 9, 6, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
         assert_eq!(ksp.mean_throughput(), ksp_again.mean_throughput());
     }
 

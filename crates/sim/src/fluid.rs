@@ -8,6 +8,12 @@
 //! unfrozen flow crossing it an equal share of the remaining capacity, and
 //! freeze those flows.
 //!
+//! Links are assigned dense indices in first-seen order over the subflow
+//! paths, and the water-filling loop scans flat vectors in index order —
+//! ties between equally constrained links always break the same way, so the
+//! allocation is deterministic across runs and platforms (the previous
+//! `HashMap` formulation could break ties by hasher state).
+//!
 //! This is a good approximation of many long-lived TCP flows sharing a
 //! network (and a slightly optimistic approximation of MPTCP's resource
 //! pooling); the packet engine in [`crate::engine`] is the ground truth the
@@ -16,7 +22,6 @@
 
 use crate::net::SimNode;
 use crate::workload::Connection;
-use jellyfish_topology::Topology;
 use std::collections::HashMap;
 
 /// Result of a fluid allocation.
@@ -43,55 +48,53 @@ impl FluidReport {
     }
 }
 
-/// Computes the max-min fair allocation for the given connections on a
-/// topology. All links (switch-to-switch and host access) have capacity 1.0
-/// (one NIC rate).
-pub fn max_min_fair_allocation(topo: &Topology, connections: &[Connection]) -> FluidReport {
-    // Enumerate subflows and the links each traverses.
-    #[derive(Clone)]
+/// Computes the max-min fair allocation for the given connections. All links
+/// a subflow path traverses (switch-to-switch and host access) have capacity
+/// 1.0 (one NIC rate).
+pub fn max_min_fair_allocation(connections: &[Connection]) -> FluidReport {
+    // Dense link ids in first-seen order; flows hold link-id lists.
+    let mut link_ids: HashMap<(SimNode, SimNode), usize> = HashMap::new();
+    let mut link_keys: Vec<(SimNode, SimNode)> = Vec::new();
     struct FluidFlow {
         conn: usize,
-        links: Vec<(SimNode, SimNode)>,
+        links: Vec<usize>,
         rate: f64,
         frozen: bool,
     }
-    let _ = topo;
     let mut flows: Vec<FluidFlow> = Vec::new();
     for (ci, c) in connections.iter().enumerate() {
         for path in &c.subflow_paths {
-            let links: Vec<(SimNode, SimNode)> =
-                path.windows(2).map(|w| (w[0], w[1])).collect();
-            flows.push(FluidFlow {
-                conn: ci,
-                links,
-                rate: 0.0,
-                frozen: false,
-            });
+            let links: Vec<usize> = path
+                .windows(2)
+                .map(|w| {
+                    *link_ids.entry((w[0], w[1])).or_insert_with(|| {
+                        link_keys.push((w[0], w[1]));
+                        link_keys.len() - 1
+                    })
+                })
+                .collect();
+            flows.push(FluidFlow { conn: ci, links, rate: 0.0, frozen: false });
         }
     }
-
-    // Link capacities and the set of flows crossing each link.
-    let mut capacity: HashMap<(SimNode, SimNode), f64> = HashMap::new();
-    let mut crossing: HashMap<(SimNode, SimNode), Vec<usize>> = HashMap::new();
+    let num_links = link_keys.len();
+    let mut crossing: Vec<Vec<usize>> = vec![Vec::new(); num_links];
     for (fi, f) in flows.iter().enumerate() {
         for &l in &f.links {
-            capacity.entry(l).or_insert(1.0);
-            crossing.entry(l).or_default().push(fi);
+            crossing[l].push(fi);
         }
     }
 
-    // Water-filling.
-    let mut remaining: HashMap<(SimNode, SimNode), f64> = capacity.clone();
+    // Water-filling over flat vectors, scanning links in id order.
+    let mut remaining = vec![1.0f64; num_links];
     loop {
-        // Fair share each link could still give its unfrozen flows.
-        let mut bottleneck: Option<((SimNode, SimNode), f64)> = None;
-        for (&link, flow_ids) in &crossing {
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for (link, flow_ids) in crossing.iter().enumerate() {
             let unfrozen = flow_ids.iter().filter(|&&fi| !flows[fi].frozen).count();
             if unfrozen == 0 {
                 continue;
             }
-            let share = remaining[&link] / unfrozen as f64;
-            if bottleneck.map_or(true, |(_, s)| share < s) {
+            let share = remaining[link] / unfrozen as f64;
+            if bottleneck.is_none_or(|(_, s)| share < s) {
                 bottleneck = Some((link, share));
             }
         }
@@ -99,16 +102,13 @@ pub fn max_min_fair_allocation(topo: &Topology, connections: &[Connection]) -> F
             break;
         };
         // Freeze every unfrozen flow crossing the bottleneck at the share.
-        let to_freeze: Vec<usize> = crossing[&link]
-            .iter()
-            .copied()
-            .filter(|&fi| !flows[fi].frozen)
-            .collect();
+        let to_freeze: Vec<usize> =
+            crossing[link].iter().copied().filter(|&fi| !flows[fi].frozen).collect();
         for fi in to_freeze {
             flows[fi].frozen = true;
             flows[fi].rate = share;
-            for &l in &flows[fi].links.clone() {
-                *remaining.get_mut(&l).expect("link exists") -= share;
+            for &l in &flows[fi].links {
+                remaining[l] -= share;
             }
         }
     }
@@ -122,14 +122,12 @@ pub fn max_min_fair_allocation(topo: &Topology, connections: &[Connection]) -> F
     for t in &mut throughputs {
         *t = t.min(1.0);
     }
-    let link_utilization = capacity
-        .keys()
-        .map(|&l| (l, ((capacity[&l] - remaining[&l]) / capacity[&l]).clamp(0.0, 1.0)))
+    let link_utilization = link_keys
+        .iter()
+        .enumerate()
+        .map(|(l, &key)| (key, (1.0 - remaining[l]).clamp(0.0, 1.0)))
         .collect();
-    FluidReport {
-        throughputs,
-        link_utilization,
-    }
+    FluidReport { throughputs, link_utilization }
 }
 
 #[cfg(test)]
@@ -155,8 +153,15 @@ mod tests {
             servers.num_servers(),
             "one",
         );
-        let conns = build_connections(&topo, &servers, &tm, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 1 }, 1);
-        let report = max_min_fair_allocation(&topo, &conns);
+        let conns = build_connections(
+            &topo.csr(),
+            &servers,
+            &tm,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 1 },
+            1,
+        );
+        let report = max_min_fair_allocation(&conns);
         assert_eq!(report.throughputs.len(), 1);
         assert!((report.throughputs[0] - 1.0).abs() < 1e-9);
     }
@@ -166,15 +171,19 @@ mod tests {
         let topo = two_switch_topo();
         let servers = ServerMap::new(&topo);
         let tm = TrafficMatrix::from_flows(
-            vec![
-                Flow { src: 0, dst: 2, demand: 1.0 },
-                Flow { src: 1, dst: 3, demand: 1.0 },
-            ],
+            vec![Flow { src: 0, dst: 2, demand: 1.0 }, Flow { src: 1, dst: 3, demand: 1.0 }],
             servers.num_servers(),
             "two",
         );
-        let conns = build_connections(&topo, &servers, &tm, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 1 }, 1);
-        let report = max_min_fair_allocation(&topo, &conns);
+        let conns = build_connections(
+            &topo.csr(),
+            &servers,
+            &tm,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 1 },
+            1,
+        );
+        let report = max_min_fair_allocation(&conns);
         assert!((report.throughputs[0] - 0.5).abs() < 1e-9);
         assert!((report.throughputs[1] - 0.5).abs() < 1e-9);
         // The inter-switch link is fully utilized.
@@ -192,8 +201,15 @@ mod tests {
             servers.num_servers(),
             "multi",
         );
-        let conns = build_connections(&topo, &servers, &tm, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, 1);
-        let report = max_min_fair_allocation(&topo, &conns);
+        let conns = build_connections(
+            &topo.csr(),
+            &servers,
+            &tm,
+            PathPolicy::ksp8(),
+            TransportPolicy::Mptcp { subflows: 8 },
+            1,
+        );
+        let report = max_min_fair_allocation(&conns);
         assert!(report.throughputs[0] <= 1.0 + 1e-9);
         assert!(report.throughputs[0] > 0.99);
     }
@@ -206,11 +222,26 @@ mod tests {
         // no connection is left starved.
         let topo = JellyfishBuilder::new(20, 9, 4).seed(6).build().unwrap();
         let servers = ServerMap::new(&topo);
+        let csr = topo.csr();
         let tm = TrafficMatrix::random_permutation(&servers, 3);
-        let ecmp = build_connections(&topo, &servers, &tm, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 1 }, 2);
-        let ksp = build_connections(&topo, &servers, &tm, PathPolicy::ksp8(), TransportPolicy::Mptcp { subflows: 8 }, 2);
-        let ecmp_report = max_min_fair_allocation(&topo, &ecmp);
-        let ksp_report = max_min_fair_allocation(&topo, &ksp);
+        let ecmp = build_connections(
+            &csr,
+            &servers,
+            &tm,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 1 },
+            2,
+        );
+        let ksp = build_connections(
+            &csr,
+            &servers,
+            &tm,
+            PathPolicy::ksp8(),
+            TransportPolicy::Mptcp { subflows: 8 },
+            2,
+        );
+        let ecmp_report = max_min_fair_allocation(&ecmp);
+        let ksp_report = max_min_fair_allocation(&ksp);
         let switch_links_used = |r: &FluidReport| {
             r.link_utilization
                 .iter()
@@ -230,8 +261,7 @@ mod tests {
 
     #[test]
     fn empty_connection_list() {
-        let topo = two_switch_topo();
-        let report = max_min_fair_allocation(&topo, &[]);
+        let report = max_min_fair_allocation(&[]);
         assert!(report.throughputs.is_empty());
         assert_eq!(report.mean_throughput(), 0.0);
     }
@@ -241,8 +271,15 @@ mod tests {
         let topo = JellyfishBuilder::new(15, 8, 4).seed(9).build().unwrap();
         let servers = ServerMap::new(&topo);
         let tm = TrafficMatrix::random_permutation(&servers, 5);
-        let conns = build_connections(&topo, &servers, &tm, PathPolicy::ksp8(), TransportPolicy::Tcp { flows: 8 }, 4);
-        let report = max_min_fair_allocation(&topo, &conns);
+        let conns = build_connections(
+            &topo.csr(),
+            &servers,
+            &tm,
+            PathPolicy::ksp8(),
+            TransportPolicy::Tcp { flows: 8 },
+            4,
+        );
+        let report = max_min_fair_allocation(&conns);
         for (&link, &u) in &report.link_utilization {
             assert!((0.0..=1.0 + 1e-9).contains(&u), "link {link:?} utilization {u}");
         }

@@ -17,12 +17,8 @@
 /// window or RTT are ignored. Returns 0 when no subflow is usable.
 pub fn lia_alpha(cwnds: &[f64], rtts: &[f64]) -> f64 {
     assert_eq!(cwnds.len(), rtts.len());
-    let total: f64 = cwnds
-        .iter()
-        .zip(rtts)
-        .filter(|(&c, &r)| c > 0.0 && r > 0.0)
-        .map(|(&c, _)| c)
-        .sum();
+    let total: f64 =
+        cwnds.iter().zip(rtts).filter(|(&c, &r)| c > 0.0 && r > 0.0).map(|(&c, _)| c).sum();
     if total <= 0.0 {
         return 0.0;
     }
@@ -32,12 +28,8 @@ pub fn lia_alpha(cwnds: &[f64], rtts: &[f64]) -> f64 {
         .filter(|(&c, &r)| c > 0.0 && r > 0.0)
         .map(|(&c, &r)| c / (r * r))
         .fold(0.0f64, f64::max);
-    let sum_term: f64 = cwnds
-        .iter()
-        .zip(rtts)
-        .filter(|(&c, &r)| c > 0.0 && r > 0.0)
-        .map(|(&c, &r)| c / r)
-        .sum();
+    let sum_term: f64 =
+        cwnds.iter().zip(rtts).filter(|(&c, &r)| c > 0.0 && r > 0.0).map(|(&c, &r)| c / r).sum();
     if sum_term <= 0.0 {
         return 0.0;
     }

@@ -7,6 +7,12 @@
 //! (full duplex), and every server gets an uplink and a downlink to its ToR
 //! switch.
 //!
+//! Link state is stored flat, not hashed: switch-to-switch links live in a
+//! vector indexed by the [`CsrGraph`] snapshot's dense arc ids, and host
+//! access links in two per-server vectors. Resolving a hop on the packet hot
+//! path is an O(log degree) row search in the snapshot instead of a
+//! `HashMap<(u, v), _>` probe per packet-hop.
+//!
 //! Queueing model: each directed link tracks the time until which its
 //! transmitter is busy. A packet handed to the link at time `t` sees a
 //! backlog of `(busy_until − t) · rate` packets; if that backlog would exceed
@@ -16,7 +22,7 @@
 //! matches what a per-packet queue would compute for deterministic service
 //! times.
 
-use jellyfish_topology::Topology;
+use jellyfish_topology::CsrGraph;
 use jellyfish_traffic::ServerMap;
 use std::collections::HashMap;
 
@@ -48,10 +54,9 @@ impl Default for LinkParams {
 }
 
 /// State of one directed link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Link {
     busy_until: f64,
-    params: LinkParams,
     /// Cumulative packets accepted (for utilization reporting).
     transmitted: u64,
     /// Cumulative packets dropped at this link's queue.
@@ -73,42 +78,41 @@ pub enum TransmitOutcome {
 /// The simulated network fabric.
 #[derive(Debug, Clone)]
 pub struct Network {
-    links: HashMap<(SimNode, SimNode), Link>,
+    /// Interconnect snapshot; arc ids index `switch_links`.
+    csr: CsrGraph,
+    /// Directed switch-to-switch links, indexed by arc id.
+    switch_links: Vec<Link>,
+    /// Host → ToR uplinks, indexed by server id.
+    host_up: Vec<Link>,
+    /// ToR → host downlinks, indexed by server id.
+    host_down: Vec<Link>,
+    /// ToR switch of each server.
+    tor_of: Vec<SimNode>,
+    params: LinkParams,
     num_switches: usize,
-    num_servers: usize,
+}
+
+/// Flat handle to one directed link's slot.
+enum LinkSlot {
+    Switch(usize),
+    HostUp(usize),
+    HostDown(usize),
 }
 
 impl Network {
-    /// Builds the simulated network for a topology: switch-to-switch links
-    /// plus host access links, all with the same parameters.
-    pub fn build(topo: &Topology, servers: &ServerMap, params: LinkParams) -> Self {
-        let mut links = HashMap::new();
-        let mut add = |u: SimNode, v: SimNode| {
-            links.insert(
-                (u, v),
-                Link {
-                    busy_until: 0.0,
-                    params,
-                    transmitted: 0,
-                    dropped: 0,
-                },
-            );
-        };
-        for e in topo.graph().edges() {
-            add(e.a, e.b);
-            add(e.b, e.a);
-        }
-        let num_switches = topo.num_switches();
-        for s in 0..servers.num_servers() {
-            let host = num_switches + s;
-            let tor = servers.switch_of(s);
-            add(host, tor);
-            add(tor, host);
-        }
+    /// Builds the simulated network for a topology snapshot: switch-to-switch
+    /// links plus host access links, all with the same parameters.
+    pub fn build(csr: &CsrGraph, servers: &ServerMap, params: LinkParams) -> Self {
+        let num_switches = csr.num_nodes();
+        let num_servers = servers.num_servers();
         Network {
-            links,
+            switch_links: vec![Link::default(); csr.num_arcs()],
+            host_up: vec![Link::default(); num_servers],
+            host_down: vec![Link::default(); num_servers],
+            tor_of: (0..num_servers).map(|s| servers.switch_of(s)).collect(),
+            csr: csr.clone(),
+            params,
             num_switches,
-            num_servers: servers.num_servers(),
         }
     }
 
@@ -124,12 +128,33 @@ impl Network {
 
     /// Number of hosts in the fabric.
     pub fn num_hosts(&self) -> usize {
-        self.num_servers
+        self.host_up.len()
+    }
+
+    /// Resolves the directed link `(u, v)` to its flat slot.
+    fn resolve(&self, u: SimNode, v: SimNode) -> Option<LinkSlot> {
+        if u >= self.num_switches {
+            let s = u - self.num_switches;
+            (s < self.host_up.len() && v == self.tor_of[s]).then_some(LinkSlot::HostUp(s))
+        } else if v >= self.num_switches {
+            let s = v - self.num_switches;
+            (s < self.host_down.len() && u == self.tor_of[s]).then_some(LinkSlot::HostDown(s))
+        } else {
+            self.csr.arc_index(u, v).map(LinkSlot::Switch)
+        }
+    }
+
+    fn link_mut(&mut self, slot: &LinkSlot) -> &mut Link {
+        match *slot {
+            LinkSlot::Switch(arc) => &mut self.switch_links[arc],
+            LinkSlot::HostUp(s) => &mut self.host_up[s],
+            LinkSlot::HostDown(s) => &mut self.host_down[s],
+        }
     }
 
     /// Whether a directed link exists.
     pub fn has_link(&self, u: SimNode, v: SimNode) -> bool {
-        self.links.contains_key(&(u, v))
+        self.resolve(u, v).is_some()
     }
 
     /// Hands one full-size packet to the directed link `(u, v)` at time `now`.
@@ -139,14 +164,20 @@ impl Network {
 
     /// Hands a packet of `size` MSS units to the directed link `(u, v)` at
     /// time `now`. Acknowledgements use a small fraction of an MSS.
-    pub fn transmit_sized(&mut self, u: SimNode, v: SimNode, now: f64, size: f64) -> TransmitOutcome {
-        let link = self
-            .links
-            .get_mut(&(u, v))
-            .unwrap_or_else(|| panic!("no link {u} -> {v}"));
-        let rate = link.params.rate;
+    pub fn transmit_sized(
+        &mut self,
+        u: SimNode,
+        v: SimNode,
+        now: f64,
+        size: f64,
+    ) -> TransmitOutcome {
+        let slot = self.resolve(u, v).unwrap_or_else(|| panic!("no link {u} -> {v}"));
+        let rate = self.params.rate;
+        let buffer = self.params.buffer as f64;
+        let delay = self.params.delay;
+        let link = self.link_mut(&slot);
         let backlog = (link.busy_until - now).max(0.0) * rate;
-        if backlog + size > link.params.buffer as f64 {
+        if backlog + size > buffer {
             link.dropped += 1;
             return TransmitOutcome::Dropped;
         }
@@ -154,28 +185,41 @@ impl Network {
         let finish = start + size / rate;
         link.busy_until = finish;
         link.transmitted += 1;
-        TransmitOutcome::Delivered {
-            arrival: finish + link.params.delay,
-        }
+        TransmitOutcome::Delivered { arrival: finish + delay }
+    }
+
+    fn all_links(&self) -> impl Iterator<Item = &Link> {
+        self.switch_links.iter().chain(self.host_up.iter()).chain(self.host_down.iter())
     }
 
     /// Total packets dropped across all links.
     pub fn total_drops(&self) -> u64 {
-        self.links.values().map(|l| l.dropped).sum()
+        self.all_links().map(|l| l.dropped).sum()
     }
 
     /// Total packets transmitted across all links.
     pub fn total_transmitted(&self) -> u64 {
-        self.links.values().map(|l| l.transmitted).sum()
+        self.all_links().map(|l| l.transmitted).sum()
     }
 
     /// Per-directed-link utilization over a horizon: transmitted packets
     /// divided by `rate × horizon`.
     pub fn link_utilization(&self, horizon: f64) -> HashMap<(SimNode, SimNode), f64> {
-        self.links
-            .iter()
-            .map(|(&k, l)| (k, l.transmitted as f64 / (l.params.rate * horizon)))
-            .collect()
+        let denom = self.params.rate * horizon;
+        let mut out = HashMap::new();
+        for u in self.csr.nodes() {
+            for arc in self.csr.arc_range(u) {
+                let v = self.csr.arc_target(arc);
+                out.insert((u, v), self.switch_links[arc].transmitted as f64 / denom);
+            }
+        }
+        for s in 0..self.host_up.len() {
+            let host = self.host_node(s);
+            let tor = self.tor_of[s];
+            out.insert((host, tor), self.host_up[s].transmitted as f64 / denom);
+            out.insert((tor, host), self.host_down[s].transmitted as f64 / denom);
+        }
+        out
     }
 
     /// The base RTT (propagation + one transmission per hop, no queueing) of
@@ -212,19 +256,20 @@ mod tests {
     fn network() -> Network {
         let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
         let servers = ServerMap::new(&topo);
-        Network::build(&topo, &servers, LinkParams::default())
+        Network::build(&topo.csr(), &servers, LinkParams::default())
     }
 
     #[test]
     fn build_creates_duplex_and_access_links() {
         let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
         let servers = ServerMap::new(&topo);
-        let net = Network::build(&topo, &servers, LinkParams::default());
+        let csr = topo.csr();
+        let net = Network::build(&csr, &servers, LinkParams::default());
         assert_eq!(net.num_switches(), 6);
         assert_eq!(net.num_hosts(), 18);
-        for e in topo.graph().edges() {
-            assert!(net.has_link(e.a, e.b));
-            assert!(net.has_link(e.b, e.a));
+        for (a, b) in csr.edges() {
+            assert!(net.has_link(a, b));
+            assert!(net.has_link(b, a));
         }
         for s in 0..servers.num_servers() {
             let host = net.host_node(s);
@@ -255,11 +300,8 @@ mod tests {
     fn transmit_drops_when_buffer_full() {
         let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
         let servers = ServerMap::new(&topo);
-        let params = LinkParams {
-            buffer: 5,
-            ..Default::default()
-        };
-        let mut net = Network::build(&topo, &servers, params);
+        let params = LinkParams { buffer: 5, ..Default::default() };
+        let mut net = Network::build(&topo.csr(), &servers, params);
         let (u, v) = (net.host_node(0), 0);
         let mut drops = 0;
         for _ in 0..20 {
@@ -275,13 +317,10 @@ mod tests {
 
     #[test]
     fn queue_drains_over_time() {
-        let params = LinkParams {
-            buffer: 2,
-            ..Default::default()
-        };
+        let params = LinkParams { buffer: 2, ..Default::default() };
         let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
         let servers = ServerMap::new(&topo);
-        let mut net = Network::build(&topo, &servers, params);
+        let mut net = Network::build(&topo.csr(), &servers, params);
         let (u, v) = (net.host_node(0), 0);
         assert!(matches!(net.transmit(u, v, 0.0), TransmitOutcome::Delivered { .. }));
         assert!(matches!(net.transmit(u, v, 0.0), TransmitOutcome::Delivered { .. }));

@@ -10,7 +10,7 @@
 use jellyfish_routing::ecmp::EcmpConfig;
 use jellyfish_routing::yen::k_shortest_paths;
 use jellyfish_routing::Path;
-use jellyfish_topology::{Graph, NodeId};
+use jellyfish_topology::{CsrGraph, NodeId};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -41,10 +41,10 @@ impl PathPolicy {
     }
 
     /// Candidate switch-level paths between two switches.
-    pub fn candidate_paths(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<Path> {
+    pub fn candidate_paths(&self, csr: &CsrGraph, src: NodeId, dst: NodeId) -> Vec<Path> {
         match *self {
-            PathPolicy::Ecmp { way } => EcmpConfig { way }.paths(graph, src, dst),
-            PathPolicy::KShortest { k } => k_shortest_paths(graph, src, dst, k),
+            PathPolicy::Ecmp { way } => EcmpConfig { way }.paths(csr, src, dst),
+            PathPolicy::KShortest { k } => k_shortest_paths(csr, src, dst, k),
         }
     }
 
@@ -89,7 +89,9 @@ impl TransportPolicy {
     /// Label for reports (matches the paper's Table 1 rows).
     pub fn label(&self) -> String {
         match *self {
-            TransportPolicy::Tcp { flows } => format!("TCP {flows} flow{}", if flows == 1 { "" } else { "s" }),
+            TransportPolicy::Tcp { flows } => {
+                format!("TCP {flows} flow{}", if flows == 1 { "" } else { "s" })
+            }
             TransportPolicy::Mptcp { subflows } => format!("MPTCP {subflows} subflows"),
         }
     }
@@ -103,14 +105,14 @@ impl TransportPolicy {
 /// * Under k-shortest-path routing, MPTCP-style spreading places subflow `i`
 ///   on path `i mod |paths|`, while independent TCP flows are hashed.
 pub fn assign_subflow_paths(
-    graph: &Graph,
+    csr: &CsrGraph,
     src_switch: NodeId,
     dst_switch: NodeId,
     path_policy: PathPolicy,
     transport: TransportPolicy,
     pair_seed: u64,
 ) -> Vec<Path> {
-    let candidates = path_policy.candidate_paths(graph, src_switch, dst_switch);
+    let candidates = path_policy.candidate_paths(csr, src_switch, dst_switch);
     if candidates.is_empty() {
         return Vec::new();
     }
@@ -118,7 +120,9 @@ pub fn assign_subflow_paths(
     (0..n)
         .map(|i| {
             let idx = match (path_policy, transport) {
-                (PathPolicy::KShortest { .. }, TransportPolicy::Mptcp { .. }) => i % candidates.len(),
+                (PathPolicy::KShortest { .. }, TransportPolicy::Mptcp { .. }) => {
+                    i % candidates.len()
+                }
                 _ => {
                     let mut hasher = DefaultHasher::new();
                     (pair_seed, i as u64).hash(&mut hasher);
@@ -135,8 +139,8 @@ mod tests {
     use super::*;
     use jellyfish_topology::JellyfishBuilder;
 
-    fn graph() -> jellyfish_topology::Topology {
-        JellyfishBuilder::new(30, 10, 6).seed(4).build().unwrap()
+    fn snapshot() -> CsrGraph {
+        JellyfishBuilder::new(30, 10, 6).seed(4).build().unwrap().csr()
     }
 
     #[test]
@@ -159,9 +163,9 @@ mod tests {
 
     #[test]
     fn mptcp_over_ksp_spreads_across_distinct_paths() {
-        let topo = graph();
+        let csr = snapshot();
         let paths = assign_subflow_paths(
-            topo.graph(),
+            &csr,
             0,
             15,
             PathPolicy::ksp8(),
@@ -171,14 +175,13 @@ mod tests {
         assert_eq!(paths.len(), 8);
         let distinct: std::collections::HashSet<_> = paths.iter().collect();
         // With 8 candidate paths available, every subflow gets its own path.
-        let candidates = PathPolicy::ksp8().candidate_paths(topo.graph(), 0, 15);
+        let candidates = PathPolicy::ksp8().candidate_paths(&csr, 0, 15);
         assert_eq!(distinct.len(), candidates.len().min(8));
     }
 
     #[test]
     fn ecmp_uses_only_shortest_paths() {
-        let topo = graph();
-        let g = topo.graph();
+        let g = &snapshot();
         let sp_len = jellyfish_routing::shortest::shortest_path(g, 0, 15).unwrap().len();
         let paths = assign_subflow_paths(
             g,
@@ -196,8 +199,7 @@ mod tests {
 
     #[test]
     fn ksp_can_use_longer_paths() {
-        let topo = graph();
-        let g = topo.graph();
+        let g = &snapshot();
         let candidates = PathPolicy::ksp8().candidate_paths(g, 0, 15);
         let sp_len = candidates[0].len();
         assert!(
@@ -208,9 +210,23 @@ mod tests {
 
     #[test]
     fn assignment_is_deterministic_per_seed() {
-        let topo = graph();
-        let a = assign_subflow_paths(topo.graph(), 2, 20, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 4 }, 9);
-        let b = assign_subflow_paths(topo.graph(), 2, 20, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 4 }, 9);
+        let csr = snapshot();
+        let a = assign_subflow_paths(
+            &csr,
+            2,
+            20,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 4 },
+            9,
+        );
+        let b = assign_subflow_paths(
+            &csr,
+            2,
+            20,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 4 },
+            9,
+        );
         assert_eq!(a, b);
     }
 
@@ -218,7 +234,15 @@ mod tests {
     fn empty_when_unreachable() {
         let mut g = jellyfish_topology::Graph::new(3);
         g.add_edge(0, 1);
-        let paths = assign_subflow_paths(&g, 0, 2, PathPolicy::ecmp8(), TransportPolicy::Tcp { flows: 1 }, 0);
+        let csr = CsrGraph::from_graph(&g);
+        let paths = assign_subflow_paths(
+            &csr,
+            0,
+            2,
+            PathPolicy::ecmp8(),
+            TransportPolicy::Tcp { flows: 1 },
+            0,
+        );
         assert!(paths.is_empty());
     }
 }

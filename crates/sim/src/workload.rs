@@ -4,11 +4,16 @@
 //! subflows carry host-level source routes (src host → ToR switches → dst
 //! host), and the transport policy says whether the subflows are independent
 //! TCP flows or LIA-coupled MPTCP subflows.
+//!
+//! Per-flow path assignment is independent (each flow derives its own seed
+//! from its index), so [`build_connections`] fans the per-flow path
+//! computations out with rayon while producing exactly the serial order.
 
 use crate::net::SimNode;
 use crate::routing::{assign_subflow_paths, PathPolicy, TransportPolicy};
-use jellyfish_topology::Topology;
+use jellyfish_topology::CsrGraph;
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use rayon::prelude::*;
 
 /// One simulated connection (one traffic-matrix entry).
 #[derive(Debug, Clone)]
@@ -36,59 +41,65 @@ impl Connection {
 /// switch graph are skipped (they would get zero throughput; the paper's
 /// topologies are always connected).
 pub fn build_connections(
-    topo: &Topology,
+    csr: &CsrGraph,
     servers: &ServerMap,
     tm: &TrafficMatrix,
     path_policy: PathPolicy,
     transport: TransportPolicy,
     seed: u64,
 ) -> Vec<Connection> {
-    let num_switches = topo.num_switches();
+    let num_switches = csr.num_nodes();
     let host_node = |server: usize| num_switches + server;
-    let mut connections = Vec::with_capacity(tm.flows().len());
-    for (idx, flow) in tm.flows().iter().enumerate() {
-        let src_switch = servers.switch_of(flow.src);
-        let dst_switch = servers.switch_of(flow.dst);
-        let switch_paths: Vec<Vec<usize>> = if src_switch == dst_switch {
-            // Intra-rack traffic: every subflow just hops through the ToR.
-            vec![vec![src_switch]; transport.subflow_count()]
-        } else {
-            assign_subflow_paths(
-                topo.graph(),
-                src_switch,
-                dst_switch,
-                path_policy,
-                transport,
-                seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )
-        };
-        if switch_paths.is_empty() {
-            continue;
-        }
-        let subflow_paths: Vec<Vec<SimNode>> = switch_paths
-            .into_iter()
-            .map(|sp| {
-                let mut path = Vec::with_capacity(sp.len() + 2);
-                path.push(host_node(flow.src));
-                path.extend(sp);
-                path.push(host_node(flow.dst));
-                path
+    let flows: Vec<(usize, jellyfish_traffic::Flow)> =
+        tm.flows().iter().copied().enumerate().collect();
+    flows
+        .into_par_iter()
+        .map(|(idx, flow)| {
+            let src_switch = servers.switch_of(flow.src);
+            let dst_switch = servers.switch_of(flow.dst);
+            let switch_paths: Vec<Vec<usize>> = if src_switch == dst_switch {
+                // Intra-rack traffic: every subflow just hops through the ToR.
+                vec![vec![src_switch]; transport.subflow_count()]
+            } else {
+                assign_subflow_paths(
+                    csr,
+                    src_switch,
+                    dst_switch,
+                    path_policy,
+                    transport,
+                    seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            };
+            if switch_paths.is_empty() {
+                return None;
+            }
+            let subflow_paths: Vec<Vec<SimNode>> = switch_paths
+                .into_iter()
+                .map(|sp| {
+                    let mut path = Vec::with_capacity(sp.len() + 2);
+                    path.push(host_node(flow.src));
+                    path.extend(sp);
+                    path.push(host_node(flow.dst));
+                    path
+                })
+                .collect();
+            Some(Connection {
+                src_server: flow.src,
+                dst_server: flow.dst,
+                subflow_paths,
+                coupled: transport.coupled(),
             })
-            .collect();
-        connections.push(Connection {
-            src_server: flow.src,
-            dst_server: flow.dst,
-            subflow_paths,
-            coupled: transport.coupled(),
-        });
-    }
-    connections
+        })
+        .collect::<Vec<Option<Connection>>>()
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jellyfish_topology::JellyfishBuilder;
+    use jellyfish_topology::{JellyfishBuilder, Topology};
 
     fn setup() -> (Topology, ServerMap, TrafficMatrix) {
         let topo = JellyfishBuilder::new(12, 8, 5).seed(2).build().unwrap();
@@ -101,7 +112,7 @@ mod tests {
     fn one_connection_per_traffic_flow() {
         let (topo, servers, tm) = setup();
         let conns = build_connections(
-            &topo,
+            &topo.csr(),
             &servers,
             &tm,
             PathPolicy::ksp8(),
@@ -118,8 +129,9 @@ mod tests {
     #[test]
     fn paths_start_and_end_at_hosts() {
         let (topo, servers, tm) = setup();
+        let csr = topo.csr();
         let conns = build_connections(
-            &topo,
+            &csr,
             &servers,
             &tm,
             PathPolicy::ecmp8(),
@@ -139,7 +151,7 @@ mod tests {
                 }
                 // Adjacent ToR hops are real links.
                 for w in p[1..p.len() - 1].windows(2) {
-                    assert!(topo.graph().has_edge(w[0], w[1]));
+                    assert!(csr.has_edge(w[0], w[1]));
                 }
                 // First and last switch are the endpoints' ToRs.
                 assert_eq!(p[1], servers.switch_of(c.src_server));
@@ -159,7 +171,7 @@ mod tests {
             "intra",
         );
         let conns = build_connections(
-            &topo,
+            &topo.csr(),
             &servers,
             &tm,
             PathPolicy::ksp8(),
@@ -176,9 +188,10 @@ mod tests {
     #[test]
     fn tcp_flows_policy_creates_that_many_subflows() {
         let (topo, servers, tm) = setup();
+        let csr = topo.csr();
         for flows in [1usize, 4, 8] {
             let conns = build_connections(
-                &topo,
+                &csr,
                 &servers,
                 &tm,
                 PathPolicy::ecmp8(),

@@ -101,11 +101,7 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         // Roughly commodity numbers: $100/port, $10/cable, $5 to move a cable.
-        CostModel {
-            per_port: 100.0,
-            per_cable: 10.0,
-            per_rewire: 5.0,
-        }
+        CostModel { per_port: 100.0, per_cable: 10.0, per_rewire: 5.0 }
     }
 }
 
@@ -191,7 +187,7 @@ impl ClosUpgradePlanner {
             let leaf_cost = self.cost.switch_cost(self.leaf_ports)
                 + self.cost.per_cable * (cfg.spines + cfg.servers_per_leaf) as f64;
             let affordable = (remaining / leaf_cost).floor() as usize;
-            let added = new_leaves.min(affordable.max(0));
+            let added = new_leaves.min(affordable);
             if added < new_leaves {
                 return Err(TopologyError::Infeasible(format!(
                     "budget {budget} cannot cover {new_leaves} new leaves (each costs {leaf_cost})"
@@ -204,7 +200,8 @@ impl ClosUpgradePlanner {
         // Step 2: spend the rest on spine switches. A spine's usable ports are
         // reduced by the reserve fraction, and it must connect to every leaf.
         loop {
-            let usable = ((self.spine_ports as f64) * (1.0 - self.reserve_fraction)).floor() as usize;
+            let usable =
+                ((self.spine_ports as f64) * (1.0 - self.reserve_fraction)).floor() as usize;
             if usable < cfg.leaves {
                 break; // a new spine cannot even reach all leaves: stop buying
             }
@@ -226,12 +223,7 @@ impl ClosUpgradePlanner {
         let topology = cfg.build()?;
         let spent = budget - remaining;
         self.current = cfg.clone();
-        Ok(ClosStage {
-            topology,
-            spent,
-            spines: cfg.spines,
-            leaves: cfg.leaves,
-        })
+        Ok(ClosStage { topology, spent, spines: cfg.spines, leaves: cfg.leaves })
     }
 }
 
@@ -240,13 +232,7 @@ mod tests {
     use super::*;
 
     fn small_clos() -> ClosConfig {
-        ClosConfig {
-            leaves: 8,
-            spines: 4,
-            leaf_ports: 16,
-            spine_ports: 32,
-            servers_per_leaf: 10,
-        }
+        ClosConfig { leaves: 8, spines: 4, leaf_ports: 16, spine_ports: 32, servers_per_leaf: 10 }
     }
 
     #[test]

@@ -49,11 +49,7 @@ pub struct AnnealParams {
 
 impl Default for AnnealParams {
     fn default() -> Self {
-        AnnealParams {
-            iterations: 4000,
-            initial_temperature: 0.05,
-            cooling: 0.96,
-        }
+        AnnealParams { iterations: 4000, initial_temperature: 0.05, cooling: 0.96 }
     }
 }
 
@@ -105,11 +101,8 @@ pub fn optimized_graph(
         graph.remove_edge(c, d);
         graph.add_edge(a, c);
         graph.add_edge(b, d);
-        let candidate = if graph.is_connected() {
-            path_length_stats(&graph).mean
-        } else {
-            f64::INFINITY
-        };
+        let candidate =
+            if graph.is_connected() { path_length_stats(&graph).mean } else { f64::INFINITY };
         let delta = candidate - current;
         let accept = delta < 0.0
             || (temperature > 0.0
@@ -201,8 +194,7 @@ pub fn figure3_pair(
     let mut jelly = JellyfishBuilder::new(switches, ports, degree).seed(seed ^ 0xF00D).build()?;
     for topo in [&mut bench, &mut jelly] {
         for v in 0..switches {
-            topo.set_servers(v, servers_per_switch)
-                .expect("server count validated above");
+            topo.set_servers(v, servers_per_switch).expect("server count validated above");
         }
     }
     Ok((bench, jelly))
@@ -241,10 +233,7 @@ mod tests {
         let degree = 4;
         let random = JellyfishBuilder::new(n, 6, degree).seed(8).build().unwrap();
         let random_aspl = path_length_stats(random.graph()).mean;
-        let params = AnnealParams {
-            iterations: 1500,
-            ..AnnealParams::default()
-        };
+        let params = AnnealParams { iterations: 1500, ..AnnealParams::default() };
         let optimized = optimized_graph(n, 6, degree, params, 8).unwrap();
         let optimized_aspl = path_length_stats(optimized.graph()).mean;
         assert!(

@@ -205,9 +205,8 @@ pub fn grow_schedule(
         ));
     }
     let servers = ports - network_degree;
-    let mut topo = crate::rrg::JellyfishBuilder::new(initial, ports, network_degree)
-        .seed(seed)
-        .build()?;
+    let mut topo =
+        crate::rrg::JellyfishBuilder::new(initial, ports, network_degree).seed(seed).build()?;
     let mut stages = vec![topo.clone()];
     let mut current = initial;
     let mut stage_idx = 0u64;
@@ -287,11 +286,7 @@ mod tests {
         }
         assert_eq!(topo.num_switches(), 40);
         // All switches should have full network degree (even total port count).
-        let deficient = topo
-            .graph()
-            .nodes()
-            .filter(|&v| topo.graph().degree(v) < 8)
-            .count();
+        let deficient = topo.graph().nodes().filter(|&v| topo.graph().degree(v) < 8).count();
         assert!(deficient <= 1);
         assert!(topo.check_invariants().is_ok());
     }

@@ -42,20 +42,14 @@ pub fn fail_random_links(topo: &mut Topology, fraction: f64, seed: u64) -> Failu
         topo.disconnect(u, v);
     }
     debug_assert!(topo.check_invariants().is_ok());
-    FailureReport {
-        failed_links: failed,
-        failed_switches: Vec::new(),
-    }
+    FailureReport { failed_links: failed, failed_switches: Vec::new() }
 }
 
 /// Fails an exact number of uniform-random links.
 pub fn fail_link_count(topo: &mut Topology, count: usize, seed: u64) -> FailureReport {
     let total = topo.num_links();
     if total == 0 {
-        return FailureReport {
-            failed_links: Vec::new(),
-            failed_switches: Vec::new(),
-        };
+        return FailureReport { failed_links: Vec::new(), failed_switches: Vec::new() };
     }
     fail_random_links(topo, count.min(total) as f64 / total as f64, seed)
 }
@@ -75,10 +69,7 @@ pub fn fail_random_switches(topo: &mut Topology, fraction: f64, seed: u64) -> Fa
         topo.set_servers(s, 0).expect("zero servers always fits");
     }
     debug_assert!(topo.check_invariants().is_ok());
-    FailureReport {
-        failed_links: Vec::new(),
-        failed_switches: failed,
-    }
+    FailureReport { failed_links: Vec::new(), failed_switches: failed }
 }
 
 /// Largest-connected-component statistics after failures: the fraction of
@@ -95,10 +86,7 @@ pub struct SurvivabilityStats {
 pub fn survivability(topo: &Topology) -> SurvivabilityStats {
     let comps = topo.graph().connected_components();
     let Some(largest) = comps.first() else {
-        return SurvivabilityStats {
-            switch_fraction: 0.0,
-            server_fraction: 0.0,
-        };
+        return SurvivabilityStats { switch_fraction: 0.0, server_fraction: 0.0 };
     };
     let total_switches = topo.num_switches();
     let total_servers = topo.total_servers();
@@ -220,10 +208,7 @@ mod tests {
 
     #[test]
     fn total_failures_counts_both_kinds() {
-        let r = FailureReport {
-            failed_links: vec![(0, 1), (2, 3)],
-            failed_switches: vec![7],
-        };
+        let r = FailureReport { failed_links: vec![(0, 1), (2, 3)], failed_switches: vec![7] };
         assert_eq!(r.total_failures(), 3);
     }
 }

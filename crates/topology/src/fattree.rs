@@ -30,7 +30,7 @@ impl FatTree {
     /// Builds a 3-level fat-tree from `k`-port switches. `k` must be even and
     /// at least 2.
     pub fn new(k: usize) -> Result<Self, TopologyError> {
-        if k < 2 || k % 2 != 0 {
+        if k < 2 || !k.is_multiple_of(2) {
             return Err(TopologyError::InvalidParameters(format!(
                 "fat-tree requires an even port count >= 2, got {k}"
             )));
@@ -90,15 +90,10 @@ impl FatTree {
             }
         }
 
-        let topology = Topology::from_parts(g, vec![k; n], servers, kinds, format!("fat-tree(k={k})"));
+        let topology =
+            Topology::from_parts(g, vec![k; n], servers, kinds, format!("fat-tree(k={k})"));
         debug_assert!(topology.check_invariants().is_ok());
-        Ok(FatTree {
-            topology,
-            k,
-            edge: edge_nodes,
-            aggregation: agg_nodes,
-            core: core_nodes,
-        })
+        Ok(FatTree { topology, k, edge: edge_nodes, aggregation: agg_nodes, core: core_nodes })
     }
 
     /// The switch port count `k`.
@@ -285,12 +280,8 @@ mod tests {
         let ft = FatTree::new(6).unwrap();
         let t = ft.topology();
         for &c in ft.core_switches() {
-            let mut pods: Vec<usize> = t
-                .graph()
-                .neighbors(c)
-                .iter()
-                .filter_map(|&v| ft.pod_of(v))
-                .collect();
+            let mut pods: Vec<usize> =
+                t.graph().neighbors(c).iter().filter_map(|&v| ft.pod_of(v)).collect();
             pods.sort_unstable();
             pods.dedup();
             assert_eq!(pods.len(), 6, "core switch {c} does not reach all pods");

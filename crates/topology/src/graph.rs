@@ -237,10 +237,7 @@ impl Graph {
     /// `in_set[v]` must be `true` exactly for nodes in the set.
     pub fn cut_size(&self, in_set: &[bool]) -> usize {
         assert_eq!(in_set.len(), self.num_nodes());
-        self.edges
-            .iter()
-            .filter(|e| in_set[e.a] != in_set[e.b])
-            .count()
+        self.edges.iter().filter(|e| in_set[e.a] != in_set[e.b]).count()
     }
 
     /// Removes all edges incident to `n` (the node itself stays, isolated).
@@ -253,10 +250,7 @@ impl Graph {
 
     /// Number of edges with both endpoints inside `set`.
     pub fn edges_within(&self, set: &BTreeSet<NodeId>) -> usize {
-        self.edges
-            .iter()
-            .filter(|e| set.contains(&e.a) && set.contains(&e.b))
-            .count()
+        self.edges.iter().filter(|e| set.contains(&e.a) && set.contains(&e.b)).count()
     }
 
     /// Checks internal consistency (adjacency mirrors the edge list). Used by

@@ -4,7 +4,12 @@
 //! topology layer:
 //!
 //! * [`Graph`] — a small, dependency-free undirected graph with port
-//!   accounting, used as the switch-level interconnect representation.
+//!   accounting, used as the switch-level interconnect representation while
+//!   a topology is being built or mutated.
+//! * [`CsrGraph`] (module [`csr`]) — the immutable compressed-sparse-row
+//!   snapshot taken from a finished [`Graph`]; the only graph representation
+//!   the routing, flow and simulation crates consume. Build it with
+//!   [`Topology::csr`].
 //! * [`Topology`] — a graph plus per-switch port counts and attached-server
 //!   counts; the unit every generator in this crate produces and every
 //!   consumer (routing, flow, simulation) accepts.
@@ -40,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod clos;
+pub mod csr;
 pub mod degree_diameter;
 pub mod expansion;
 pub mod failures;
@@ -50,6 +56,7 @@ pub mod rrg;
 pub mod swdc;
 pub mod topology;
 
+pub use csr::{ArcId, CsrGraph, EdgeId};
 pub use graph::{Graph, NodeId};
 pub use rrg::JellyfishBuilder;
 pub use topology::{SwitchKind, Topology, TopologyError};

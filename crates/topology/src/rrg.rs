@@ -41,13 +41,7 @@ pub struct JellyfishBuilder {
 impl JellyfishBuilder {
     /// Creates a builder for `RRG(switches, ports, network_degree)`.
     pub fn new(switches: usize, ports: usize, network_degree: usize) -> Self {
-        JellyfishBuilder {
-            switches,
-            ports,
-            network_degree,
-            seed: 0xD1CE,
-            max_attempts: 50,
-        }
+        JellyfishBuilder { switches, ports, network_degree, seed: 0xD1CE, max_attempts: 50 }
     }
 
     /// Sets the RNG seed (construction is deterministic given the seed).
@@ -66,9 +60,7 @@ impl JellyfishBuilder {
     /// Validates the parameters without building.
     pub fn validate(&self) -> Result<(), TopologyError> {
         if self.switches == 0 {
-            return Err(TopologyError::InvalidParameters(
-                "need at least one switch".into(),
-            ));
+            return Err(TopologyError::InvalidParameters("need at least one switch".into()));
         }
         if self.network_degree > self.ports {
             return Err(TopologyError::InvalidParameters(format!(
@@ -106,8 +98,10 @@ impl JellyfishBuilder {
             match graph {
                 Some(g) if g.is_connected() || self.switches == 1 => {
                     let servers = self.ports - self.network_degree;
-                    let topo = Topology::homogeneous(g, self.ports, servers)
-                        .with_name(format!("jellyfish(N={},k={},r={})", self.switches, self.ports, self.network_degree));
+                    let topo = Topology::homogeneous(g, self.ports, servers).with_name(format!(
+                        "jellyfish(N={},k={},r={})",
+                        self.switches, self.ports, self.network_degree
+                    ));
                     debug_assert!(topo.check_invariants().is_ok());
                     return Ok(topo);
                 }
@@ -192,9 +186,8 @@ impl JellyfishBuilder {
     /// remove an existing link (x, y) and add (u, x) and (v, y).
     fn finish_single_ports(graph: &mut Graph, targets: &[usize], rng: &mut StdRng) {
         loop {
-            let singles: Vec<usize> = (0..graph.num_nodes())
-                .filter(|&v| targets[v] > graph.degree(v))
-                .collect();
+            let singles: Vec<usize> =
+                (0..graph.num_nodes()).filter(|&v| targets[v] > graph.degree(v)).collect();
             if singles.len() < 2 {
                 return;
             }
@@ -273,10 +266,8 @@ impl JellyfishBuilder {
                 return true;
             }
         }
-        let candidates: Vec<_> = graph
-            .edges()
-            .filter(|e| Self::splice_ok(graph, p, e.a, e.b))
-            .collect();
+        let candidates: Vec<_> =
+            graph.edges().filter(|e| Self::splice_ok(graph, p, e.a, e.b)).collect();
         if candidates.is_empty() {
             return false;
         }
@@ -347,9 +338,10 @@ pub fn build_heterogeneous(
             } else {
                 stall += 1;
                 if stall > 8 * free.len() * free.len() + 64 {
-                    let saturated = free.iter().enumerate().all(|(idx, &u)| {
-                        free[idx + 1..].iter().all(|&v| graph.has_edge(u, v))
-                    });
+                    let saturated = free
+                        .iter()
+                        .enumerate()
+                        .all(|(idx, &u)| free[idx + 1..].iter().all(|&v| graph.has_edge(u, v)));
                     if saturated {
                         break;
                     }
@@ -361,8 +353,8 @@ pub fn build_heterogeneous(
         let mut progress = true;
         while progress {
             progress = false;
-            for p in 0..n {
-                while network_degree[p].saturating_sub(graph.degree(p)) >= 2 {
+            for (p, &target) in network_degree.iter().enumerate().take(n) {
+                while target.saturating_sub(graph.degree(p)) >= 2 {
                     if !JellyfishBuilder::splice_into_random_edge(&mut graph, p, &mut rng) {
                         break;
                     }
@@ -408,7 +400,7 @@ pub fn build_naive_retry(
     let r = network_degree;
     for _ in 0..max_tries {
         // Create r "stubs" per switch and shuffle-pair them (configuration model).
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(r)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, r)).collect();
         // Fisher-Yates shuffle.
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -427,8 +419,7 @@ pub fn build_naive_retry(
             }
         }
         if ok && graph.is_connected() {
-            let topo = Topology::homogeneous(graph, ports, ports - r)
-                .with_name("jellyfish-naive");
+            let topo = Topology::homogeneous(graph, ports, ports - r).with_name("jellyfish-naive");
             return Ok(topo);
         }
     }

@@ -200,10 +200,8 @@ impl SwdcBuilder {
             }
         }
 
-        let topo = Topology::homogeneous(g, self.ports, self.servers_per_switch).with_name(format!(
-            "swdc-{:?}(n={n},degree={})",
-            self.lattice, self.degree
-        ));
+        let topo = Topology::homogeneous(g, self.ports, self.servers_per_switch)
+            .with_name(format!("swdc-{:?}(n={n},degree={})", self.lattice, self.degree));
         debug_assert!(topo.check_invariants().is_ok());
         Ok(topo)
     }
@@ -217,10 +215,7 @@ pub fn figure4_swdc(
     servers_per_switch: usize,
     seed: u64,
 ) -> Result<Topology, TopologyError> {
-    SwdcBuilder::new(lattice, nodes, 6)
-        .servers_per_switch(servers_per_switch)
-        .seed(seed)
-        .build()
+    SwdcBuilder::new(lattice, nodes, 6).servers_per_switch(servers_per_switch).seed(seed).build()
 }
 
 #[cfg(test)]

@@ -98,13 +98,7 @@ impl Topology {
                 ports[n]
             );
         }
-        Topology {
-            graph,
-            ports,
-            servers,
-            kinds,
-            name: name.into(),
-        }
+        Topology { graph, ports, servers, kinds, name: name.into() }
     }
 
     /// Creates a homogeneous ToR-only topology: every switch has `ports`
@@ -142,6 +136,15 @@ impl Topology {
     /// procedures in this crate do so and re-check in debug builds.
     pub fn graph_mut(&mut self) -> &mut Graph {
         &mut self.graph
+    }
+
+    /// Takes an immutable [`CsrGraph`] snapshot of the interconnect.
+    ///
+    /// This is the representation every consumer crate (routing, flow, sim)
+    /// traverses; take the snapshot once per finished topology and re-take it
+    /// after mutations (expansion, failures).
+    pub fn csr(&self) -> crate::csr::CsrGraph {
+        crate::csr::CsrGraph::from_graph(&self.graph)
     }
 
     /// Number of switches.
@@ -242,10 +245,7 @@ impl Topology {
         for n in self.graph.nodes() {
             let used = self.graph.degree(n) + self.servers[n];
             if used > self.ports[n] {
-                return Err(format!(
-                    "switch {n} uses {used} ports but only has {}",
-                    self.ports[n]
-                ));
+                return Err(format!("switch {n} uses {used} ports but only has {}", self.ports[n]));
             }
         }
         Ok(())

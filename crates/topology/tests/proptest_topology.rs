@@ -57,6 +57,36 @@ proptest! {
         prop_assert_eq!(topo.num_switches(), n + additions);
     }
 
+    /// The immutable CSR snapshot is equivalent to the mutable graph it was
+    /// taken from: same degrees, same (sorted) neighbor sets, same BFS
+    /// distances from every source, and consistent arc/edge-id mappings.
+    #[test]
+    fn csr_snapshot_equivalent_to_graph(
+        n in 6usize..60,
+        r in 3usize..7,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(r < n);
+        let topo = JellyfishBuilder::new(n, r + 2, r).seed(seed).build().unwrap();
+        let g = topo.graph();
+        let csr = topo.csr();
+        prop_assert_eq!(csr.num_nodes(), g.num_nodes());
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        prop_assert_eq!(csr.num_arcs(), 2 * g.num_edges());
+        for u in g.nodes() {
+            prop_assert_eq!(csr.degree(u), g.degree(u));
+            let mut expected: Vec<u32> = g.neighbors(u).iter().map(|&v| v as u32).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(csr.neighbors(u), expected.as_slice());
+            prop_assert_eq!(csr.bfs_distances(u), bfs_distances(g, u));
+        }
+        for e in g.edges() {
+            let (lo, hi) = (e.a.min(e.b), e.a.max(e.b));
+            let eid = csr.edge_index(lo, hi).expect("edge present in snapshot");
+            prop_assert_eq!(csr.edge_endpoints(eid), (lo, hi));
+        }
+    }
+
     /// BFS distances satisfy the triangle inequality over edges: for every
     /// edge (u, v), |dist(s,u) - dist(s,v)| <= 1.
     #[test]
@@ -116,8 +146,8 @@ proptest! {
         deg.extend(vec![7usize; large]);
         prop_assume!(deg.iter().all(|&d| d < n));
         let topo = build_heterogeneous(&ports, &deg, seed).unwrap();
-        for i in 0..n {
-            prop_assert!(topo.graph().degree(i) <= deg[i]);
+        for (i, &target) in deg.iter().enumerate() {
+            prop_assert!(topo.graph().degree(i) <= target);
         }
         // The randomized completion matches all but at most one port in the
         // homogeneous case; with mixed degree targets on very small networks a

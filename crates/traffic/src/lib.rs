@@ -52,10 +52,7 @@ impl ServerMap {
             }
         }
         first_server.push(switch_of.len());
-        ServerMap {
-            switch_of,
-            first_server,
-        }
+        ServerMap { switch_of, first_server }
     }
 
     /// Total number of servers.
@@ -102,11 +99,7 @@ impl TrafficMatrix {
             assert!(f.src < num_servers && f.dst < num_servers, "flow endpoints out of range");
             assert!(f.demand >= 0.0, "negative demand");
         }
-        TrafficMatrix {
-            flows,
-            num_servers,
-            name: name.into(),
-        }
+        TrafficMatrix { flows, num_servers, name: name.into() }
     }
 
     /// Random permutation traffic (the paper's workload): a uniform random
@@ -128,21 +121,11 @@ impl TrafficMatrix {
             }
         }
         let flows = if n > 1 {
-            (0..n)
-                .map(|s| Flow {
-                    src: s,
-                    dst: dst[s],
-                    demand: 1.0,
-                })
-                .collect()
+            (0..n).map(|s| Flow { src: s, dst: dst[s], demand: 1.0 }).collect()
         } else {
             Vec::new()
         };
-        TrafficMatrix {
-            flows,
-            num_servers: n,
-            name: format!("random-permutation(seed={seed})"),
-        }
+        TrafficMatrix { flows, num_servers: n, name: format!("random-permutation(seed={seed})") }
     }
 
     /// All-to-all traffic: every ordered server pair exchanges `1/(n-1)` of
@@ -161,11 +144,7 @@ impl TrafficMatrix {
                 }
             }
         }
-        TrafficMatrix {
-            flows,
-            num_servers: n,
-            name: "all-to-all".to_string(),
-        }
+        TrafficMatrix { flows, num_servers: n, name: "all-to-all".to_string() }
     }
 
     /// Hotspot traffic: a `fraction` of servers (at least one) are chosen as
@@ -187,11 +166,7 @@ impl TrafficMatrix {
             let d = candidates[rng.gen_range(0..candidates.len())];
             flows.push(Flow { src: s, dst: d, demand: 1.0 });
         }
-        TrafficMatrix {
-            flows,
-            num_servers: n,
-            name: format!("hotspot(fraction={fraction})"),
-        }
+        TrafficMatrix { flows, num_servers: n, name: format!("hotspot(fraction={fraction})") }
     }
 
     /// Stride traffic: server `s` sends to server `(s + stride) mod n` at
@@ -199,22 +174,12 @@ impl TrafficMatrix {
     /// the random permutation.
     pub fn stride(servers: &ServerMap, stride: usize) -> Self {
         let n = servers.num_servers();
-        let flows = if n > 1 && stride % n != 0 {
-            (0..n)
-                .map(|s| Flow {
-                    src: s,
-                    dst: (s + stride) % n,
-                    demand: 1.0,
-                })
-                .collect()
+        let flows = if n > 1 && !stride.is_multiple_of(n) {
+            (0..n).map(|s| Flow { src: s, dst: (s + stride) % n, demand: 1.0 }).collect()
         } else {
             Vec::new()
         };
-        TrafficMatrix {
-            flows,
-            num_servers: n,
-            name: format!("stride({stride})"),
-        }
+        TrafficMatrix { flows, num_servers: n, name: format!("stride({stride})") }
     }
 
     /// The flows of this matrix.
@@ -254,7 +219,7 @@ impl TrafficMatrix {
         }
         let mut out: Vec<(NodeId, NodeId, f64)> =
             agg.into_iter().map(|((s, d), v)| (s, d, v)).collect();
-        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out.sort_by_key(|a| (a.0, a.1));
         out
     }
 
