@@ -1,125 +1,321 @@
 //! `figures` — regenerate the data behind every figure and table of the
-//! Jellyfish paper.
+//! Jellyfish paper through the experiment registry.
 //!
 //! Usage:
 //!
 //! ```text
-//! figures <experiment> [--scale paper|laptop|tiny] [--seed N]
-//! figures all          [--scale laptop]
+//! figures list
+//! figures run <experiment|all> [--scale tiny|laptop|paper] [--seed N] [--json]
+//! figures run <experiment|all> --shard K/N [--scale ...] [--seed N]
+//! figures merge <file...> [--json]
+//! figures <experiment|all> [...]      # shorthand for `figures run`
 //! ```
 //!
-//! Experiments: `fig1c`, `fig2a`, `fig2b`, `fig2c`, `fig3`, `fig4`, `fig5`,
-//! `fig6`, `fig7`, `fig8`, `fig9`, `table1`, `fig10`, `fig11`, `fig12`,
-//! `fig13`, `fig14`. Output is a tab-separated table on stdout; see
-//! EXPERIMENTS.md for how each maps onto the paper's plots.
+//! `figures list` prints every registered experiment (see EXPERIMENTS.md for
+//! the per-experiment schema). `figures run` evaluates experiments and
+//! prints one TSV block per experiment (or one JSON line with `--json`);
+//! `run all` evaluates every experiment except `fig12`, which duplicates
+//! `fig11`'s sweep byte-for-byte.
+//! With `--shard K/N` it evaluates only the K-th of N slices of each
+//! experiment's work items and prints one shard-fragment JSON line per
+//! experiment; `figures merge` recombines fragment files from all N shards
+//! and prints byte-for-byte what the unsharded `figures run` would have.
+//!
+//! Unknown experiment names, scales, seeds and shard specs are hard errors
+//! (exit code 2) listing the valid choices — never silent fallbacks.
 
-use jellyfish::figures::{self, Scale};
-use jellyfish_bench::{render_rows, render_series_table};
+use jellyfish::experiment::{self, Experiment, Shard, ShardFragment};
+use jellyfish::figures::Scale;
+use jellyfish_bench::{render_run, render_run_json};
+use std::process::ExitCode;
 
-fn parse_scale(args: &[String]) -> Scale {
-    match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(String::as_str)
-    {
-        Some("paper") => Scale::Paper,
-        Some("tiny") => Scale::Tiny,
-        _ => Scale::Laptop,
-    }
+const USAGE: &str = "usage: figures <command> [options]
+
+commands:
+  list                      list the registered experiments
+  run <experiment|all>      evaluate experiments and print their datasets
+  merge <file...>           merge `run --shard` fragment files
+
+run options:
+  --scale tiny|laptop|paper   instance-size preset (default: laptop)
+  --seed N                    base seed (default: 2012)
+  --shard K/N                 run only the K-th of N slices of the work
+                              items and print mergeable JSON fragments
+  --json                      print JSON instead of TSV (non-shard runs)
+
+merge options:
+  --json                      print JSON instead of TSV";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("figures: {message}");
+    ExitCode::from(2)
 }
 
-fn parse_seed(args: &[String]) -> u64 {
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2012)
+fn experiment_names() -> String {
+    let mut names = vec!["all"];
+    names.extend(experiment::names());
+    names.join(", ")
 }
 
-fn run_experiment(name: &str, scale: Scale, seed: u64) {
-    println!("== {name} (scale: {scale:?}, seed: {seed}) ==");
-    match name {
-        "fig1c" => print!("{}", render_series_table(&figures::fig1c_path_length_cdf(scale, seed))),
-        "fig2a" => print!("{}", render_series_table(&figures::fig2a_bisection_vs_servers())),
-        "fig2b" => print!("{}", render_series_table(&figures::fig2b_equipment_cost())),
-        "fig2c" => {
-            print!("{}", render_series_table(&figures::fig2c_servers_at_full_capacity(scale, seed)))
-        }
-        "fig3" => print!("{}", render_series_table(&figures::fig3_degree_diameter(scale, seed))),
-        "fig4" => print!("{}", render_rows(&figures::fig4_swdc_comparison(scale, seed))),
-        "fig5" => {
-            print!("{}", render_series_table(&figures::fig5_path_length_vs_size(scale, seed)))
-        }
-        "fig6" => {
-            print!("{}", render_series_table(&figures::fig6_incremental_vs_scratch(scale, seed)))
-        }
-        "fig7" => {
-            println!("budget\tjellyfish_bisection\tclos_bisection\tservers");
-            for s in figures::fig7_legup_comparison(scale, seed) {
-                println!(
-                    "{:.0}\t{:.4}\t{:.4}\t{}",
-                    s.cumulative_budget, s.jellyfish_bisection, s.clos_bisection, s.servers
-                );
+/// Parsed `run` options, every flag validated (no silent fallbacks).
+struct RunOptions {
+    scale: Scale,
+    seed: u64,
+    shard: Option<Shard>,
+    json: bool,
+}
+
+fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, String> {
+    args.get(i + 1).map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions { scale: Scale::Laptop, seed: 2012, shard: None, json: false };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                opts.scale = flag_value(args, i, "--scale")?.parse().map_err(|e| format!("{e}"))?;
+                i += 2;
             }
-        }
-        "fig8" => print!("{}", render_series_table(&figures::fig8_failure_resilience(scale, seed))),
-        "fig9" => print!("{}", render_series_table(&figures::fig9_path_diversity(scale, seed))),
-        "table1" => {
-            println!("congestion_control\tfat-tree ECMP\tjellyfish ECMP\tjellyfish 8-KSP");
-            for (label, ft, jf_ecmp, jf_ksp) in figures::table1(scale, seed) {
-                println!(
-                    "{label}\t{:.1}%\t{:.1}%\t{:.1}%",
-                    ft * 100.0,
-                    jf_ecmp * 100.0,
-                    jf_ksp * 100.0
-                );
+            "--seed" => {
+                let raw = flag_value(args, i, "--seed")?;
+                opts.seed = raw.parse().map_err(|_| {
+                    format!("unparsable --seed '{raw}': expected an unsigned integer")
+                })?;
+                i += 2;
             }
-        }
-        "fig10" => {
-            println!("servers\toptimal\tpacket_level");
-            for (servers, optimal, packet) in figures::fig10_packet_vs_optimal(scale, seed) {
-                println!("{servers}\t{optimal:.4}\t{packet:.4}");
+            "--shard" => {
+                opts.shard = Some(flag_value(args, i, "--shard")?.parse()?);
+                i += 2;
             }
-        }
-        "fig11" | "fig12" => {
-            println!("equipment_ports\tfattree_servers\tfattree_throughput\tjellyfish_servers\tjellyfish_throughput");
-            for (ports, fts, fttp, jfs, jftp) in figures::fig11_12_packet_capacity(scale, seed) {
-                println!("{ports}\t{fts}\t{fttp:.4}\t{jfs}\t{jftp:.4}");
+            "--json" => {
+                opts.json = true;
+                i += 1;
             }
-        }
-        "fig13" => {
-            for (label, tputs, jain) in figures::fig13_fairness(scale, seed) {
-                println!("{label}: {} flows, Jain index {:.4}", tputs.len(), jain);
-                let preview: Vec<String> =
-                    tputs.iter().take(10).map(|t| format!("{t:.3}")).collect();
-                println!("  lowest flows: {}", preview.join(", "));
-            }
-        }
-        "fig14" => {
-            print!("{}", render_series_table(&figures::fig14_cable_localization(scale, seed)))
-        }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            std::process::exit(2);
+            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
         }
     }
-    println!();
+    if opts.shard.is_some() && opts.json {
+        return Err("--shard output is always JSON; drop --json".to_string());
+    }
+    Ok(opts)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(name) = args.first() else {
-        eprintln!("usage: figures <experiment|all> [--scale paper|laptop|tiny] [--seed N]");
-        std::process::exit(2);
-    };
-    let scale = parse_scale(&args);
-    let seed = parse_seed(&args);
-    let all = [
-        "fig1c", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "table1", "fig10", "fig11", "fig13", "fig14",
-    ];
+fn resolve_experiments(name: &str) -> Result<Vec<&'static dyn Experiment>, String> {
     if name == "all" {
-        for n in all {
-            run_experiment(n, scale, seed);
+        // fig12 reruns fig11's sweep byte-for-byte (the paper presents the
+        // same data twice), so `all` evaluates it once under the fig11 name;
+        // `figures run fig12` still works on its own.
+        return Ok(experiment::registry()
+            .iter()
+            .copied()
+            .filter(|e| e.name() != "fig12")
+            .collect());
+    }
+    experiment::find(name).map(|e| vec![e]).ok_or_else(|| {
+        format!("unknown experiment '{name}': valid experiments are {}", experiment_names())
+    })
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    if let Some(extra) = args.first() {
+        return fail(&format!("list takes no arguments (got '{extra}')\n\n{USAGE}"));
+    }
+    for exp in experiment::registry() {
+        println!("{}\t{}", exp.name(), exp.describe());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(name: &str, args: &[String]) -> ExitCode {
+    let opts = match parse_run_options(args) {
+        Ok(opts) => opts,
+        Err(e) => return fail(&e),
+    };
+    let experiments = match resolve_experiments(name) {
+        Ok(exps) => exps,
+        Err(e) => return fail(&e),
+    };
+    for exp in experiments {
+        match opts.shard {
+            Some(shard) => {
+                let fragment = ShardFragment {
+                    experiment: exp.name().to_string(),
+                    scale: opts.scale,
+                    seed: opts.seed,
+                    shard,
+                    items: exp.run_shard(opts.scale, opts.seed, shard),
+                };
+                println!("{}", fragment.to_json());
+            }
+            None => {
+                let data = exp.run(opts.scale, opts.seed);
+                let rendered = if opts.json {
+                    render_run_json(exp.name(), opts.scale, opts.seed, &data)
+                } else {
+                    render_run(exp.name(), opts.scale, opts.seed, &data)
+                };
+                print!("{rendered}");
+            }
         }
-    } else {
-        run_experiment(name, scale, seed);
+    }
+    ExitCode::SUCCESS
+}
+
+/// All fragments of one `(experiment, scale, seed)` group, with the merge
+/// validation `figures merge` applies: full, duplicate-free item coverage.
+fn merge_group(
+    exp: &dyn Experiment,
+    fragments: &[&ShardFragment],
+) -> Result<(Scale, u64, jellyfish::experiment::Dataset), String> {
+    let name = exp.name();
+    let (scale, seed) = (fragments[0].scale, fragments[0].seed);
+    for f in fragments {
+        if f.scale != scale || f.seed != seed {
+            return Err(format!(
+                "{name}: fragments disagree on scale/seed \
+                 ({scale}/{seed} vs {}/{}); shards of one sweep must share both",
+                f.scale, f.seed
+            ));
+        }
+    }
+    let expected = exp.work_items(scale, seed).len();
+    let mut seen = vec![false; expected];
+    let mut items = Vec::new();
+    let mut columns: Option<&[String]> = None;
+    for f in fragments {
+        for item in &f.items {
+            // Pre-validate what Dataset::concat asserts, so corrupted or
+            // version-skewed fragment files fail cleanly instead of panicking.
+            if !item.data.columns.is_empty() {
+                match columns {
+                    None => columns = Some(&item.data.columns),
+                    Some(cols) if cols != item.data.columns.as_slice() => {
+                        return Err(format!(
+                            "{name}: fragments disagree on table columns \
+                             ({cols:?} vs {:?}); were they produced by different builds?",
+                            item.data.columns
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if item.index >= expected {
+                return Err(format!(
+                    "{name}: fragment {} has item {} but the experiment only has {expected} \
+                     work items at scale {scale}",
+                    f.shard, item.index
+                ));
+            }
+            if seen[item.index] {
+                return Err(format!(
+                    "{name}: item {} appears in more than one fragment (same shard file \
+                     passed twice?)",
+                    item.index
+                ));
+            }
+            seen[item.index] = true;
+            items.push(item.clone());
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!(
+            "{name}: incomplete shard set: item {missing} of {expected} is missing \
+             (pass the fragment files of all N shards)"
+        ));
+    }
+    Ok((scale, seed, exp.merge(items)))
+}
+
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut files = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown option '{flag}'\n\n{USAGE}"))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return fail("merge needs at least one fragment file");
+    }
+    let mut fragments: Vec<ShardFragment> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => return fail(&format!("cannot read '{file}': {e}")),
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match ShardFragment::from_json(line) {
+                Ok(frag) => fragments.push(frag),
+                Err(e) => return fail(&format!("{file}:{}: {e}", lineno + 1)),
+            }
+        }
+    }
+    for f in &fragments {
+        if experiment::find(&f.experiment).is_none() {
+            return fail(&format!(
+                "unknown experiment '{}' in fragment: valid experiments are {}",
+                f.experiment,
+                experiment_names()
+            ));
+        }
+    }
+    // Validate every group before printing anything, then print per
+    // experiment in canonical registry order — the same order `figures run
+    // all` evaluates in.
+    let mut merged = Vec::new();
+    for exp in experiment::registry() {
+        let group: Vec<&ShardFragment> =
+            fragments.iter().filter(|f| f.experiment == exp.name()).collect();
+        if group.is_empty() {
+            continue;
+        }
+        match merge_group(*exp, &group) {
+            Ok((scale, seed, data)) => merged.push((exp.name(), scale, seed, data)),
+            Err(e) => return fail(&e),
+        }
+    }
+    for (name, scale, seed, data) in &merged {
+        let rendered = if json {
+            render_run_json(name, *scale, *seed, data)
+        } else {
+            render_run(name, *scale, *seed, data)
+        };
+        print!("{rendered}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return fail(USAGE);
+    };
+    match command.as_str() {
+        "list" => cmd_list(&args[1..]),
+        "run" => {
+            let Some(name) = args.get(1) else {
+                return fail(&format!(
+                    "run needs an experiment name: valid experiments are {}",
+                    experiment_names()
+                ));
+            };
+            cmd_run(name, &args[2..])
+        }
+        "merge" => cmd_merge(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        // Shorthand: `figures fig3 --scale tiny` == `figures run fig3 ...`.
+        name => cmd_run(name, &args[1..]),
     }
 }

@@ -1,6 +1,7 @@
 //! Shared helpers for the figure-regeneration CLI and the Criterion benches.
 //!
-//! The actual experiment logic lives in [`jellyfish::figures`]; this crate
+//! The actual experiment logic lives in [`jellyfish::experiment`] (with the
+//! legacy per-figure entry points in [`jellyfish::figures`]); this crate
 //! only formats its output and wires it into `cargo bench` targets. See
 //! EXPERIMENTS.md at the repository root for the index of experiments and
 //! the measured-vs-paper comparison.
@@ -8,7 +9,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use jellyfish::figures::Series;
+use jellyfish::experiment::Dataset;
+use jellyfish::figures::{Scale, Series};
+
+/// Renders one experiment result exactly as `figures run` prints it: a
+/// header naming the experiment, scale and seed, the dataset's TSV, and a
+/// trailing blank line. `figures merge` uses the same function, which is
+/// what makes a merged sharded run byte-identical to a single-process run.
+pub fn render_run(name: &str, scale: Scale, seed: u64, data: &Dataset) -> String {
+    format!("== {name} (scale: {scale}, seed: {seed}) ==\n{}\n", data.to_tsv())
+}
+
+/// Renders one experiment result as a single JSON line with the same
+/// metadata as [`render_run`].
+pub fn render_run_json(name: &str, scale: Scale, seed: u64, data: &Dataset) -> String {
+    format!(
+        "{{\"experiment\":\"{name}\",\"scale\":\"{scale}\",\"seed\":{seed},\"data\":{}}}\n",
+        data.to_json()
+    )
+}
 
 /// Renders a collection of series as an aligned text table:
 /// one `x` column and one column per series.
@@ -73,6 +92,18 @@ mod tests {
         assert!(lines[0].contains("a") && lines[0].contains("b"));
         assert!(lines[1].contains("0.5") && lines[1].ends_with("-"));
         assert!(lines[2].contains("0.6") && lines[2].contains("0.7"));
+    }
+
+    #[test]
+    fn run_rendering_is_header_plus_tsv() {
+        let mut ds = Dataset::new();
+        ds.push_point("a", 1.0, 0.5);
+        let text = render_run("fig9", Scale::Tiny, 7, &ds);
+        assert!(text.starts_with("== fig9 (scale: tiny, seed: 7) ==\n"));
+        assert!(text.contains("x\ta\n1\t0.5\n"));
+        assert!(text.ends_with('\n'));
+        let json = render_run_json("fig9", Scale::Tiny, 7, &ds);
+        assert!(json.starts_with("{\"experiment\":\"fig9\",\"scale\":\"tiny\",\"seed\":7,"));
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! First-class experiment API: every figure and table of the paper's
+//! evaluation as a named, shardable unit of work.
+//!
+//! The paper's evaluation is ~17 figures/tables. Historically each was a
+//! one-off function in [`crate::figures`] with its own return type, which
+//! made it impossible to express a *sweep* generically: there was no uniform
+//! unit of work to shard across processes and no uniform result to merge.
+//! This module fixes that:
+//!
+//! * [`Experiment`] — the trait every figure implements. An experiment
+//!   decomposes into independent [`WorkItem`]s (`work_items`), evaluates one
+//!   item at a time against a [`RunCtx`] (`run_item`), and merges the item
+//!   results back into one [`Dataset`] (`merge`).
+//! * [`Dataset`] — the single tagged result type: labelled `(x, y)` series,
+//!   named rows under fixed column headers, and scalar cells. It renders to
+//!   TSV ([`Dataset::to_tsv`]) and JSON ([`Dataset::to_json`]).
+//! * [`Shard`] — a `K/N` slice of an experiment's work items. Because every
+//!   item derives its randomness from `(seed, item)` alone, running the
+//!   shards in separate processes and merging the [`ShardFragment`]s is
+//!   byte-identical to a single-process [`Experiment::run`].
+//! * [`registry`] — the static table of all 17 experiments, keyed by the
+//!   names the `figures` CLI exposes (`figures list`).
+//!
+//! The [`RunCtx`] carries the run's [`Scale`] and seed plus a memoized
+//! topology/CSR-snapshot cache: items of one experiment that share a
+//! topology (for example the per-fraction failure sweeps of `fig8`) build
+//! the [`CsrGraph`] snapshot once per process and share it. The cache is an
+//! optimization only — every builder is a pure function of `(scale, seed)`,
+//! so a shard that rebuilds a snapshot gets bit-identical data.
+//!
+//! EXPERIMENTS.md at the repository root indexes the registered experiments
+//! (paper figure, scales, output schema).
+
+use crate::figures::{Scale, Series};
+use jellyfish_topology::{CsrGraph, Topology};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+pub mod catalog;
+mod json;
+
+/// One named row of a [`Dataset`] table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (first column).
+    pub label: String,
+    /// Numeric values, one per remaining column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Row { label: label.into(), values }
+    }
+}
+
+/// One named scalar of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell name.
+    pub name: String,
+    /// Cell value.
+    pub value: f64,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Cell { name: name.into(), value }
+    }
+}
+
+/// The uniform result type every experiment produces.
+///
+/// A dataset is up to three sections, each possibly empty: scalar [`Cell`]s,
+/// a table ([`Row`]s under `columns` headers, where `columns[0]` names the
+/// row-label column), and labelled [`Series`]. Merging shard fragments
+/// concatenates sections deterministically — see [`Dataset::concat`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// Labelled (x, y) series (line-plot figures).
+    pub series: Vec<Series>,
+    /// Column headers for `rows`; `columns[0]` heads the label column.
+    pub columns: Vec<String>,
+    /// Named rows (table-style figures).
+    pub rows: Vec<Row>,
+    /// Named scalars (bar-chart-style figures).
+    pub cells: Vec<Cell>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// A dataset that is only labelled series.
+    pub fn from_series(series: Vec<Series>) -> Self {
+        Dataset { series, ..Default::default() }
+    }
+
+    /// Appends `(x, y)` to the series named `label`, creating it on first use.
+    pub fn push_point(&mut self, label: &str, x: f64, y: f64) {
+        match self.series.iter_mut().find(|s| s.label == label) {
+            Some(s) => s.points.push((x, y)),
+            None => self.series.push(Series::new(label, vec![(x, y)])),
+        }
+    }
+
+    /// Sets the table column headers (`columns[0]` heads the label column).
+    pub fn set_columns(&mut self, columns: &[&str]) {
+        self.columns = columns.iter().map(|c| c.to_string()).collect();
+    }
+
+    /// Appends a table row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push(Row::new(label, values));
+    }
+
+    /// Appends a scalar cell.
+    pub fn push_cell(&mut self, name: impl Into<String>, value: f64) {
+        self.cells.push(Cell::new(name, value));
+    }
+
+    /// Deterministically concatenates dataset fragments (in the order given):
+    /// series with the same label have their points appended in fragment
+    /// order and keep first-seen label order; rows and cells concatenate;
+    /// column headers must agree across fragments that set them.
+    pub fn concat<I: IntoIterator<Item = Dataset>>(fragments: I) -> Dataset {
+        let mut out = Dataset::new();
+        for frag in fragments {
+            for s in frag.series {
+                match out.series.iter_mut().find(|e| e.label == s.label) {
+                    Some(e) => e.points.extend(s.points),
+                    None => out.series.push(s),
+                }
+            }
+            if !frag.columns.is_empty() {
+                if out.columns.is_empty() {
+                    out.columns = frag.columns;
+                } else {
+                    assert_eq!(
+                        out.columns, frag.columns,
+                        "dataset fragments disagree on table columns"
+                    );
+                }
+            }
+            out.rows.extend(frag.rows);
+            out.cells.extend(frag.cells);
+        }
+        out
+    }
+
+    /// Renders the dataset as tab-separated text: cells first (`name\tvalue`),
+    /// then the table, then the series aligned on their union of x values.
+    /// Non-empty sections are separated by a blank line. The rendering is a
+    /// pure function of the data, so a merged sharded run prints byte-for-byte
+    /// what the single-process run prints.
+    pub fn to_tsv(&self) -> String {
+        let mut sections: Vec<String> = Vec::new();
+        if !self.cells.is_empty() {
+            let mut s = String::new();
+            for c in &self.cells {
+                s.push_str(&format!("{}\t{}\n", c.name, fmt_num(c.value)));
+            }
+            sections.push(s);
+        }
+        if !self.rows.is_empty() {
+            let mut s = String::new();
+            s.push_str(&self.columns.join("\t"));
+            s.push('\n');
+            for r in &self.rows {
+                s.push_str(&r.label);
+                for v in &r.values {
+                    s.push('\t');
+                    s.push_str(&fmt_num(*v));
+                }
+                s.push('\n');
+            }
+            sections.push(s);
+        }
+        if !self.series.is_empty() {
+            sections.push(self.series_table());
+        }
+        sections.join("\n")
+    }
+
+    /// The x-aligned series table: one `x` column plus one column per series,
+    /// `-` where a series has no point at that x.
+    fn series_table(&self) -> String {
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.iter().any(|&e| e.to_bits() == x.to_bits()) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let maps: Vec<HashMap<u64, f64>> = self
+            .series
+            .iter()
+            .map(|s| s.points.iter().map(|&(x, y)| (x.to_bits(), y)).collect())
+            .collect();
+        let mut out = String::from("x");
+        for s in &self.series {
+            out.push('\t');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&fmt_num(x));
+            for m in &maps {
+                match m.get(&x.to_bits()) {
+                    Some(&y) => {
+                        out.push('\t');
+                        out.push_str(&fmt_num(y));
+                    }
+                    None => out.push_str("\t-"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the dataset as a JSON object. Finite numbers use Rust's
+    /// shortest round-trip formatting, so [`Dataset::from_json`] recovers
+    /// them exactly.
+    pub fn to_json(&self) -> String {
+        json::dataset_to_json(self)
+    }
+
+    /// Parses a dataset from the JSON produced by [`Dataset::to_json`].
+    pub fn from_json(text: &str) -> Result<Dataset, String> {
+        json::dataset_from_json(text)
+    }
+}
+
+/// Shortest round-trip rendering of a value (`3` for 3.0, `0.1` for 0.1).
+fn fmt_num(v: f64) -> String {
+    format!("{v}")
+}
+
+/// One independent unit of an experiment's work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkItem {
+    /// Position in the experiment's full item list (the shard key).
+    pub index: usize,
+    /// Human-readable description of the item.
+    pub label: String,
+}
+
+impl WorkItem {
+    /// Creates a work item.
+    pub fn new(index: usize, label: impl Into<String>) -> Self {
+        WorkItem { index, label: label.into() }
+    }
+}
+
+/// The result of running one [`WorkItem`]: a dataset fragment tagged with
+/// the item's index so merges can restore the canonical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemResult {
+    /// The producing item's index.
+    pub index: usize,
+    /// The fragment of the experiment's dataset this item contributes.
+    pub data: Dataset,
+}
+
+impl ItemResult {
+    /// Creates an item result.
+    pub fn new(index: usize, data: Dataset) -> Self {
+        ItemResult { index, data }
+    }
+}
+
+/// An immutable topology + CSR snapshot pair shared between work items.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The mutable-API topology (adjacency form).
+    pub topology: Topology,
+    /// The flat CSR snapshot routing/flow/sim consume.
+    pub csr: CsrGraph,
+}
+
+/// Per-run context handed to [`Experiment::run_item`]: the scale and seed of
+/// the run plus a process-local memo of CSR-backed topology snapshots.
+#[derive(Debug)]
+pub struct RunCtx {
+    /// Instance-size preset for this run.
+    pub scale: Scale,
+    /// Base seed; items derive their own sub-seeds from it deterministically.
+    pub seed: u64,
+    cache: Mutex<HashMap<String, Arc<Snapshot>>>,
+}
+
+impl RunCtx {
+    /// Creates a context for one `(scale, seed)` run.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        RunCtx { scale, seed, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns the memoized snapshot for `key`, building it (outside the
+    /// lock) on first use. `build` must be a pure function of the context's
+    /// `(scale, seed)` — the cache only dedups work, it never changes
+    /// results, so sharded processes that rebuild get identical data.
+    pub fn snapshot(&self, key: &str, build: impl FnOnce(&RunCtx) -> Topology) -> Arc<Snapshot> {
+        if let Some(snap) = self.cache.lock().unwrap().get(key) {
+            return Arc::clone(snap);
+        }
+        let topology = build(self);
+        let snap = Arc::new(Snapshot { csr: topology.csr(), topology });
+        Arc::clone(self.cache.lock().unwrap().entry(key.to_string()).or_insert(snap))
+    }
+}
+
+/// A `K/N` slice of an experiment's work items (1-based `K`): shard `K`
+/// owns every item whose index is congruent to `K - 1` modulo `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// 1-based shard number, `1 <= index <= count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Creates shard `index` of `count`, validating `1 <= index <= count`.
+    pub fn new(index: usize, count: usize) -> Result<Shard, String> {
+        if count == 0 || index == 0 || index > count {
+            return Err(format!("invalid shard {index}/{count}: need 1 <= K <= N"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns the item at `item_index`.
+    pub fn owns(&self, item_index: usize) -> bool {
+        item_index % self.count == self.index - 1
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("invalid shard '{s}': expected K/N with 1 <= K <= N, e.g. 2/4");
+        let (k, n) = s.split_once('/').ok_or_else(err)?;
+        let k: usize = k.trim().parse().map_err(|_| err())?;
+        let n: usize = n.trim().parse().map_err(|_| err())?;
+        Shard::new(k, n).map_err(|_| err())
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The output of one shard of one experiment: the metadata a merge needs to
+/// validate coverage plus the item results the shard owns. Serializes to a
+/// single JSON line (`figures run --shard K/N` emits one per experiment) and
+/// back ([`ShardFragment::from_json`], used by `figures merge`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFragment {
+    /// Registered experiment name.
+    pub experiment: String,
+    /// Scale the shard ran at.
+    pub scale: Scale,
+    /// Seed the shard ran with.
+    pub seed: u64,
+    /// Which slice of the work items this fragment holds.
+    pub shard: Shard,
+    /// The item results, sorted by item index.
+    pub items: Vec<ItemResult>,
+}
+
+impl ShardFragment {
+    /// Renders the fragment as one line of JSON.
+    pub fn to_json(&self) -> String {
+        json::fragment_to_json(self)
+    }
+
+    /// Parses a fragment from [`ShardFragment::to_json`] output.
+    pub fn from_json(text: &str) -> Result<ShardFragment, String> {
+        json::fragment_from_json(text)
+    }
+}
+
+/// A named, shardable experiment: one figure or table of the paper.
+///
+/// Implementations decompose into independent [`WorkItem`]s whose results
+/// are pure functions of `(scale, seed, item index)` — never of which
+/// process, shard, or thread evaluated them. That contract is what makes
+/// [`Experiment::run`], and any partition of the items into [`Shard`]s
+/// followed by [`Experiment::merge`], produce identical [`Dataset`]s; the
+/// shard-determinism proptest in `crates/core/tests` enforces it for every
+/// registered experiment.
+pub trait Experiment: Sync {
+    /// Registry name (`fig1c`, …, `table1`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `figures list`.
+    fn describe(&self) -> &'static str;
+
+    /// The full, ordered decomposition of this experiment at `(scale, seed)`.
+    /// Must be cheap (no heavy simulation) and deterministic.
+    fn work_items(&self, scale: Scale, seed: u64) -> Vec<WorkItem>;
+
+    /// Evaluates one work item. Must be a pure function of
+    /// `(ctx.scale, ctx.seed, item)`.
+    fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult;
+
+    /// Combines item results (any order; the default sorts by item index and
+    /// concatenates with [`Dataset::concat`]). Overrides must stay
+    /// order-insensitive in the same way: sort first, then combine.
+    fn merge(&self, mut results: Vec<ItemResult>) -> Dataset {
+        results.sort_by_key(|r| r.index);
+        Dataset::concat(results.into_iter().map(|r| r.data))
+    }
+
+    /// Runs every work item (in parallel) and merges: the single-process path.
+    fn run(&self, scale: Scale, seed: u64) -> Dataset {
+        self.merge(self.run_items(scale, seed, None))
+    }
+
+    /// Runs only the items a shard owns, returning mergeable results sorted
+    /// by item index.
+    fn run_shard(&self, scale: Scale, seed: u64, shard: Shard) -> Vec<ItemResult> {
+        self.run_items(scale, seed, Some(shard))
+    }
+
+    /// Shared driver for [`Experiment::run`] / [`Experiment::run_shard`]:
+    /// evaluates the (optionally shard-filtered) items in parallel.
+    fn run_items(&self, scale: Scale, seed: u64, shard: Option<Shard>) -> Vec<ItemResult> {
+        let ctx = RunCtx::new(scale, seed);
+        let items: Vec<WorkItem> = self
+            .work_items(scale, seed)
+            .into_iter()
+            .filter(|it| shard.is_none_or(|s| s.owns(it.index)))
+            .collect();
+        let mut results: Vec<ItemResult> =
+            items.par_iter().map(|item| self.run_item(&ctx, item)).collect();
+        results.sort_by_key(|r| r.index);
+        results
+    }
+}
+
+/// The static registry of all 17 experiments, in canonical (paper) order.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    use catalog::*;
+    static REGISTRY: &[&dyn Experiment] = &[
+        &Fig1c, &Fig2a, &Fig2b, &Fig2c, &Fig3, &Fig4, &Fig5, &Fig6, &Fig7, &Fig8, &Fig9, &Table1,
+        &Fig10, &Fig11, &Fig12, &Fig13, &Fig14,
+    ];
+    REGISTRY
+}
+
+/// Looks up a registered experiment by name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().find(|e| e.name() == name).copied()
+}
+
+/// The registered experiment names, in canonical order.
+pub fn names() -> Vec<&'static str> {
+    registry().iter().map(|e| e.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_17_experiments_with_unique_names() {
+        let names = names();
+        assert_eq!(names.len(), 17);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 17, "duplicate experiment names");
+        assert!(find("fig1c").is_some());
+        assert!(find("table1").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn shard_parses_and_partitions() {
+        let s: Shard = "2/3".parse().unwrap();
+        assert_eq!(s, Shard::new(2, 3).unwrap());
+        assert_eq!(s.to_string(), "2/3");
+        assert!(!s.owns(0) && s.owns(1) && !s.owns(2) && !s.owns(3) && s.owns(4));
+        for bad in ["0/3", "4/3", "1/0", "x/y", "3", "1/2/3", ""] {
+            assert!(bad.parse::<Shard>().is_err(), "'{bad}' should not parse");
+        }
+        // Every item is owned by exactly one shard.
+        for n in 1..=5usize {
+            for item in 0..17usize {
+                let owners = (1..=n).filter(|&k| Shard::new(k, n).unwrap().owns(item)).count();
+                assert_eq!(owners, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn concat_merges_series_by_label_and_keeps_order() {
+        let mut a = Dataset::new();
+        a.push_point("jf", 1.0, 0.5);
+        a.push_point("ft", 1.0, 0.4);
+        let mut b = Dataset::new();
+        b.push_point("jf", 2.0, 0.6);
+        let merged = Dataset::concat([a, b]);
+        assert_eq!(merged.series.len(), 2);
+        assert_eq!(merged.series[0].label, "jf");
+        assert_eq!(merged.series[0].points, vec![(1.0, 0.5), (2.0, 0.6)]);
+        assert_eq!(merged.series[1].points, vec![(1.0, 0.4)]);
+    }
+
+    #[test]
+    fn tsv_renders_all_three_sections() {
+        let mut ds = Dataset::new();
+        ds.push_cell("jain", 0.975);
+        ds.set_columns(&["config", "servers", "throughput"]);
+        ds.push_row("k=4", vec![16.0, 0.91]);
+        ds.push_point("Jellyfish", 2.0, 0.25);
+        ds.push_point("Fat-tree", 2.0, 0.125);
+        let tsv = ds.to_tsv();
+        assert!(tsv.contains("jain\t0.975\n"));
+        assert!(tsv.contains("config\tservers\tthroughput\nk=4\t16\t0.91\n"));
+        assert!(tsv.contains("x\tJellyfish\tFat-tree\n2\t0.25\t0.125\n"));
+    }
+
+    #[test]
+    fn dataset_json_round_trips_exactly() {
+        let mut ds = Dataset::new();
+        ds.push_cell("odd \"name\"\twith\\escapes", 1.0 / 3.0);
+        ds.set_columns(&["c", "v"]);
+        ds.push_row("r0", vec![0.1 + 0.2, -4.0, 1e-300]);
+        ds.push_point("s", f64::MIN_POSITIVE, 12345678901234.5);
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn fragment_json_round_trips_exactly() {
+        let mut ds = Dataset::new();
+        ds.push_point("s", 0.1, 0.2);
+        let frag = ShardFragment {
+            experiment: "fig9".to_string(),
+            scale: Scale::Tiny,
+            seed: u64::MAX,
+            shard: Shard::new(2, 3).unwrap(),
+            items: vec![ItemResult::new(1, ds)],
+        };
+        let back = ShardFragment::from_json(&frag.to_json()).unwrap();
+        assert_eq!(frag, back);
+        assert!(ShardFragment::from_json("{\"experiment\":1}").is_err());
+        assert!(ShardFragment::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! Dependency-free JSON encoding/decoding for [`Dataset`] and
+//! [`ShardFragment`] (the build environment has no serde; see DESIGN.md).
+//!
+//! Numbers are written with Rust's shortest round-trip `Display` formatting
+//! and parsed with `str::parse::<f64>`, so every finite value — and every
+//! `u64` seed, which is kept as a raw token rather than routed through
+//! `f64` — survives a write/parse cycle exactly. That exactness is what lets
+//! `figures merge` reproduce a single-process run byte-for-byte.
+
+use super::{Dataset, ItemResult, Row, Series, Shard, ShardFragment};
+use crate::figures::Scale;
+
+// ---------------------------------------------------------------- encoding
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // Not representable in JSON; the datasets the experiments emit are
+        // finite, so this only guards hand-built data.
+        out.push_str("null");
+    }
+}
+
+fn dataset_into(out: &mut String, ds: &Dataset) {
+    out.push_str("{\"series\":[");
+    for (i, s) in ds.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        escape_into(out, &s.label);
+        out.push_str(",\"points\":[");
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            num_into(out, x);
+            out.push(',');
+            num_into(out, y);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"columns\":[");
+    for (i, c) in ds.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, c);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, r) in ds.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        escape_into(out, &r.label);
+        out.push_str(",\"values\":[");
+        for (j, &v) in r.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            num_into(out, v);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"cells\":[");
+    for (i, c) in ds.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_into(out, &c.name);
+        out.push_str(",\"value\":");
+        num_into(out, c.value);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Renders a dataset as a JSON object.
+pub(super) fn dataset_to_json(ds: &Dataset) -> String {
+    let mut out = String::new();
+    dataset_into(&mut out, ds);
+    out
+}
+
+/// Renders a shard fragment as one line of JSON.
+pub(super) fn fragment_to_json(frag: &ShardFragment) -> String {
+    let mut out = String::new();
+    out.push_str("{\"experiment\":");
+    escape_into(&mut out, &frag.experiment);
+    out.push_str(&format!(
+        ",\"scale\":\"{}\",\"seed\":{},\"shard\":[{},{}],\"items\":[",
+        frag.scale, frag.seed, frag.shard.index, frag.shard.count
+    ));
+    for (i, item) in frag.items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"index\":{},\"data\":", item.index));
+        dataset_into(&mut out, &item.data);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// A parsed JSON value. Numbers keep their raw token so integer widths
+/// (`u64` seeds) and float payloads convert without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(raw) => raw.parse().map_err(|_| format!("bad number '{raw}'")),
+            Value::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Num(raw) => raw.parse().map_err(|_| format!("bad integer '{raw}'")),
+            other => Err(format!("expected integer, found {other:?}")),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    fn as_arr(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<&Value, String> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key '{key}'")),
+            other => Err(format!("expected object with '{key}', found {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {}", self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string();
+        if raw.parse::<f64>().is_err() {
+            return Err(self.err(&format!("bad number '{raw}'")));
+        }
+        Ok(Value::Num(raw))
+    }
+}
+
+fn parse_document(text: &str) -> Result<Value, String> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    Ok(v)
+}
+
+fn dataset_from_value(v: &Value) -> Result<Dataset, String> {
+    let mut ds = Dataset::new();
+    for s in v.get("series")?.as_arr()? {
+        let label = s.get("label")?.as_str()?.to_string();
+        let mut points = Vec::new();
+        for p in s.get("points")?.as_arr()? {
+            let xy = p.as_arr()?;
+            if xy.len() != 2 {
+                return Err("series point is not an [x, y] pair".to_string());
+            }
+            points.push((xy[0].as_f64()?, xy[1].as_f64()?));
+        }
+        ds.series.push(Series::new(label, points));
+    }
+    for c in v.get("columns")?.as_arr()? {
+        ds.columns.push(c.as_str()?.to_string());
+    }
+    for r in v.get("rows")?.as_arr()? {
+        let label = r.get("label")?.as_str()?.to_string();
+        let values =
+            r.get("values")?.as_arr()?.iter().map(|v| v.as_f64()).collect::<Result<_, _>>()?;
+        ds.rows.push(Row { label, values });
+    }
+    for c in v.get("cells")?.as_arr()? {
+        ds.push_cell(c.get("name")?.as_str()?.to_string(), c.get("value")?.as_f64()?);
+    }
+    Ok(ds)
+}
+
+/// Parses [`dataset_to_json`] output.
+pub(super) fn dataset_from_json(text: &str) -> Result<Dataset, String> {
+    dataset_from_value(&parse_document(text)?)
+}
+
+/// Parses [`fragment_to_json`] output.
+pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
+    let v = parse_document(text)?;
+    let experiment = v.get("experiment")?.as_str()?.to_string();
+    let scale: Scale = v.get("scale")?.as_str()?.parse().map_err(|e| format!("{e}"))?;
+    let seed = v.get("seed")?.as_u64()?;
+    let shard = v.get("shard")?.as_arr()?;
+    if shard.len() != 2 {
+        return Err("'shard' is not a [K, N] pair".to_string());
+    }
+    let shard = Shard::new(shard[0].as_usize()?, shard[1].as_usize()?)?;
+    let mut items = Vec::new();
+    for item in v.get("items")?.as_arr()? {
+        items.push(ItemResult::new(
+            item.get("index")?.as_usize()?,
+            dataset_from_value(item.get("data")?)?,
+        ));
+    }
+    Ok(ShardFragment { experiment, scale, seed, shard, items })
+}

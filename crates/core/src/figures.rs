@@ -1,60 +1,51 @@
-//! Data generation for every figure and table in the paper's evaluation.
+//! Legacy per-figure entry points, now thin wrappers over the
+//! [`crate::experiment`] registry.
 //!
-//! Each function returns the series the original plot shows, at a
-//! configurable [`Scale`]: `Scale::Paper` uses the paper's instance sizes
-//! (can take minutes for the flow-solver figures), `Scale::Laptop` shrinks
-//! the instances so every figure regenerates in seconds, and
-//! `Scale::Tiny` is for tests and CI smoke runs. The `jellyfish-bench` crate
-//! exposes these through a CLI (`figures <experiment>`) and through Criterion
-//! benchmark groups; EXPERIMENTS.md records the measured outputs next to the
-//! paper's reported values.
+//! Every figure of the paper is a registered [`crate::experiment::Experiment`]
+//! that decomposes into shardable work items and produces one uniform
+//! [`crate::experiment::Dataset`]. The functions here keep the historical
+//! signatures (one function per figure, each with its own return type) so
+//! existing callers, benches and tests keep compiling; new code should use
+//! the registry (`jellyfish::experiment::find("fig3")`) or the `figures` CLI
+//! (`figures run fig3 --scale tiny`), which adds `--shard K/N` / `merge`
+//! support on top. EXPERIMENTS.md records the registered experiments and how
+//! their outputs map onto the paper's plots.
 //!
-//! Every figure takes one [`CsrGraph`](jellyfish_topology::CsrGraph)
-//! snapshot per topology and hands it to routing/flow/sim, and the
-//! embarrassingly parallel sweeps (per-size and per-configuration loops,
-//! Table 1 cells) fan out with rayon. Each parallel item derives its own
-//! seed exactly as the serial loop did, so results are seed-for-seed
-//! identical to a serial run.
+//! Each experiment takes one [`CsrGraph`](jellyfish_topology::CsrGraph)
+//! snapshot per topology (shared through the run's
+//! [`RunCtx`](crate::experiment::RunCtx)) and hands it to routing/flow/sim;
+//! the embarrassingly parallel sweeps fan out with rayon over work items.
+//! Every item derives its own seed exactly as the historical serial loops
+//! did, so results are seed-for-seed identical to a serial run — and a
+//! sharded run merges back to the single-process output byte-for-byte.
 
-use crate::cabling::two_layer_jellyfish;
-use crate::capacity::jellyfish_with_servers;
-use crate::legup::{run_expansion_comparison, ExpansionScenario, ExpansionStage};
-use crate::metrics::jain_fairness_index;
-use jellyfish_flow::bisection::{
-    fattree_normalized_bisection, jellyfish_full_bisection_cost, jellyfish_normalized_bisection,
-};
-use jellyfish_flow::throughput::{normalized_throughput, ThroughputOptions};
-use jellyfish_routing::path_table::{PathTable, RoutingScheme};
+use crate::experiment::catalog::{self, FIG13_JAIN_PREFIX};
+use crate::experiment::{Dataset, Experiment};
+use crate::legup::ExpansionStage;
 use jellyfish_sim::engine::{SimConfig, Simulator};
-use jellyfish_sim::fluid::max_min_fair_allocation;
 use jellyfish_sim::net::{LinkParams, Network};
 use jellyfish_sim::routing::{PathPolicy, TransportPolicy};
 use jellyfish_sim::workload::build_connections;
-use jellyfish_topology::degree_diameter::{figure3_pair, FIGURE3_CONFIGS};
-use jellyfish_topology::expansion::grow_schedule;
-use jellyfish_topology::failures::fail_random_links;
-use jellyfish_topology::fattree::{same_equipment_pair, FatTree};
-use jellyfish_topology::properties::{
-    fraction_of_server_pairs_within, path_length_stats, server_pair_histogram,
-};
-use jellyfish_topology::swdc::{figure4_swdc, Lattice};
-use jellyfish_topology::JellyfishBuilder;
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
-use rayon::prelude::*;
+use std::fmt;
+use std::str::FromStr;
 
-/// Instance-size presets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Instance-size presets, ordered by size (`Tiny < Laptop < Paper`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scale {
-    /// The paper's sizes (minutes of compute for the LP-style figures).
-    Paper,
-    /// Reduced sizes that preserve every qualitative conclusion (seconds).
-    Laptop,
     /// Very small sizes for tests and smoke runs.
     Tiny,
+    /// Reduced sizes that preserve every qualitative conclusion (seconds).
+    Laptop,
+    /// The paper's sizes (minutes of compute for the LP-style figures).
+    Paper,
 }
 
 impl Scale {
-    fn pick(&self, paper: usize, laptop: usize, tiny: usize) -> usize {
+    /// All scales, smallest first.
+    pub const ALL: [Scale; 3] = [Scale::Tiny, Scale::Laptop, Scale::Paper];
+
+    pub(crate) fn pick(&self, paper: usize, laptop: usize, tiny: usize) -> usize {
         match self {
             Scale::Paper => paper,
             Scale::Laptop => laptop,
@@ -63,8 +54,43 @@ impl Scale {
     }
 }
 
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scale::Tiny => "tiny",
+            Scale::Laptop => "laptop",
+            Scale::Paper => "paper",
+        })
+    }
+}
+
+/// Error returned when parsing a [`Scale`] from an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScaleError(String);
+
+impl fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scale '{}': valid scales are tiny, laptop, paper", self.0)
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
+
+impl FromStr for Scale {
+    type Err = ParseScaleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tiny" => Ok(Scale::Tiny),
+            "laptop" => Ok(Scale::Laptop),
+            "paper" => Ok(Scale::Paper),
+            other => Err(ParseScaleError(other.to_string())),
+        }
+    }
+}
+
 /// A generic labelled series of (x, y) points, printable as a table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -79,67 +105,36 @@ impl Series {
     }
 }
 
+/// Reorders `series` so labels appear in `order` (unknown labels keep their
+/// position after the known ones) — used where the registry's merge order
+/// differs from the historical return order.
+fn reorder(mut series: Vec<Series>, order: &[&str]) -> Vec<Series> {
+    series.sort_by_key(|s| order.iter().position(|&o| o == s.label).unwrap_or(order.len()));
+    series
+}
+
 /// Figure 1(c): CDF of server-pair path lengths for a 686-server Jellyfish
 /// and the same-equipment fat-tree.
 pub fn fig1c_path_length_cdf(scale: Scale, seed: u64) -> Vec<Series> {
-    let k = scale.pick(14, 10, 6);
-    let servers = FatTree::servers_for_port_count(k);
-    let (ft, jf) = same_equipment_pair(k, servers, seed).expect("valid fat-tree parameters");
-    let mut out = Vec::new();
-    for (label, topo) in [("Jellyfish", &jf), ("Fat-tree", ft.topology())] {
-        let hist = server_pair_histogram(topo);
-        let points = (2..=hist.len().max(7))
-            .map(|h| (h as f64, fraction_of_server_pairs_within(&hist, h)))
-            .collect();
-        out.push(Series::new(label, points));
-    }
-    out
+    catalog::Fig1c.run(scale, seed).series
 }
 
 /// Figure 2(a): normalized bisection bandwidth (Bollobás bound) versus number
 /// of servers, at equal cost, for the paper's three (N, k) points.
 pub fn fig2a_bisection_vs_servers() -> Vec<Series> {
-    let configs = [(720usize, 24usize), (1280, 32), (2880, 48)];
-    let mut out = Vec::new();
-    for (n, k) in configs {
-        let mut points = Vec::new();
-        for servers_per_switch in 1..k {
-            let r = k - servers_per_switch;
-            let servers = n * servers_per_switch;
-            let norm = jellyfish_normalized_bisection(n, k, r);
-            if norm.is_finite() {
-                points.push((servers as f64, norm));
-            }
-        }
-        out.push(Series::new(format!("Jellyfish; N={n}; k={k}"), points));
-        out.push(Series::new(
-            format!("Fat-tree; N={n}; k={k}"),
-            vec![(FatTree::servers_for_port_count(k) as f64, fattree_normalized_bisection(k))],
-        ));
-    }
-    out
+    catalog::Fig2a.run(Scale::Laptop, 0).series
 }
 
 /// Figure 2(b): equipment cost (total ports) versus servers supported at full
 /// bisection bandwidth, for 24/32/48/64-port switches.
 pub fn fig2b_equipment_cost() -> Vec<Series> {
-    let mut out = Vec::new();
-    let mut fat_points = Vec::new();
-    for k in [24usize, 32, 48, 64] {
-        fat_points.push((
-            FatTree::servers_for_port_count(k) as f64,
-            FatTree::ports_for_port_count(k) as f64,
-        ));
-        let mut jf_points = Vec::new();
-        for servers in (10_000..=80_000).step_by(10_000) {
-            if let Some((ports, _)) = jellyfish_full_bisection_cost(servers, k) {
-                jf_points.push((servers as f64, ports as f64));
-            }
-        }
-        out.push(Series::new(format!("Jellyfish; {k} ports"), jf_points));
+    // Historically the combined fat-tree series came last.
+    let mut series = catalog::Fig2b.run(Scale::Laptop, 0).series;
+    if let Some(pos) = series.iter().position(|s| s.label.starts_with("Fat-tree")) {
+        let ft = series.remove(pos);
+        series.push(ft);
     }
-    out.push(Series::new("Fat-tree; {24,32,48,64} ports", fat_points));
-    out
+    series
 }
 
 /// Figure 2(c): servers supported at full capacity (optimal routing,
@@ -147,284 +142,69 @@ pub fn fig2b_equipment_cost() -> Vec<Series> {
 ///
 /// Returns (jellyfish series, fat-tree series), x = total ports, y = servers.
 pub fn fig2c_servers_at_full_capacity(scale: Scale, seed: u64) -> Vec<Series> {
-    let ks: Vec<usize> = match scale {
-        Scale::Paper => vec![6, 8, 10, 12, 14],
-        Scale::Laptop => vec![6, 8, 10],
-        Scale::Tiny => vec![4, 6],
-    };
-    let points: Vec<((f64, f64), (f64, f64))> = ks
-        .into_par_iter()
-        .map(|k| {
-            let switches = FatTree::switches_for_port_count(k);
-            let ports = FatTree::ports_for_port_count(k);
-            let ft_servers = FatTree::servers_for_port_count(k);
-            // Binary search servers for the same equipment.
-            let opts = crate::capacity::CapacitySearchOptions {
-                probe_samples: if scale == Scale::Paper { 3 } else { 1 },
-                verify_samples: if scale == Scale::Paper { 10 } else { 2 },
-                throughput: ThroughputOptions::default(),
-                seed,
-            };
-            let result = crate::capacity::servers_at_full_throughput(switches, k, opts);
-            ((ports as f64, result.servers as f64), (ports as f64, ft_servers as f64))
-        })
-        .collect();
-    let (jf, ft) = points.into_iter().unzip();
-    vec![
-        Series::new("Jellyfish (Optimal routing)", jf),
-        Series::new("Fat-tree (Optimal routing)", ft),
-    ]
+    catalog::Fig2c.run(scale, seed).series
 }
 
 /// Figure 3: normalized throughput of Jellyfish versus the degree-diameter
 /// benchmark graphs at the paper's nine configurations. Returns one series
 /// per topology family, x = configuration index, y = normalized throughput.
 pub fn fig3_degree_diameter(scale: Scale, seed: u64) -> Vec<Series> {
-    let configs: Vec<(usize, usize, usize)> = match scale {
-        Scale::Paper => FIGURE3_CONFIGS.to_vec(),
-        Scale::Laptop => FIGURE3_CONFIGS[..5].to_vec(),
-        Scale::Tiny => vec![(20, 6, 4), (24, 8, 5)],
-    };
-    let rows: Vec<((f64, f64), (f64, f64))> = configs
-        .iter()
-        .copied()
-        .enumerate()
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(i, (n, ports, degree))| {
-            // Attach servers so the degree-diameter graph is *not* at full
-            // bisection (the paper chooses server counts that keep the
-            // benchmark below saturation so its full capacity is visible).
-            let servers_per_switch = (ports - degree).min(degree / 2).max(1);
-            let (bench, jelly) = figure3_pair(n, ports, degree, servers_per_switch, seed)
-                .expect("figure 3 configuration is valid");
-            let opts =
-                ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-            let mut row = [(0.0, 0.0); 2];
-            for (slot, topo) in [&bench, &jelly].into_iter().enumerate() {
-                let servers = ServerMap::new(topo);
-                let tm = TrafficMatrix::random_permutation(&servers, seed ^ i as u64);
-                let r = normalized_throughput(topo, &servers, &tm, opts);
-                row[slot] = (i as f64, r.normalized);
-            }
-            (row[0], row[1])
-        })
-        .collect();
-    let (dd_points, jf_points) = rows.into_iter().unzip();
-    vec![
-        Series::new("Best-known Degree-Diameter Graph", dd_points),
-        Series::new("Jellyfish", jf_points),
-    ]
+    catalog::Fig3.run(scale, seed).series
 }
 
 /// Figure 4: normalized throughput of Jellyfish versus the three SWDC
 /// variants with the same equipment (degree 6, 2 servers per switch).
 pub fn fig4_swdc_comparison(scale: Scale, seed: u64) -> Vec<(String, f64)> {
-    let nodes = scale.pick(484, 100, 36);
-    let hex_nodes = scale.pick(450, 100, 36);
-    let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    let mut results = Vec::new();
-    let jelly = JellyfishBuilder::new(nodes, 8, 6).seed(seed).build().unwrap();
-    let mut jelly = jelly;
-    for v in 0..jelly.num_switches() {
-        jelly.set_servers(v, 2).unwrap();
-    }
-    let topos: Vec<(String, jellyfish_topology::Topology)> = vec![
-        ("Jellyfish".to_string(), jelly),
-        ("Small World Ring".to_string(), figure4_swdc(Lattice::Ring, nodes, 2, seed).unwrap()),
-        (
-            "Small World 2D-Torus".to_string(),
-            figure4_swdc(Lattice::Torus2D, nodes, 2, seed).unwrap(),
-        ),
-        (
-            "Small World 3D-Hex-Torus".to_string(),
-            figure4_swdc(Lattice::HexTorus3D, hex_nodes, 2, seed).unwrap(),
-        ),
-    ];
-    for (label, topo) in topos {
-        let servers = ServerMap::new(&topo);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0xF4);
-        let r = normalized_throughput(&topo, &servers, &tm, opts);
-        results.push((label, r.normalized));
-    }
-    results
+    catalog::Fig4.run(scale, seed).cells.into_iter().map(|c| (c.name, c.value)).collect()
 }
 
 /// Figure 5: mean path length and diameter versus server count for k=48,
 /// r=36 switches, comparing from-scratch and incrementally expanded
 /// topologies. Returns series labelled accordingly (x = servers).
 pub fn fig5_path_length_vs_size(scale: Scale, seed: u64) -> Vec<Series> {
-    let (ports, degree) = match scale {
-        Scale::Paper => (48usize, 36usize),
-        Scale::Laptop => (24, 18),
-        Scale::Tiny => (12, 9),
-    };
-    let sizes: Vec<usize> = match scale {
-        Scale::Paper => vec![100, 400, 800, 1600, 2400, 3200],
-        Scale::Laptop => vec![50, 100, 200, 400],
-        Scale::Tiny => vec![20, 40],
-    };
-    let servers_per = ports - degree;
-    let scratch: Vec<((f64, f64), (f64, f64))> = sizes
-        .par_iter()
-        .map(|&n| {
-            let topo = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
-            let stats = path_length_stats(topo.graph());
-            let x = (n * servers_per) as f64;
-            ((x, stats.mean), (x, stats.diameter as f64))
-        })
-        .collect();
-    let (scratch_mean, scratch_diam): (Vec<_>, Vec<_>) = scratch.into_iter().unzip();
-    // Incremental: grow from the smallest size to the largest in steps.
-    let first = sizes[0];
-    let last = *sizes.last().unwrap();
-    let step = ((last - first) / (sizes.len().max(2) - 1)).max(1);
-    let stages = grow_schedule(first, last, step, ports, degree, seed ^ 0xE).unwrap();
-    let mut grown_mean = Vec::new();
-    let mut grown_diam = Vec::new();
-    for stage in &stages {
-        let stats = path_length_stats(stage.graph());
-        grown_mean.push((stage.total_servers() as f64, stats.mean));
-        grown_diam.push((stage.total_servers() as f64, stats.diameter as f64));
-    }
-    vec![
-        Series::new("Jellyfish; Mean", scratch_mean),
-        Series::new("Expanded Jellyfish; Mean", grown_mean),
-        Series::new("Jellyfish; Diameter", scratch_diam),
-        Series::new("Expanded Jellyfish; Diameter", grown_diam),
-    ]
+    reorder(
+        catalog::Fig5.run(scale, seed).series,
+        &[
+            "Jellyfish; Mean",
+            "Expanded Jellyfish; Mean",
+            "Jellyfish; Diameter",
+            "Expanded Jellyfish; Diameter",
+        ],
+    )
 }
 
 /// Figure 6: normalized throughput of incrementally grown topologies versus
 /// same-size from-scratch topologies (12-port switches, 4 servers each).
 pub fn fig6_incremental_vs_scratch(scale: Scale, seed: u64) -> Vec<Series> {
-    let (start, end, step) = match scale {
-        Scale::Paper => (20usize, 160usize, 20usize),
-        Scale::Laptop => (20, 80, 20),
-        Scale::Tiny => (10, 30, 10),
-    };
-    let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    // Growth is inherently sequential; the per-stage evaluations are not.
-    let stages = grow_schedule(start, end, step, 12, 8, seed).unwrap();
-    let rows: Vec<((f64, f64), (f64, f64))> = stages
-        .par_iter()
-        .map(|stage| {
-            let servers = ServerMap::new(stage);
-            let tm =
-                TrafficMatrix::random_permutation(&servers, seed ^ stage.num_switches() as u64);
-            let r = normalized_throughput(stage, &servers, &tm, opts);
-
-            let fresh = JellyfishBuilder::new(stage.num_switches(), 12, 8)
-                .seed(seed ^ 0xABC ^ stage.num_switches() as u64)
-                .build()
-                .unwrap();
-            let servers_f = ServerMap::new(&fresh);
-            let tm_f =
-                TrafficMatrix::random_permutation(&servers_f, seed ^ stage.num_switches() as u64);
-            let rf = normalized_throughput(&fresh, &servers_f, &tm_f, opts);
-            (
-                (stage.total_servers() as f64, r.normalized),
-                (fresh.total_servers() as f64, rf.normalized),
-            )
-        })
-        .collect();
-    let (incremental, scratch) = rows.into_iter().unzip();
-    vec![
-        Series::new("Jellyfish (Incremental)", incremental),
-        Series::new("Jellyfish (From Scratch)", scratch),
-    ]
+    catalog::Fig6.run(scale, seed).series
 }
 
 /// Figure 7: the LEGUP-style expansion comparison. Returns the stages.
 pub fn fig7_legup_comparison(scale: Scale, seed: u64) -> Vec<ExpansionStage> {
-    let scenario = match scale {
-        Scale::Paper => ExpansionScenario { seed, ..Default::default() },
-        Scale::Laptop => ExpansionScenario {
-            initial_servers: 240,
-            first_expansion_servers: 120,
-            stages: 6,
-            initial_budget: 120_000.0,
-            stage_budget: 60_000.0,
-            ports: 24,
-            servers_per_switch: 16,
-            seed,
-            ..Default::default()
-        },
-        Scale::Tiny => ExpansionScenario {
-            initial_servers: 96,
-            first_expansion_servers: 48,
-            stages: 3,
-            initial_budget: 40_000.0,
-            stage_budget: 20_000.0,
-            ports: 12,
-            servers_per_switch: 8,
-            seed,
-            ..Default::default()
-        },
-    };
-    run_expansion_comparison(scenario).expect("expansion scenario is feasible")
+    catalog::Fig7
+        .run(scale, seed)
+        .rows
+        .into_iter()
+        .map(|r| ExpansionStage {
+            cumulative_budget: r.values[0],
+            jellyfish_bisection: r.values[1],
+            clos_bisection: r.values[2],
+            servers: r.values[3] as usize,
+        })
+        .collect()
 }
 
 /// Figure 8: normalized throughput versus fraction of failed links, for
 /// Jellyfish and a same-equipment fat-tree carrying fewer servers.
 pub fn fig8_failure_resilience(scale: Scale, seed: u64) -> Vec<Series> {
-    let k = scale.pick(12, 8, 6);
-    let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    // Fat-tree with its native server count; Jellyfish with ~25% more
-    // servers on the same switches (the paper: 544 vs 432).
-    let ft = FatTree::new(k).unwrap();
-    let jf_servers = FatTree::servers_for_port_count(k) * 5 / 4;
-    let jf =
-        jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
-    let fractions = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
-    let mut out = Vec::new();
-    for (label, topo) in [
-        (format!("Jellyfish ({} Servers)", jf.total_servers()), jf),
-        (format!("Fat-tree ({} Servers)", ft.topology().total_servers()), ft.into_topology()),
-    ] {
-        let points = fractions
-            .par_iter()
-            .map(|&f| {
-                let mut failed = topo.clone();
-                fail_random_links(&mut failed, f, seed ^ ((f * 100.0) as u64));
-                let servers = ServerMap::new(&failed);
-                let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x8);
-                let r = normalized_throughput(&failed, &servers, &tm, opts);
-                (f, r.normalized)
-            })
-            .collect();
-        out.push(Series::new(label, points));
-    }
-    out
+    catalog::Fig8.run(scale, seed).series
 }
 
 /// Figure 9: ranked per-directed-link path counts under 8-way ECMP, 64-way
 /// ECMP and 8-shortest-path routing on a Jellyfish topology with a random
 /// permutation workload.
 pub fn fig9_path_diversity(scale: Scale, seed: u64) -> Vec<Series> {
-    let switches = scale.pick(245, 80, 25);
-    let ports = scale.pick(14, 10, 8);
-    let degree = scale.pick(11, 7, 5);
-    let topo = JellyfishBuilder::new(switches, ports, degree).seed(seed).build().unwrap();
-    let servers = ServerMap::new(&topo);
-    let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x9);
-    let pairs: Vec<(usize, usize)> =
-        tm.switch_demands(&servers).into_iter().map(|(s, d, _)| (s, d)).collect();
-    let csr = topo.csr();
-    [RoutingScheme::ksp8(), RoutingScheme::ecmp64(), RoutingScheme::ecmp8()]
-        .to_vec()
-        .into_par_iter()
-        .map(|scheme| {
-            let table = PathTable::build(&csr, scheme, pairs.iter().copied());
-            let ranked = table.ranked_link_path_counts(&csr);
-            let points = ranked
-                .iter()
-                .enumerate()
-                .map(|(rank, &count)| (rank as f64, count as f64))
-                .collect();
-            Series::new(scheme.label(), points)
-        })
-        .collect()
+    catalog::Fig9.run(scale, seed).series
 }
 
 /// One cell of Table 1: mean normalized per-server throughput for a
@@ -449,41 +229,11 @@ pub fn table1_cell(
 /// same-equipment Jellyfish carrying more servers. Returns rows of
 /// `(congestion control, fat-tree ECMP, jellyfish ECMP, jellyfish 8-KSP)`.
 pub fn table1(scale: Scale, seed: u64) -> Vec<(String, f64, f64, f64)> {
-    let k = scale.pick(14, 8, 6);
-    let duration = match scale {
-        Scale::Paper => 20.0,
-        Scale::Laptop => 8.0,
-        Scale::Tiny => 4.0,
-    };
-    let ft = FatTree::new(k).unwrap().into_topology();
-    // Jellyfish with ~13% more servers (the paper compares 780 vs 686).
-    let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
-    let jf =
-        jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
-    let transports = [
-        TransportPolicy::Tcp { flows: 1 },
-        TransportPolicy::Tcp { flows: 8 },
-        TransportPolicy::Mptcp { subflows: 8 },
-    ];
-    // Every (topology, routing, transport) cell is an independent simulation:
-    // run all nine in parallel and reassemble the rows.
-    let cells: Vec<f64> = transports
-        .iter()
-        .flat_map(|&t| {
-            [
-                (&ft, PathPolicy::ecmp8(), t),
-                (&jf, PathPolicy::ecmp8(), t),
-                (&jf, PathPolicy::ksp8(), t),
-            ]
-        })
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(topo, policy, t)| table1_cell(topo, policy, t, seed, duration))
-        .collect();
-    transports
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| (t.label(), cells[3 * i], cells[3 * i + 1], cells[3 * i + 2]))
+    catalog::Table1
+        .run(scale, seed)
+        .rows
+        .into_iter()
+        .map(|r| (r.label, r.values[0], r.values[1], r.values[2]))
         .collect()
 }
 
@@ -492,43 +242,11 @@ pub fn table1(scale: Scale, seed: u64) -> Vec<(String, f64, f64, f64)> {
 /// `(servers, optimal, packet-level)` rows. The fluid engine is used as the
 /// packet proxy at `Scale::Paper` sizes beyond the packet engine's reach.
 pub fn fig10_packet_vs_optimal(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)> {
-    let sizes: Vec<(usize, usize, usize)> = match scale {
-        // (switches, ports, degree), slightly oversubscribed as in the paper.
-        Scale::Paper => vec![(25, 9, 6), (55, 9, 6), (112, 9, 6), (200, 9, 6), (320, 9, 6)],
-        Scale::Laptop => vec![(20, 9, 6), (40, 9, 6), (80, 9, 6)],
-        Scale::Tiny => vec![(12, 9, 6), (20, 9, 6)],
-    };
-    let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    sizes
-        .iter()
-        .copied()
-        .enumerate()
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(i, (n, ports, degree))| {
-            let topo =
-                JellyfishBuilder::new(n, ports, degree).seed(seed ^ i as u64).build().unwrap();
-            let servers = ServerMap::new(&topo);
-            let csr = topo.csr();
-            let tm = TrafficMatrix::random_permutation(&servers, seed ^ (i as u64) << 4);
-            let optimal = normalized_throughput(&topo, &servers, &tm, opts).normalized;
-            let conns = build_connections(
-                &csr,
-                &servers,
-                &tm,
-                PathPolicy::ksp8(),
-                TransportPolicy::Mptcp { subflows: 8 },
-                seed,
-            );
-            let packet_proxy = if n <= 60 {
-                let net = Network::build(&csr, &servers, LinkParams::default());
-                let cfg = SimConfig { duration: 6.0, warmup: 1.5, seed, ..Default::default() };
-                Simulator::new(net, conns, cfg).run().mean_throughput()
-            } else {
-                max_min_fair_allocation(&conns).mean_throughput()
-            };
-            (topo.total_servers(), optimal, packet_proxy)
-        })
+    catalog::Fig10
+        .run(scale, seed)
+        .rows
+        .into_iter()
+        .map(|r| (r.values[0] as usize, r.values[1], r.values[2]))
         .collect()
 }
 
@@ -538,147 +256,47 @@ pub fn fig10_packet_vs_optimal(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)
 /// servers, jellyfish throughput)` using the fluid engine over MPTCP/KSP
 /// connections.
 pub fn fig11_12_packet_capacity(scale: Scale, seed: u64) -> Vec<(usize, usize, f64, usize, f64)> {
-    let ks: Vec<usize> = match scale {
-        Scale::Paper => vec![8, 10, 12, 14],
-        Scale::Laptop => vec![6, 8, 10],
-        Scale::Tiny => vec![4, 6],
-    };
-    ks.into_par_iter()
-        .map(|k| {
-            let ft = FatTree::new(k).unwrap().into_topology();
-            let ft_tp = fluid_throughput(
-                &ft,
-                PathPolicy::ecmp8(),
-                TransportPolicy::Mptcp { subflows: 8 },
-                seed,
-            );
-            // Find the largest Jellyfish server count whose fluid throughput is
-            // at least the fat-tree's.
-            let switches = FatTree::switches_for_port_count(k);
-            let ft_servers = FatTree::servers_for_port_count(k);
-            let mut lo = ft_servers;
-            let mut hi = switches * (k - 1);
-            let feasible = |servers: usize| -> bool {
-                jellyfish_with_servers(switches, k, servers, seed)
-                    .map(|jf| {
-                        fluid_throughput(
-                            &jf,
-                            PathPolicy::ksp8(),
-                            TransportPolicy::Mptcp { subflows: 8 },
-                            seed,
-                        ) >= ft_tp - 1e-9
-                    })
-                    .unwrap_or(false)
-            };
-            if !feasible(lo) {
-                return (ft.total_ports(), ft_servers, ft_tp, ft_servers, ft_tp);
-            }
-            while lo < hi {
-                let mid = (lo + hi).div_ceil(2);
-                if feasible(mid) {
-                    lo = mid;
-                } else {
-                    hi = mid - 1;
-                }
-            }
-            let jf = jellyfish_with_servers(switches, k, lo, seed).unwrap();
-            let jf_tp = fluid_throughput(
-                &jf,
-                PathPolicy::ksp8(),
-                TransportPolicy::Mptcp { subflows: 8 },
-                seed,
-            );
-            (ft.total_ports(), ft_servers, ft_tp, lo, jf_tp)
+    catalog::Fig11
+        .run(scale, seed)
+        .rows
+        .into_iter()
+        .map(|r| {
+            (
+                r.values[0] as usize,
+                r.values[1] as usize,
+                r.values[2],
+                r.values[3] as usize,
+                r.values[4],
+            )
         })
         .collect()
-}
-
-fn fluid_throughput(
-    topo: &jellyfish_topology::Topology,
-    path_policy: PathPolicy,
-    transport: TransportPolicy,
-    seed: u64,
-) -> f64 {
-    let servers = ServerMap::new(topo);
-    let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x11);
-    let conns = build_connections(&topo.csr(), &servers, &tm, path_policy, transport, seed);
-    max_min_fair_allocation(&conns).mean_throughput()
 }
 
 /// Figure 13: per-flow normalized throughput distribution and Jain's fairness
 /// index for the fat-tree and a same-equipment Jellyfish. Returns
 /// `(label, sorted throughputs, jain index)` per topology.
 pub fn fig13_fairness(scale: Scale, seed: u64) -> Vec<(String, Vec<f64>, f64)> {
-    let k = scale.pick(14, 8, 6);
-    let ft = FatTree::new(k).unwrap().into_topology();
-    let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
-    let jf =
-        jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed).unwrap();
-    let mut out = Vec::new();
-    for (label, topo, policy) in [
-        ("Jellyfish".to_string(), &jf, PathPolicy::ksp8()),
-        ("Fat-tree".to_string(), &ft, PathPolicy::ecmp8()),
-    ] {
-        let servers = ServerMap::new(topo);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x13);
-        let conns = build_connections(
-            &topo.csr(),
-            &servers,
-            &tm,
-            policy,
-            TransportPolicy::Mptcp { subflows: 8 },
-            seed,
-        );
-        let report = max_min_fair_allocation(&conns);
-        let mut tputs = report.throughputs.clone();
-        tputs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let jain = jain_fairness_index(&tputs);
-        out.push((label, tputs, jain));
-    }
-    out
+    let ds: Dataset = catalog::Fig13.run(scale, seed);
+    ds.series
+        .into_iter()
+        .map(|s| {
+            let jain = ds
+                .cells
+                .iter()
+                .find(|c| c.name == format!("{FIG13_JAIN_PREFIX}{}", s.label))
+                .expect("fig13 emits one Jain cell per topology")
+                .value;
+            let tputs = s.points.into_iter().map(|(_, y)| y).collect();
+            (s.label, tputs, jain)
+        })
+        .collect()
 }
 
 /// Figure 14: throughput of the two-layer (container-localized) Jellyfish,
 /// normalized to the unrestricted Jellyfish, as the fraction of in-pod links
 /// sweeps upward. One series per network size.
 pub fn fig14_cable_localization(scale: Scale, seed: u64) -> Vec<Series> {
-    // (switches, ports, degree, containers, servers/switch as built).
-    let sizes: Vec<(usize, usize, usize, usize)> = match scale {
-        Scale::Paper => vec![(40, 10, 6, 4), (75, 11, 6, 5), (120, 12, 6, 6), (140, 13, 6, 7)],
-        Scale::Laptop => vec![(40, 10, 6, 4), (80, 11, 6, 4)],
-        Scale::Tiny => vec![(24, 9, 6, 3)],
-    };
-    let fractions = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8];
-    let opts = ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() };
-    sizes
-        .into_par_iter()
-        .map(|(n, ports, degree, containers)| {
-            // Unrestricted baseline.
-            let base = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
-            let base_servers = ServerMap::new(&base);
-            let base_tm = TrafficMatrix::random_permutation(&base_servers, seed ^ 0x14);
-            let base_tp = normalized_throughput(&base, &base_servers, &base_tm, opts).normalized;
-            let points = fractions
-                .par_iter()
-                .map(|&f| {
-                    let topo = two_layer_jellyfish(
-                        n,
-                        ports,
-                        degree,
-                        containers,
-                        f,
-                        seed ^ ((f * 10.0) as u64),
-                    )
-                    .expect("two-layer construction succeeds");
-                    let servers = ServerMap::new(&topo);
-                    let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x14);
-                    let tp = normalized_throughput(&topo, &servers, &tm, opts).normalized;
-                    (f, if base_tp > 0.0 { tp / base_tp } else { 0.0 })
-                })
-                .collect();
-            Series::new(format!("{} Servers", base.total_servers()), points)
-        })
-        .collect()
+    catalog::Fig14.run(scale, seed).series
 }
 
 #[cfg(test)]
@@ -686,6 +304,21 @@ mod tests {
     use super::*;
 
     const SEED: u64 = 7;
+
+    #[test]
+    fn scale_parses_displays_and_orders() {
+        for scale in Scale::ALL {
+            assert_eq!(scale.to_string().parse::<Scale>().unwrap(), scale);
+        }
+        assert!("laptop".parse::<Scale>().unwrap() == Scale::Laptop);
+        let err = "huge".parse::<Scale>().unwrap_err();
+        assert!(err.to_string().contains("huge") && err.to_string().contains("tiny"));
+        assert!(Scale::Tiny < Scale::Laptop && Scale::Laptop < Scale::Paper);
+        // Hash/Ord derives let experiments key presets off scales.
+        let presets: std::collections::BTreeMap<Scale, usize> =
+            Scale::ALL.iter().map(|&s| (s, s.pick(3, 2, 1))).collect();
+        assert_eq!(presets[&Scale::Tiny], 1);
+    }
 
     #[test]
     fn fig1c_jellyfish_dominates_fat_tree_cdf() {
@@ -714,6 +347,8 @@ mod tests {
     fn fig2b_costs_grow_with_servers_and_jellyfish_beats_fat_tree() {
         let series = fig2b_equipment_cost();
         assert_eq!(series.len(), 5);
+        // The combined fat-tree series keeps its historical last position.
+        assert!(series[4].label.starts_with("Fat-tree"));
         for s in series.iter().filter(|s| s.label.starts_with("Jellyfish")) {
             assert!(!s.points.is_empty(), "{} has no feasible points", s.label);
             for w in s.points.windows(2) {
@@ -727,13 +362,16 @@ mod tests {
         let below = jf48.points.iter().rfind(|p| p.0 <= 27_648.0).unwrap();
         let cost_per_server = below.1 / below.0;
         let interpolated = cost_per_server * 27_648.0;
-        assert!(interpolated < FatTree::ports_for_port_count(48) as f64);
+        assert!(
+            interpolated < jellyfish_topology::fattree::FatTree::ports_for_port_count(48) as f64
+        );
     }
 
     #[test]
     fn fig4_jellyfish_beats_swdc_variants() {
         let results = fig4_swdc_comparison(Scale::Tiny, SEED);
         assert_eq!(results.len(), 4);
+        assert_eq!(results[0].0, "Jellyfish");
         let jf = results[0].1;
         for (label, tp) in &results[1..] {
             assert!(jf >= *tp - 0.05, "Jellyfish ({jf}) should not lose to {label} ({tp})");
@@ -746,6 +384,8 @@ mod tests {
         assert_eq!(series.len(), 4);
         let scratch = &series[0];
         let grown = &series[1];
+        assert_eq!(scratch.label, "Jellyfish; Mean");
+        assert_eq!(grown.label, "Expanded Jellyfish; Mean");
         // At the shared largest size, the means are close.
         let s_last = scratch.points.last().unwrap();
         let g_last = grown.points.last().unwrap();

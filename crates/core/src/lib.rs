@@ -12,9 +12,15 @@
 //!   placement, and the two-layer (container-localized) Jellyfish of §6.3.
 //! * [`legup`] — the incremental-expansion cost comparison against a
 //!   LEGUP-style Clos upgrade planner (Figure 7).
-//! * [`figures`] — one function per figure/table of the paper, returning the
-//!   data series the original plots show; the `jellyfish-bench` crate turns
-//!   these into CLI output and Criterion benchmarks.
+//! * [`experiment`] — the first-class experiment API: every figure/table of
+//!   the paper as a named, shardable [`experiment::Experiment`] producing one
+//!   uniform [`experiment::Dataset`] (TSV/JSON), with a static registry and
+//!   `K/N` sharding whose merged output is byte-identical to a
+//!   single-process run.
+//! * [`figures`] — the legacy one-function-per-figure surface, now thin
+//!   wrappers over the registry; the `jellyfish-bench` crate turns the
+//!   registry into CLI output (`figures list|run|merge`) and Criterion
+//!   benchmarks.
 //!
 //! ## Quick start
 //!
@@ -34,6 +40,7 @@
 
 pub mod cabling;
 pub mod capacity;
+pub mod experiment;
 pub mod figures;
 pub mod legup;
 pub mod metrics;

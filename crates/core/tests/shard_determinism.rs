@@ -1,0 +1,136 @@
+//! Shard determinism: for every registered experiment at `Scale::Tiny`,
+//! splitting the work items across N shards and merging the shard outputs
+//! reproduces the unsharded [`Dataset`] exactly — same in-memory value, same
+//! rendered TSV bytes — including when the fragments cross a process
+//! boundary as JSON (the `figures run --shard` / `figures merge` path).
+
+use jellyfish::experiment::{registry, Dataset, Experiment, ItemResult, Shard, ShardFragment};
+use jellyfish::figures::Scale;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const SEED: u64 = 7;
+
+struct Baseline {
+    name: &'static str,
+    items: Vec<ItemResult>,
+    dataset: Dataset,
+}
+
+/// Every experiment's full item results and merged dataset at `Scale::Tiny`,
+/// computed once per test binary (the sweep is the expensive part; the
+/// partition/merge checks against it are cheap).
+fn baselines() -> &'static [Baseline] {
+    static CELL: OnceLock<Vec<Baseline>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        registry()
+            .iter()
+            .map(|exp| {
+                let items = exp.run_items(Scale::Tiny, SEED, None);
+                let dataset = exp.merge(items.clone());
+                Baseline { name: exp.name(), items, dataset }
+            })
+            .collect()
+    })
+}
+
+fn find(name: &str) -> &'static dyn Experiment {
+    jellyfish::experiment::find(name).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Partitioning the item results of any experiment across N shards (the
+    /// exact ownership rule `run_shard` uses) and merging — with the shards
+    /// fed to `merge` in arbitrary rotated order — equals the unsharded
+    /// dataset, value- and byte-exactly.
+    #[test]
+    fn merging_n_shards_equals_the_unsharded_dataset(
+        n in 1usize..=6,
+        rotation in 0usize..6,
+    ) {
+        for base in baselines() {
+            let exp = find(base.name);
+            let mut shards: Vec<Vec<ItemResult>> = (1..=n)
+                .map(|k| {
+                    let shard = Shard::new(k, n).unwrap();
+                    base.items
+                        .iter()
+                        .filter(|it| shard.owns(it.index))
+                        .cloned()
+                        .collect()
+                })
+                .collect();
+            // Shard outputs can arrive for merging in any order.
+            shards.rotate_left(rotation % n.max(1));
+            let merged = exp.merge(shards.into_iter().flatten().collect());
+            prop_assert_eq!(
+                &merged, &base.dataset,
+                "{}: {} shards merged != unsharded", base.name, n
+            );
+            prop_assert_eq!(
+                merged.to_tsv(), base.dataset.to_tsv(),
+                "{}: rendered TSV differs", base.name
+            );
+        }
+    }
+}
+
+/// The full process-boundary path: `run_shard` recomputes each half of every
+/// experiment from scratch, the fragments round-trip through their JSON wire
+/// format, and the merge of the parsed fragments is byte-identical to the
+/// unsharded run.
+#[test]
+fn sharded_runs_roundtrip_through_fragment_json() {
+    const N: usize = 2;
+    for base in baselines() {
+        let exp = find(base.name);
+        let mut parsed_items = Vec::new();
+        for k in 1..=N {
+            let shard = Shard::new(k, N).unwrap();
+            let fragment = ShardFragment {
+                experiment: exp.name().to_string(),
+                scale: Scale::Tiny,
+                seed: SEED,
+                shard,
+                items: exp.run_shard(Scale::Tiny, SEED, shard),
+            };
+            let parsed = ShardFragment::from_json(&fragment.to_json())
+                .unwrap_or_else(|e| panic!("{}: fragment JSON round-trip failed: {e}", base.name));
+            assert_eq!(parsed, fragment, "{}: JSON altered fragment {k}/{N}", base.name);
+            parsed_items.extend(parsed.items);
+        }
+        let merged = exp.merge(parsed_items);
+        assert_eq!(merged, base.dataset, "{}: sharded recompute != unsharded", base.name);
+        assert_eq!(merged.to_tsv(), base.dataset.to_tsv(), "{}: TSV bytes differ", base.name);
+        assert_eq!(merged.to_json(), base.dataset.to_json(), "{}: JSON bytes differ", base.name);
+    }
+}
+
+/// Work items are stable and complete: indices are `0..len`, in order, and
+/// every item is owned by exactly one shard for any N.
+#[test]
+fn work_items_are_dense_and_uniquely_owned() {
+    for exp in registry() {
+        let items = exp.work_items(Scale::Tiny, SEED);
+        assert!(!items.is_empty(), "{}: no work items", exp.name());
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.index, i, "{}: non-dense item indices", exp.name());
+        }
+        for n in 1..=5 {
+            for item in &items {
+                let owners =
+                    (1..=n).filter(|&k| Shard::new(k, n).unwrap().owns(item.index)).count();
+                assert_eq!(
+                    owners,
+                    1,
+                    "{}: item {} owned by {} shards",
+                    exp.name(),
+                    item.index,
+                    owners
+                );
+            }
+        }
+    }
+}

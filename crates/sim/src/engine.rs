@@ -562,7 +562,7 @@ mod tests {
         // the NIC rate, and a run is reproducible given its seed. (The actual
         // ECMP-vs-KSP ordering of Table 1 needs the paper's topology sizes,
         // where ECMP's shortest-path diversity genuinely runs out — see
-        // EXPERIMENTS.md and the `figures table1` command.)
+        // EXPERIMENTS.md and the `figures run table1` command.)
         let ecmp =
             small_sim(12, 9, 6, PathPolicy::ecmp8(), TransportPolicy::Mptcp { subflows: 8 }, 5);
         let ksp =
