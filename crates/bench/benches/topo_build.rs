@@ -1,0 +1,53 @@
+//! `topo_build`: spec-resolved topology construction at paper scale.
+//!
+//! Measures the full `TopoSpec` path — parse, registry resolution, generator
+//! build, transform application — for the three generator families the
+//! paper's headline comparisons use, at the sizes the paper uses. Guards
+//! against regressions in the generators themselves (the spec layer on top
+//! is string handling measured in microseconds; the builds dominate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jellyfish_topology::TopoSpec;
+
+fn build(spec: &str, seed: u64) {
+    let spec: TopoSpec = spec.parse().expect("bench spec parses");
+    let topo = spec.build(seed).expect("bench spec builds");
+    assert!(topo.num_switches() > 0);
+}
+
+fn bench_spec_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topo_build");
+    // The paper's same-equipment Jellyfish: 245 switches of 14 ports.
+    group.bench_function("jellyfish_paper_245x14", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            build("jellyfish:switches=245,ports=14,degree=11", seed);
+        });
+    });
+    // The k=14 fat-tree it is compared against (deterministic).
+    group.bench_function("fattree_paper_k14", |b| {
+        b.iter(|| build("fattree:k=14", 0));
+    });
+    // The Figure 4 SWDC torus at paper size.
+    group.bench_function("swdc_paper_torus2d_484", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            build("swdc:lattice=torus2d,n=484,servers=2", seed);
+        });
+    });
+    // A transformed scenario: the Figure 8 failure point plus growth, to
+    // time the transform chain on top of the base build.
+    group.bench_function("jellyfish_failed_expanded", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            build("jellyfish:switches=245,ports=14,degree=11+fail_links=0.08+expand=8", seed);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec_builds);
+criterion_main!(benches);

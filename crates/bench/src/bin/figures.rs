@@ -1,13 +1,18 @@
 //! `figures` — regenerate the data behind every figure and table of the
-//! Jellyfish paper through the experiment registry.
+//! Jellyfish paper through the experiment registry, and build arbitrary
+//! topologies through the `TopoSpec` generator registry.
 //!
 //! Usage:
 //!
 //! ```text
 //! figures list
-//! figures run <experiment|all> [--scale tiny|laptop|paper] [--seed N] [--json]
-//! figures run <experiment|all> --shard K/N [--scale ...] [--seed N]
+//! figures run <experiment|all> [--scale tiny|laptop|paper] [--seed N]
+//!                              [--topo <spec>] [--json]
+//! figures run <experiment|all> --shard K/N [--scale ...] [--seed N] [--topo <spec>]
 //! figures merge <file...> [--json]
+//! figures topo list
+//! figures topo show <spec>
+//! figures topo build <spec> [--seed N]
 //! figures <experiment|all> [...]      # shorthand for `figures run`
 //! ```
 //!
@@ -21,12 +26,19 @@
 //! experiment; `figures merge` recombines fragment files from all N shards
 //! and prints byte-for-byte what the unsharded `figures run` would have.
 //!
-//! Unknown experiment names, scales, seeds and shard specs are hard errors
-//! (exit code 2) listing the valid choices — never silent fallbacks.
+//! `--topo <spec>` redirects the topology-generic experiments
+//! (`throughput_vs_size`, `path_length`, `bisection`, `failure_sweep`) at
+//! any registered topology spec; `figures topo list` names the generators
+//! and transforms and TOPOLOGIES.md documents the grammar.
+//!
+//! Unknown experiment names, scales, seeds, specs and shard specs are hard
+//! errors (exit code 2) listing the valid choices — never silent fallbacks.
 
-use jellyfish::experiment::{self, Experiment, Shard, ShardFragment};
+use jellyfish::experiment::{self, Experiment, RunCtx, Shard, ShardFragment};
 use jellyfish::figures::Scale;
 use jellyfish_bench::{render_run, render_run_json};
+use jellyfish_topology::properties::path_length_stats;
+use jellyfish_topology::spec::{self, TopoSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: figures <command> [options]
@@ -35,16 +47,25 @@ commands:
   list                      list the registered experiments
   run <experiment|all>      evaluate experiments and print their datasets
   merge <file...>           merge `run --shard` fragment files
+  topo list                 list the registered topology generators/transforms
+  topo show <spec>          parse a topology spec and print its structure
+  topo build <spec>         build a topology spec and print its properties
 
 run options:
   --scale tiny|laptop|paper   instance-size preset (default: laptop)
   --seed N                    base seed (default: 2012)
+  --topo <spec>               topology override for the generic experiments
+                              (throughput_vs_size, path_length, bisection,
+                              failure_sweep); see TOPOLOGIES.md
   --shard K/N                 run only the K-th of N slices of the work
                               items and print mergeable JSON fragments
   --json                      print JSON instead of TSV (non-shard runs)
 
 merge options:
-  --json                      print JSON instead of TSV";
+  --json                      print JSON instead of TSV
+
+topo build options:
+  --seed N                    build seed (default: 2012)";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("figures: {message}");
@@ -61,8 +82,23 @@ fn experiment_names() -> String {
 struct RunOptions {
     scale: Scale,
     seed: u64,
+    topo: Option<TopoSpec>,
     shard: Option<Shard>,
     json: bool,
+}
+
+impl RunOptions {
+    fn ctx(&self) -> RunCtx {
+        let ctx = RunCtx::new(self.scale, self.seed);
+        match &self.topo {
+            Some(spec) => ctx.with_topo(spec.clone()),
+            None => ctx,
+        }
+    }
+
+    fn topo_string(&self) -> Option<String> {
+        self.topo.as_ref().map(|s| s.to_string())
+    }
 }
 
 fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, String> {
@@ -70,7 +106,8 @@ fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, S
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
-    let mut opts = RunOptions { scale: Scale::Laptop, seed: 2012, shard: None, json: false };
+    let mut opts =
+        RunOptions { scale: Scale::Laptop, seed: 2012, topo: None, shard: None, json: false };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,6 +120,11 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.seed = raw.parse().map_err(|_| {
                     format!("unparsable --seed '{raw}': expected an unsigned integer")
                 })?;
+                i += 2;
+            }
+            "--topo" => {
+                let raw = flag_value(args, i, "--topo")?;
+                opts.topo = Some(raw.parse().map_err(|e| format!("unparsable --topo: {e}"))?);
                 i += 2;
             }
             "--shard" => {
@@ -123,7 +165,8 @@ fn cmd_list(args: &[String]) -> ExitCode {
         return fail(&format!("list takes no arguments (got '{extra}')\n\n{USAGE}"));
     }
     for exp in experiment::registry() {
-        println!("{}\t{}", exp.name(), exp.describe());
+        let topo = if exp.supports_topo_override() { " [--topo]" } else { "" };
+        println!("{}\t{}{topo}", exp.name(), exp.describe());
     }
     ExitCode::SUCCESS
 }
@@ -137,24 +180,50 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
         Ok(exps) => exps,
         Err(e) => return fail(&e),
     };
+    if opts.topo.is_some() {
+        if let Some(fixed) = experiments.iter().find(|e| !e.supports_topo_override()) {
+            let generic: Vec<&str> = experiment::registry()
+                .iter()
+                .filter(|e| e.supports_topo_override())
+                .map(|e| e.name())
+                .collect();
+            return fail(&format!(
+                "'{}' does not take --topo (its topology pairing is the experiment); \
+                 --topo works with {}",
+                fixed.name(),
+                generic.join(", ")
+            ));
+        }
+    }
+    // A spec can parse but still be unbuildable (odd fat-tree k, infeasible
+    // degree, config index out of range). Probe-build it once here so the
+    // user gets a clean exit-2 error instead of a panic from a worker.
+    if let Some(spec) = &opts.topo {
+        if let Err(e) = spec.build(opts.seed) {
+            return fail(&format!("--topo '{spec}' does not build: {e}"));
+        }
+    }
     for exp in experiments {
+        let ctx = opts.ctx();
         match opts.shard {
             Some(shard) => {
                 let fragment = ShardFragment {
                     experiment: exp.name().to_string(),
                     scale: opts.scale,
                     seed: opts.seed,
+                    topo: opts.topo_string(),
                     shard,
-                    items: exp.run_shard(opts.scale, opts.seed, shard),
+                    items: exp.run_shard(&ctx, shard),
                 };
                 println!("{}", fragment.to_json());
             }
             None => {
-                let data = exp.run(opts.scale, opts.seed);
+                let data = exp.run(&ctx);
+                let topo = opts.topo_string();
                 let rendered = if opts.json {
-                    render_run_json(exp.name(), opts.scale, opts.seed, &data)
+                    render_run_json(exp.name(), opts.scale, opts.seed, topo.as_deref(), &data)
                 } else {
-                    render_run(exp.name(), opts.scale, opts.seed, &data)
+                    render_run(exp.name(), opts.scale, opts.seed, topo.as_deref(), &data)
                 };
                 print!("{rendered}");
             }
@@ -163,14 +232,16 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// All fragments of one `(experiment, scale, seed)` group, with the merge
-/// validation `figures merge` applies: full, duplicate-free item coverage.
+/// All fragments of one `(experiment, scale, seed, topo)` group, with the
+/// merge validation `figures merge` applies: full, duplicate-free item
+/// coverage under a consistent run configuration.
 fn merge_group(
     exp: &dyn Experiment,
     fragments: &[&ShardFragment],
-) -> Result<(Scale, u64, jellyfish::experiment::Dataset), String> {
+) -> Result<(Scale, u64, Option<String>, jellyfish::experiment::Dataset), String> {
     let name = exp.name();
     let (scale, seed) = (fragments[0].scale, fragments[0].seed);
+    let topo = fragments[0].topo.clone();
     for f in fragments {
         if f.scale != scale || f.seed != seed {
             return Err(format!(
@@ -179,15 +250,46 @@ fn merge_group(
                 f.scale, f.seed
             ));
         }
+        if f.topo != topo {
+            return Err(format!(
+                "{name}: fragments disagree on --topo ({} vs {}); \
+                 shards of one sweep must share the topology override",
+                topo.as_deref().unwrap_or("<none>"),
+                f.topo.as_deref().unwrap_or("<none>")
+            ));
+        }
     }
-    let expected = exp.work_items(scale, seed).len();
+    let mut ctx = RunCtx::new(scale, seed);
+    if let Some(raw) = &topo {
+        let spec: TopoSpec = raw
+            .parse()
+            .map_err(|e| format!("{name}: fragment has an unparsable topo spec '{raw}': {e}"))?;
+        if !exp.supports_topo_override() {
+            return Err(format!("{name}: fragment carries --topo but the experiment is fixed"));
+        }
+        ctx = ctx.with_topo(spec);
+    }
+    let expected = exp.work_items(&ctx).len();
     let mut seen = vec![false; expected];
     let mut items = Vec::new();
     let mut columns: Option<&[String]> = None;
+    let mut meta: Vec<(&str, &str)> = Vec::new();
     for f in fragments {
         for item in &f.items {
             // Pre-validate what Dataset::concat asserts, so corrupted or
             // version-skewed fragment files fail cleanly instead of panicking.
+            for (k, v) in &item.data.meta {
+                match meta.iter().find(|(ek, _)| ek == k) {
+                    Some((_, ev)) if ev != v => {
+                        return Err(format!(
+                            "{name}: fragments disagree on metadata '{k}' ('{ev}' vs '{v}'); \
+                             were they produced by different builds?"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => meta.push((k, v)),
+                }
+            }
             if !item.data.columns.is_empty() {
                 match columns {
                     None => columns = Some(&item.data.columns),
@@ -225,7 +327,7 @@ fn merge_group(
              (pass the fragment files of all N shards)"
         ));
     }
-    Ok((scale, seed, exp.merge(items)))
+    Ok((scale, seed, topo, exp.merge(items)))
 }
 
 fn cmd_merge(args: &[String]) -> ExitCode {
@@ -279,19 +381,112 @@ fn cmd_merge(args: &[String]) -> ExitCode {
             continue;
         }
         match merge_group(*exp, &group) {
-            Ok((scale, seed, data)) => merged.push((exp.name(), scale, seed, data)),
+            Ok((scale, seed, topo, data)) => merged.push((exp.name(), scale, seed, topo, data)),
             Err(e) => return fail(&e),
         }
     }
-    for (name, scale, seed, data) in &merged {
+    for (name, scale, seed, topo, data) in &merged {
         let rendered = if json {
-            render_run_json(name, *scale, *seed, data)
+            render_run_json(name, *scale, *seed, topo.as_deref(), data)
         } else {
-            render_run(name, *scale, *seed, data)
+            render_run(name, *scale, *seed, topo.as_deref(), data)
         };
         print!("{rendered}");
     }
     ExitCode::SUCCESS
+}
+
+// ------------------------------------------------------------------ topo
+
+fn cmd_topo_list(args: &[String]) -> ExitCode {
+    if let Some(extra) = args.first() {
+        return fail(&format!("topo list takes no arguments (got '{extra}')\n\n{USAGE}"));
+    }
+    println!("generators:");
+    for g in spec::generators() {
+        println!("  {}\t{}\te.g. {}", g.name(), g.describe(), g.example());
+    }
+    println!("transforms (chain with '+'):");
+    println!("  {}", spec::transform_grammar());
+    ExitCode::SUCCESS
+}
+
+fn parse_spec_arg(args: &[String]) -> Result<(TopoSpec, u64), String> {
+    let Some(raw) = args.first() else {
+        return Err("expected a topology spec (try `figures topo list`)".to_string());
+    };
+    let spec: TopoSpec = raw.parse().map_err(|e| format!("{e}"))?;
+    let mut seed = 2012u64;
+    let rest = &args[1..];
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" => {
+                let raw = flag_value(rest, i, "--seed")?;
+                seed = raw.parse().map_err(|_| {
+                    format!("unparsable --seed '{raw}': expected an unsigned integer")
+                })?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok((spec, seed))
+}
+
+fn cmd_topo_show(args: &[String]) -> ExitCode {
+    let (spec, _) = match parse_spec_arg(args) {
+        Ok(parsed) => parsed,
+        Err(e) => return fail(&e),
+    };
+    let generator = match spec.resolve() {
+        Ok(g) => g,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    println!("spec\t{spec}");
+    println!("generator\t{}\t{}", generator.name(), generator.describe());
+    for (k, v) in spec.params().pairs() {
+        println!("param\t{k}\t{v}");
+    }
+    for t in spec.transforms() {
+        println!("transform\t{t}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_topo_build(args: &[String]) -> ExitCode {
+    let (spec, seed) = match parse_spec_arg(args) {
+        Ok(parsed) => parsed,
+        Err(e) => return fail(&e),
+    };
+    let topo = match spec.build(seed) {
+        Ok(topo) => topo,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    let stats = path_length_stats(topo.graph());
+    println!("spec\t{spec}");
+    println!("seed\t{seed}");
+    println!("name\t{}", topo.name());
+    println!("switches\t{}", topo.num_switches());
+    println!("links\t{}", topo.num_links());
+    println!("servers\t{}", topo.total_servers());
+    println!("total_ports\t{}", topo.total_ports());
+    println!("connected\t{}", topo.graph().is_connected());
+    println!("mean_path_length\t{}", stats.mean);
+    println!("diameter\t{}", stats.diameter);
+    ExitCode::SUCCESS
+}
+
+fn cmd_topo(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first() else {
+        return fail(&format!("topo needs a subcommand: list, show, build\n\n{USAGE}"));
+    };
+    match sub.as_str() {
+        "list" => cmd_topo_list(&args[1..]),
+        "show" => cmd_topo_show(&args[1..]),
+        "build" => cmd_topo_build(&args[1..]),
+        other => fail(&format!("unknown topo subcommand '{other}': valid are list, show, build")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -311,6 +506,7 @@ fn main() -> ExitCode {
             cmd_run(name, &args[2..])
         }
         "merge" => cmd_merge(&args[1..]),
+        "topo" => cmd_topo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -13,20 +13,66 @@ use jellyfish::experiment::Dataset;
 use jellyfish::figures::{Scale, Series};
 
 /// Renders one experiment result exactly as `figures run` prints it: a
-/// header naming the experiment, scale and seed, the dataset's TSV, and a
-/// trailing blank line. `figures merge` uses the same function, which is
-/// what makes a merged sharded run byte-identical to a single-process run.
-pub fn render_run(name: &str, scale: Scale, seed: u64, data: &Dataset) -> String {
-    format!("== {name} (scale: {scale}, seed: {seed}) ==\n{}\n", data.to_tsv())
+/// header naming the experiment, scale, seed and (when overridden) the
+/// `--topo` spec, the dataset's TSV, and a trailing blank line.
+/// `figures merge` uses the same function, which is what makes a merged
+/// sharded run byte-identical to a single-process run.
+pub fn render_run(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    topo: Option<&str>,
+    data: &Dataset,
+) -> String {
+    match topo {
+        Some(spec) => {
+            format!(
+                "== {name} (scale: {scale}, seed: {seed}, topo: {spec}) ==\n{}\n",
+                data.to_tsv()
+            )
+        }
+        None => format!("== {name} (scale: {scale}, seed: {seed}) ==\n{}\n", data.to_tsv()),
+    }
 }
 
 /// Renders one experiment result as a single JSON line with the same
 /// metadata as [`render_run`].
-pub fn render_run_json(name: &str, scale: Scale, seed: u64, data: &Dataset) -> String {
+pub fn render_run_json(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    topo: Option<&str>,
+    data: &Dataset,
+) -> String {
+    let topo = match topo {
+        Some(spec) => escape_json(spec),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"experiment\":\"{name}\",\"scale\":\"{scale}\",\"seed\":{seed},\"data\":{}}}\n",
+        "{{\"experiment\":\"{name}\",\"scale\":\"{scale}\",\"seed\":{seed},\"topo\":{topo},\"data\":{}}}\n",
         data.to_json()
     )
+}
+
+/// Renders a string as a quoted JSON literal (the same escape set the
+/// dataset writer in `jellyfish::experiment` uses: quotes, backslashes, and
+/// all control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Renders a collection of series as an aligned text table:
@@ -98,12 +144,17 @@ mod tests {
     fn run_rendering_is_header_plus_tsv() {
         let mut ds = Dataset::new();
         ds.push_point("a", 1.0, 0.5);
-        let text = render_run("fig9", Scale::Tiny, 7, &ds);
+        let text = render_run("fig9", Scale::Tiny, 7, None, &ds);
         assert!(text.starts_with("== fig9 (scale: tiny, seed: 7) ==\n"));
         assert!(text.contains("x\ta\n1\t0.5\n"));
         assert!(text.ends_with('\n'));
-        let json = render_run_json("fig9", Scale::Tiny, 7, &ds);
-        assert!(json.starts_with("{\"experiment\":\"fig9\",\"scale\":\"tiny\",\"seed\":7,"));
+        let json = render_run_json("fig9", Scale::Tiny, 7, None, &ds);
+        assert!(json
+            .starts_with("{\"experiment\":\"fig9\",\"scale\":\"tiny\",\"seed\":7,\"topo\":null,"));
+        let with_topo = render_run("fig9", Scale::Tiny, 7, Some("fattree:k=4"), &ds);
+        assert!(with_topo.starts_with("== fig9 (scale: tiny, seed: 7, topo: fattree:k=4) ==\n"));
+        let json_topo = render_run_json("fig9", Scale::Tiny, 7, Some("fattree:k=4"), &ds);
+        assert!(json_topo.contains("\"topo\":\"fattree:k=4\","));
     }
 
     #[test]

@@ -1,24 +1,29 @@
-//! The experiment registry API: list experiments, run one by name, and
-//! split a sweep into shards (as separate processes would) before merging
-//! the fragments back into the single-process result.
+//! The experiment registry API: list experiments, run one by name, redirect
+//! a topology-generic sweep at another topology spec, and split a sweep into
+//! shards (as separate processes would) before merging the fragments back
+//! into the single-process result.
 //!
 //! ```text
 //! cargo run --release --example experiment_registry
 //! ```
 
-use jellyfish::experiment::{find, registry, Shard, ShardFragment};
+use jellyfish::experiment::{find, registry, RunCtx, Shard, ShardFragment};
 use jellyfish::figures::Scale;
+use jellyfish_topology::TopoSpec;
 
 fn main() {
-    // Every figure/table of the paper is a named experiment.
+    // Every figure/table of the paper is a named experiment, plus the
+    // topology-generic sweeps that accept a --topo override.
     println!("{} registered experiments:", registry().len());
     for exp in registry() {
-        println!("  {:8} {}", exp.name(), exp.describe());
+        let topo = if exp.supports_topo_override() { " [--topo]" } else { "" };
+        println!("  {:20} {}{topo}", exp.name(), exp.describe());
     }
 
     // Run one by name: every experiment yields the same uniform Dataset.
     let exp = find("fig3").expect("fig3 is registered");
-    let dataset = exp.run(Scale::Tiny, 7);
+    let ctx = RunCtx::new(Scale::Tiny, 7);
+    let dataset = exp.run(&ctx);
     println!("\n== {} ==\n{}", exp.name(), dataset.to_tsv());
 
     // The same sweep, sharded two ways as `figures run --shard K/2` would
@@ -31,8 +36,9 @@ fn main() {
                 experiment: exp.name().to_string(),
                 scale: Scale::Tiny,
                 seed: 7,
+                topo: None,
                 shard,
-                items: exp.run_shard(Scale::Tiny, 7, shard),
+                items: exp.run_shard(&RunCtx::new(Scale::Tiny, 7), shard),
             };
             ShardFragment::from_json(&fragment.to_json()).expect("fragment JSON round-trips")
         })
@@ -40,4 +46,11 @@ fn main() {
     let merged = exp.merge(fragments.into_iter().flat_map(|f| f.items).collect());
     assert_eq!(merged, dataset, "sharded merge must equal the unsharded run");
     println!("2-way sharded run merged byte-identically to the unsharded run.");
+
+    // Point a topology-generic experiment at a different topology: one spec
+    // string, zero code changes.
+    let generic = find("path_length").expect("path_length is registered");
+    let spec: TopoSpec = "leafspine:leaf=6,spine=3,servers=4".parse().expect("spec parses");
+    let overridden = generic.run(&RunCtx::new(Scale::Tiny, 7).with_topo(spec));
+    println!("\n== {} --topo leafspine ==\n{}", generic.name(), overridden.to_tsv());
 }

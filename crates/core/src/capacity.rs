@@ -8,8 +8,7 @@
 //! capacity on all of them; the final answer is verified on ten more.
 
 use jellyfish_flow::throughput::{normalized_throughput, ThroughputOptions};
-use jellyfish_topology::rrg::build_heterogeneous;
-use jellyfish_topology::{Topology, TopologyError};
+use jellyfish_topology::{SpecError, TopoSpec, Topology, TopologyError};
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
 
 /// Options of the capacity search.
@@ -50,22 +49,24 @@ pub struct CapacityResult {
 /// Builds a Jellyfish topology on `switches` switches with `ports` ports each
 /// and `servers` servers spread as evenly as possible, wiring all remaining
 /// ports into the random interconnect.
+///
+/// Thin wrapper over the [`jellyfish_topology::spec`] registry's
+/// `jellyfish:servers_total=...` generator, so its output is identical to
+/// what any spec-driven experiment builds.
 pub fn jellyfish_with_servers(
     switches: usize,
     ports: usize,
     servers: usize,
     seed: u64,
 ) -> Result<Topology, TopologyError> {
-    if servers > switches * (ports - 1) {
-        return Err(TopologyError::InvalidParameters(format!(
-            "{servers} servers cannot attach to {switches} switches of {ports} ports"
-        )));
-    }
-    let base = servers / switches;
-    let extra = servers % switches;
-    let per: Vec<usize> = (0..switches).map(|i| base + usize::from(i < extra)).collect();
-    let degrees: Vec<usize> = per.iter().map(|&s| ports - s).collect();
-    build_heterogeneous(&vec![ports; switches], &degrees, seed)
+    let spec = TopoSpec::new("jellyfish")
+        .with_param("switches", switches)
+        .with_param("ports", ports)
+        .with_param("servers_total", servers);
+    spec.build(seed).map_err(|e| match e {
+        SpecError::Build(e) => e,
+        other => TopologyError::InvalidParameters(other.to_string()),
+    })
 }
 
 /// Checks whether a topology supports full throughput on `samples` random

@@ -18,27 +18,40 @@
 //!   item derives its randomness from `(seed, item)` alone, running the
 //!   shards in separate processes and merging the [`ShardFragment`]s is
 //!   byte-identical to a single-process [`Experiment::run`].
-//! * [`registry`] — the static table of all 17 experiments, keyed by the
-//!   names the `figures` CLI exposes (`figures list`).
+//! * [`registry`] — the static table of experiments (the paper's 17 figures
+//!   and tables plus the topology-generic sweeps in [`generic`]), keyed by
+//!   the names the `figures` CLI exposes (`figures list`).
 //!
-//! The [`RunCtx`] carries the run's [`Scale`] and seed plus a memoized
-//! topology/CSR-snapshot cache: items of one experiment that share a
-//! topology (for example the per-fraction failure sweeps of `fig8`) build
-//! the [`CsrGraph`] snapshot once per process and share it. The cache is an
-//! optimization only — every builder is a pure function of `(scale, seed)`,
-//! so a shard that rebuilds a snapshot gets bit-identical data.
+//! Topology construction flows through [`TopoSpec`] strings resolved by the
+//! generator registry in `jellyfish_topology::spec`: spec-driven experiments
+//! decompose into [`WorkItem`]s that each carry the spec they evaluate, and
+//! the topology-generic experiments accept a `--topo <spec>` override
+//! ([`RunCtx::with_topo`]) that redirects the whole sweep at any registered
+//! topology without code changes.
+//!
+//! The [`RunCtx`] carries the run's [`Scale`], seed and optional topology
+//! override, plus a memoized topology/CSR-snapshot cache keyed by
+//! `(spec, seed)`: items of one experiment that share a base topology (for
+//! example the per-fraction failure sweeps of `fig8`) build the
+//! [`CsrGraph`] snapshot once per process and share it, and each cache hit
+//! is verified against the topology's mutation
+//! [generation](Topology::generation) so a stale snapshot can never be
+//! served. The cache is an optimization only — every builder is a pure
+//! function of `(spec, seed)`, so a shard that rebuilds a snapshot gets
+//! bit-identical data.
 //!
 //! EXPERIMENTS.md at the repository root indexes the registered experiments
 //! (paper figure, scales, output schema).
 
 use crate::figures::{Scale, Series};
-use jellyfish_topology::{CsrGraph, Topology};
+use jellyfish_topology::{CsrGraph, SpecError, TopoSpec, Topology};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
 pub mod catalog;
+pub mod generic;
 mod json;
 
 /// One named row of a [`Dataset`] table.
@@ -81,6 +94,10 @@ impl Cell {
 /// concatenates sections deterministically — see [`Dataset::concat`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Dataset {
+    /// Provenance metadata: ordered `(key, value)` pairs (e.g. the topology
+    /// spec string behind each series). Rendered as `# key<TAB>value`
+    /// comment lines at the top of the TSV and as a `meta` array in JSON.
+    pub meta: Vec<(String, String)>,
     /// Labelled (x, y) series (line-plot figures).
     pub series: Vec<Series>,
     /// Column headers for `rows`; `columns[0]` heads the label column.
@@ -125,13 +142,28 @@ impl Dataset {
         self.cells.push(Cell::new(name, value));
     }
 
+    /// Appends a provenance metadata pair.
+    pub fn push_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.push((key.into(), value.into()));
+    }
+
     /// Deterministically concatenates dataset fragments (in the order given):
     /// series with the same label have their points appended in fragment
     /// order and keep first-seen label order; rows and cells concatenate;
-    /// column headers must agree across fragments that set them.
+    /// column headers must agree across fragments that set them; metadata
+    /// keys keep first-seen order and must agree on their value when
+    /// repeated.
     pub fn concat<I: IntoIterator<Item = Dataset>>(fragments: I) -> Dataset {
         let mut out = Dataset::new();
         for frag in fragments {
+            for (k, v) in frag.meta {
+                match out.meta.iter().find(|(ek, _)| *ek == k) {
+                    Some((_, ev)) => {
+                        assert_eq!(*ev, v, "dataset fragments disagree on metadata '{k}'")
+                    }
+                    None => out.meta.push((k, v)),
+                }
+            }
             for s in frag.series {
                 match out.series.iter_mut().find(|e| e.label == s.label) {
                     Some(e) => e.points.extend(s.points),
@@ -154,13 +186,21 @@ impl Dataset {
         out
     }
 
-    /// Renders the dataset as tab-separated text: cells first (`name\tvalue`),
-    /// then the table, then the series aligned on their union of x values.
+    /// Renders the dataset as tab-separated text: `# key\tvalue` metadata
+    /// comment lines first, then cells (`name\tvalue`), then the table, then
+    /// the series aligned on their union of x values.
     /// Non-empty sections are separated by a blank line. The rendering is a
     /// pure function of the data, so a merged sharded run prints byte-for-byte
     /// what the single-process run prints.
     pub fn to_tsv(&self) -> String {
         let mut sections: Vec<String> = Vec::new();
+        if !self.meta.is_empty() {
+            let mut s = String::new();
+            for (k, v) in &self.meta {
+                s.push_str(&format!("# {k}\t{v}\n"));
+            }
+            sections.push(s);
+        }
         if !self.cells.is_empty() {
             let mut s = String::new();
             for c in &self.cells {
@@ -252,12 +292,28 @@ pub struct WorkItem {
     pub index: usize,
     /// Human-readable description of the item.
     pub label: String,
+    /// The topology this item evaluates, when the experiment's work
+    /// decomposes along a topology axis (spec-driven experiments).
+    pub spec: Option<TopoSpec>,
 }
 
 impl WorkItem {
-    /// Creates a work item.
+    /// Creates a work item with no topology axis.
     pub fn new(index: usize, label: impl Into<String>) -> Self {
-        WorkItem { index, label: label.into() }
+        WorkItem { index, label: label.into(), spec: None }
+    }
+
+    /// Creates a work item that evaluates one topology spec.
+    pub fn with_spec(index: usize, label: impl Into<String>, spec: TopoSpec) -> Self {
+        WorkItem { index, label: label.into(), spec: Some(spec) }
+    }
+
+    /// The item's topology spec; panics (with the item's label) when the
+    /// experiment forgot to attach one.
+    pub fn spec(&self) -> &TopoSpec {
+        self.spec
+            .as_ref()
+            .unwrap_or_else(|| panic!("work item '{}' has no topology spec", self.label))
     }
 }
 
@@ -279,29 +335,71 @@ impl ItemResult {
 }
 
 /// An immutable topology + CSR snapshot pair shared between work items.
+///
+/// The snapshot remembers the topology [generation](Topology::generation) it
+/// was taken at, so holders can detect the silent-staleness hazard: code
+/// that obtains `&mut` access to the topology (e.g. via
+/// [`Topology::graph_mut`]) after the CSR snapshot was taken would otherwise
+/// keep routing over links that no longer exist.
 #[derive(Debug)]
 pub struct Snapshot {
     /// The mutable-API topology (adjacency form).
     pub topology: Topology,
     /// The flat CSR snapshot routing/flow/sim consume.
     pub csr: CsrGraph,
+    /// [`Topology::generation`] at the moment `csr` was taken.
+    pub generation: u64,
 }
 
-/// Per-run context handed to [`Experiment::run_item`]: the scale and seed of
-/// the run plus a process-local memo of CSR-backed topology snapshots.
+impl Snapshot {
+    /// Snapshots `topology`, recording its current generation.
+    pub fn new(topology: Topology) -> Self {
+        Snapshot { csr: topology.csr(), generation: topology.generation(), topology }
+    }
+
+    /// Whether `csr` still reflects `topology` (no mutation since the
+    /// snapshot was taken).
+    pub fn is_current(&self) -> bool {
+        self.generation == self.topology.generation()
+    }
+
+    /// Re-takes the CSR snapshot from the current topology state.
+    pub fn refresh(&mut self) {
+        self.csr = self.topology.csr();
+        self.generation = self.topology.generation();
+    }
+}
+
+/// Per-run context handed to [`Experiment::run_item`]: the scale, seed and
+/// optional topology override of the run, plus a process-local memo of
+/// CSR-backed topology snapshots keyed by `(spec-or-key, seed)`.
 #[derive(Debug)]
 pub struct RunCtx {
     /// Instance-size preset for this run.
     pub scale: Scale,
     /// Base seed; items derive their own sub-seeds from it deterministically.
     pub seed: u64,
-    cache: Mutex<HashMap<String, Arc<Snapshot>>>,
+    topo: Option<TopoSpec>,
+    cache: Mutex<HashMap<(String, u64), Arc<Snapshot>>>,
 }
 
 impl RunCtx {
     /// Creates a context for one `(scale, seed)` run.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        RunCtx { scale, seed, cache: Mutex::new(HashMap::new()) }
+        RunCtx { scale, seed, topo: None, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Sets the `--topo` override: experiments whose
+    /// [`Experiment::supports_topo_override`] is true evaluate this spec
+    /// instead of their built-in topology axis.
+    pub fn with_topo(mut self, spec: TopoSpec) -> Self {
+        self.topo = Some(spec);
+        self
+    }
+
+    /// The run's topology override, if any.
+    pub fn topo(&self) -> Option<&TopoSpec> {
+        self.topo.as_ref()
     }
 
     /// Returns the memoized snapshot for `key`, building it (outside the
@@ -309,12 +407,63 @@ impl RunCtx {
     /// `(scale, seed)` — the cache only dedups work, it never changes
     /// results, so sharded processes that rebuild get identical data.
     pub fn snapshot(&self, key: &str, build: impl FnOnce(&RunCtx) -> Topology) -> Arc<Snapshot> {
-        if let Some(snap) = self.cache.lock().unwrap().get(key) {
-            return Arc::clone(snap);
+        self.memoized(key.to_string(), self.seed, || build(self))
+    }
+
+    /// Returns the memoized snapshot of `spec` built with `seed` (which may
+    /// differ from the run seed: some experiments derive per-topology
+    /// seeds). Only the transform-free [`TopoSpec::base`] is cached — items
+    /// that share a base but apply different failure/expansion transforms
+    /// (e.g. one failure sweep) build it once and transform clones.
+    pub fn spec_snapshot(&self, spec: &TopoSpec, seed: u64) -> Result<Arc<Snapshot>, SpecError> {
+        let base = spec.base();
+        // Build the base outside the memo closure so errors propagate
+        // instead of panicking inside it.
+        let snap = {
+            let key = (base.to_string(), seed);
+            if let Some(snap) = self.lookup(&key) {
+                snap
+            } else {
+                let topology = base.build(seed)?;
+                self.insert(key, topology)
+            }
+        };
+        if spec.transforms().is_empty() {
+            return Ok(snap);
         }
-        let topology = build(self);
-        let snap = Arc::new(Snapshot { csr: topology.csr(), topology });
-        Arc::clone(self.cache.lock().unwrap().entry(key.to_string()).or_insert(snap))
+        let mut transformed = snap.topology.clone();
+        spec.apply_transforms(&mut transformed, seed)?;
+        Ok(Arc::new(Snapshot::new(transformed)))
+    }
+
+    fn memoized(&self, key: String, seed: u64, build: impl FnOnce() -> Topology) -> Arc<Snapshot> {
+        let key = (key, seed);
+        if let Some(snap) = self.lookup(&key) {
+            return snap;
+        }
+        let topology = build();
+        self.insert(key, topology)
+    }
+
+    /// Cache lookup with the staleness guard: a hit whose CSR snapshot no
+    /// longer matches its topology's generation (impossible through this
+    /// API, but cheap to verify) is dropped and rebuilt by the caller.
+    fn lookup(&self, key: &(String, u64)) -> Option<Arc<Snapshot>> {
+        let mut cache = self.cache.lock().unwrap();
+        match cache.get(key) {
+            Some(snap) if snap.is_current() => Some(Arc::clone(snap)),
+            Some(_) => {
+                debug_assert!(false, "cached snapshot went stale for {key:?}");
+                cache.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&self, key: (String, u64), topology: Topology) -> Arc<Snapshot> {
+        let snap = Arc::new(Snapshot::new(topology));
+        Arc::clone(self.cache.lock().unwrap().entry(key).or_insert(snap))
     }
 }
 
@@ -373,6 +522,10 @@ pub struct ShardFragment {
     pub scale: Scale,
     /// Seed the shard ran with.
     pub seed: u64,
+    /// The `--topo` override spec string the shard ran with, if any. Merges
+    /// require all fragments of one experiment to agree on it — the work
+    /// item decomposition depends on it.
+    pub topo: Option<String>,
     /// Which slice of the work items this fragment holds.
     pub shard: Shard,
     /// The item results, sorted by item index.
@@ -401,18 +554,28 @@ impl ShardFragment {
 /// shard-determinism proptest in `crates/core/tests` enforces it for every
 /// registered experiment.
 pub trait Experiment: Sync {
-    /// Registry name (`fig1c`, …, `table1`).
+    /// Registry name (`fig1c`, …, `table1`, `throughput_vs_size`).
     fn name(&self) -> &'static str;
 
     /// One-line description shown by `figures list`.
     fn describe(&self) -> &'static str;
 
-    /// The full, ordered decomposition of this experiment at `(scale, seed)`.
+    /// Whether the experiment's topology axis can be replaced by a
+    /// `--topo <spec>` override ([`RunCtx::with_topo`]). True for the
+    /// topology-generic metric sweeps (throughput, path length, bisection,
+    /// failures); false for the paper figures, whose topology pairings *are*
+    /// the experiment.
+    fn supports_topo_override(&self) -> bool {
+        false
+    }
+
+    /// The full, ordered decomposition of this experiment for `ctx`
+    /// (`scale`, `seed`, and — for override-capable experiments — `topo`).
     /// Must be cheap (no heavy simulation) and deterministic.
-    fn work_items(&self, scale: Scale, seed: u64) -> Vec<WorkItem>;
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem>;
 
     /// Evaluates one work item. Must be a pure function of
-    /// `(ctx.scale, ctx.seed, item)`.
+    /// `(ctx.scale, ctx.seed, ctx.topo, item)`.
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult;
 
     /// Combines item results (any order; the default sorts by item index and
@@ -424,38 +587,59 @@ pub trait Experiment: Sync {
     }
 
     /// Runs every work item (in parallel) and merges: the single-process path.
-    fn run(&self, scale: Scale, seed: u64) -> Dataset {
-        self.merge(self.run_items(scale, seed, None))
+    fn run(&self, ctx: &RunCtx) -> Dataset {
+        self.merge(self.run_items(ctx, None))
     }
 
     /// Runs only the items a shard owns, returning mergeable results sorted
     /// by item index.
-    fn run_shard(&self, scale: Scale, seed: u64, shard: Shard) -> Vec<ItemResult> {
-        self.run_items(scale, seed, Some(shard))
+    fn run_shard(&self, ctx: &RunCtx, shard: Shard) -> Vec<ItemResult> {
+        self.run_items(ctx, Some(shard))
     }
 
     /// Shared driver for [`Experiment::run`] / [`Experiment::run_shard`]:
     /// evaluates the (optionally shard-filtered) items in parallel.
-    fn run_items(&self, scale: Scale, seed: u64, shard: Option<Shard>) -> Vec<ItemResult> {
-        let ctx = RunCtx::new(scale, seed);
+    fn run_items(&self, ctx: &RunCtx, shard: Option<Shard>) -> Vec<ItemResult> {
         let items: Vec<WorkItem> = self
-            .work_items(scale, seed)
+            .work_items(ctx)
             .into_iter()
             .filter(|it| shard.is_none_or(|s| s.owns(it.index)))
             .collect();
         let mut results: Vec<ItemResult> =
-            items.par_iter().map(|item| self.run_item(&ctx, item)).collect();
+            items.par_iter().map(|item| self.run_item(ctx, item)).collect();
         results.sort_by_key(|r| r.index);
         results
     }
 }
 
-/// The static registry of all 17 experiments, in canonical (paper) order.
+/// The static registry: the paper's 17 figures/tables in canonical order,
+/// followed by the four topology-generic metric sweeps (which accept
+/// `--topo <spec>` overrides).
 pub fn registry() -> &'static [&'static dyn Experiment] {
     use catalog::*;
+    use generic::*;
     static REGISTRY: &[&dyn Experiment] = &[
-        &Fig1c, &Fig2a, &Fig2b, &Fig2c, &Fig3, &Fig4, &Fig5, &Fig6, &Fig7, &Fig8, &Fig9, &Table1,
-        &Fig10, &Fig11, &Fig12, &Fig13, &Fig14,
+        &Fig1c,
+        &Fig2a,
+        &Fig2b,
+        &Fig2c,
+        &Fig3,
+        &Fig4,
+        &Fig5,
+        &Fig6,
+        &Fig7,
+        &Fig8,
+        &Fig9,
+        &Table1,
+        &Fig10,
+        &Fig11,
+        &Fig12,
+        &Fig13,
+        &Fig14,
+        &ThroughputVsSize,
+        &PathLength,
+        &Bisection,
+        &FailureSweep,
     ];
     REGISTRY
 }
@@ -475,16 +659,79 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_17_experiments_with_unique_names() {
+    fn registry_has_the_21_experiments_with_unique_names() {
         let names = names();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 21);
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(dedup.len(), 17, "duplicate experiment names");
+        assert_eq!(dedup.len(), 21, "duplicate experiment names");
         assert!(find("fig1c").is_some());
         assert!(find("table1").is_some());
+        assert!(find("throughput_vs_size").is_some());
         assert!(find("nope").is_none());
+        // Exactly the topology-generic sweeps accept --topo.
+        let overridable: Vec<&str> =
+            registry().iter().filter(|e| e.supports_topo_override()).map(|e| e.name()).collect();
+        assert_eq!(
+            overridable,
+            ["throughput_vs_size", "path_length", "bisection", "failure_sweep"]
+        );
+    }
+
+    #[test]
+    fn snapshot_staleness_is_detectable_and_repairable() {
+        use jellyfish_topology::JellyfishBuilder;
+        let topo = JellyfishBuilder::new(12, 6, 3).seed(1).build().unwrap();
+        let mut snap = Snapshot::new(topo);
+        assert!(snap.is_current());
+        let links_before = snap.csr.num_edges();
+        // Mutate behind the CSR snapshot's back: the hazard this guards.
+        let e = snap.topology.graph().edges().next().unwrap();
+        snap.topology.disconnect(e.a, e.b);
+        assert!(!snap.is_current(), "mutation must invalidate the snapshot");
+        assert_eq!(snap.csr.num_edges(), links_before, "stale CSR still has the old link");
+        snap.refresh();
+        assert!(snap.is_current());
+        assert_eq!(snap.csr.num_edges(), links_before - 1);
+    }
+
+    #[test]
+    fn spec_snapshot_caches_bases_and_transforms_clones() {
+        let ctx = RunCtx::new(Scale::Tiny, 7);
+        let spec: TopoSpec = "jellyfish:switches=20,ports=8,degree=5".parse().unwrap();
+        let a = ctx.spec_snapshot(&spec, 7).unwrap();
+        let b = ctx.spec_snapshot(&spec, 7).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same (spec, seed) must share one snapshot");
+        let other_seed = ctx.spec_snapshot(&spec, 8).unwrap();
+        assert!(!Arc::ptr_eq(&a, &other_seed), "seeds key the cache independently");
+        let failed_spec: TopoSpec =
+            "jellyfish:switches=20,ports=8,degree=5+fail_links=0.2".parse().unwrap();
+        let failed = ctx.spec_snapshot(&failed_spec, 7).unwrap();
+        assert!(!Arc::ptr_eq(&a, &failed));
+        assert!(failed.is_current());
+        assert!(failed.topology.num_links() < a.topology.num_links());
+        // The base snapshot is untouched by the transformed build.
+        assert!(a.is_current());
+        // Infeasible parameters surface as errors, not panics.
+        let bad: TopoSpec = "jellyfish:switches=3,ports=12,degree=9".parse().unwrap();
+        assert!(ctx.spec_snapshot(&bad, 7).is_err());
+    }
+
+    #[test]
+    fn concat_merges_meta_first_seen_and_asserts_agreement() {
+        let mut a = Dataset::new();
+        a.push_meta("topo:x", "jellyfish:switches=4,ports=3,degree=2");
+        let mut b = Dataset::new();
+        b.push_meta("topo:y", "fattree:k=4");
+        b.push_meta("topo:x", "jellyfish:switches=4,ports=3,degree=2");
+        let merged = Dataset::concat([a, b]);
+        assert_eq!(merged.meta.len(), 2);
+        assert_eq!(merged.meta[0].0, "topo:x");
+        let tsv = merged.to_tsv();
+        assert!(tsv.starts_with(
+            "# topo:x\tjellyfish:switches=4,ports=3,degree=2\n# topo:y\tfattree:k=4\n"
+        ));
     }
 
     #[test]
@@ -536,6 +783,7 @@ mod tests {
     #[test]
     fn dataset_json_round_trips_exactly() {
         let mut ds = Dataset::new();
+        ds.push_meta("topo:jf", "jellyfish:switches=4,ports=3,degree=2+fail_links=0.05");
         ds.push_cell("odd \"name\"\twith\\escapes", 1.0 / 3.0);
         ds.set_columns(&["c", "v"]);
         ds.push_row("r0", vec![0.1 + 0.2, -4.0, 1e-300]);
@@ -548,13 +796,17 @@ mod tests {
     fn fragment_json_round_trips_exactly() {
         let mut ds = Dataset::new();
         ds.push_point("s", 0.1, 0.2);
-        let frag = ShardFragment {
+        let mut frag = ShardFragment {
             experiment: "fig9".to_string(),
             scale: Scale::Tiny,
             seed: u64::MAX,
+            topo: None,
             shard: Shard::new(2, 3).unwrap(),
             items: vec![ItemResult::new(1, ds)],
         };
+        let back = ShardFragment::from_json(&frag.to_json()).unwrap();
+        assert_eq!(frag, back);
+        frag.topo = Some("leafspine:leaf=6,spine=3,servers=4".to_string());
         let back = ShardFragment::from_json(&frag.to_json()).unwrap();
         assert_eq!(frag, back);
         assert!(ShardFragment::from_json("{\"experiment\":1}").is_err());

@@ -1,4 +1,4 @@
-//! The 17 registered experiments: every figure and table of the paper's
+//! The paper's 17 registered experiments: every figure and table of the
 //! evaluation, ported onto the [`Experiment`] trait.
 //!
 //! Each experiment decomposes into the independent items its original
@@ -7,8 +7,16 @@
 //! from `(scale, seed, item)` exactly as the legacy serial loop did — so the
 //! thin wrappers in [`crate::figures`] reproduce the historical outputs, and
 //! any shard partition merges back to the single-process dataset.
+//!
+//! Topology construction goes through [`TopoSpec`] strings resolved by the
+//! generator registry (`jellyfish_topology::spec`): topology-parameterized
+//! experiments carry the spec on their [`WorkItem`]s and resolve it with
+//! [`RunCtx::spec_snapshot`], recording the spec string in the dataset's
+//! metadata. The seeds each spec is built with are chosen to reproduce the
+//! legacy constructors bit-for-bit (`crates/core/tests/spec_equivalence.rs`
+//! enforces that).
 
-use super::{Dataset, Experiment, ItemResult, RunCtx, WorkItem};
+use super::{Dataset, Experiment, ItemResult, RunCtx, Snapshot, WorkItem};
 use crate::cabling::two_layer_jellyfish;
 use crate::capacity::jellyfish_with_servers;
 use crate::figures::{table1_cell, Scale, Series};
@@ -25,21 +33,55 @@ use jellyfish_sim::fluid::max_min_fair_allocation;
 use jellyfish_sim::net::{LinkParams, Network};
 use jellyfish_sim::routing::{PathPolicy, TransportPolicy};
 use jellyfish_sim::workload::build_connections;
-use jellyfish_topology::degree_diameter::{figure3_pair, FIGURE3_CONFIGS};
+use jellyfish_topology::degree_diameter::FIGURE3_CONFIGS;
 use jellyfish_topology::expansion::grow_schedule;
-use jellyfish_topology::failures::fail_random_links;
-use jellyfish_topology::fattree::{same_equipment_pair, FatTree};
+use jellyfish_topology::fattree::FatTree;
 use jellyfish_topology::properties::{
     fraction_of_server_pairs_within, path_length_stats, server_pair_histogram_csr,
 };
-use jellyfish_topology::swdc::{figure4_swdc, Lattice};
-use jellyfish_topology::{JellyfishBuilder, Topology};
+use jellyfish_topology::spec::ScenarioTransform;
+use jellyfish_topology::{TopoSpec, Topology};
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// `ThroughputOptions` shared by the "do not stop at full" sweeps.
-fn sweep_opts() -> ThroughputOptions {
+pub(crate) fn sweep_opts() -> ThroughputOptions {
     ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() }
+}
+
+/// Spec for the paper's homogeneous Jellyfish `RRG(switches, ports, degree)`.
+pub(crate) fn jellyfish_spec(switches: usize, ports: usize, degree: usize) -> TopoSpec {
+    TopoSpec::new("jellyfish")
+        .with_param("switches", switches)
+        .with_param("ports", ports)
+        .with_param("degree", degree)
+}
+
+/// Spec for Jellyfish with `total` servers spread evenly over `switches`
+/// switches of `ports` ports (the same-equipment comparisons; equals the
+/// legacy `jellyfish_with_servers`).
+pub(crate) fn jellyfish_total_spec(switches: usize, ports: usize, total: usize) -> TopoSpec {
+    TopoSpec::new("jellyfish")
+        .with_param("switches", switches)
+        .with_param("ports", ports)
+        .with_param("servers_total", total)
+}
+
+/// Spec for the k-ary fat-tree.
+pub(crate) fn fattree_spec(k: usize) -> TopoSpec {
+    TopoSpec::new("fattree").with_param("k", k)
+}
+
+/// Resolves a work item's spec against the run context (build seed = the
+/// seed the legacy constructor used) and records the spec string in `ds`.
+fn resolve(ctx: &RunCtx, item: &WorkItem, seed: u64, ds: &mut Dataset) -> Arc<Snapshot> {
+    let spec = item.spec();
+    let snap = ctx
+        .spec_snapshot(spec, seed)
+        .unwrap_or_else(|e| panic!("{}: cannot build '{spec}': {e}", item.label));
+    ds.push_meta(format!("topo:{}", item.label), spec.to_string());
+    snap
 }
 
 // ------------------------------------------------------------------ fig1c
@@ -57,29 +99,26 @@ impl Experiment for Fig1c {
         "Path length CDF: Jellyfish vs same-equipment fat-tree (Figure 1c)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        vec![WorkItem::new(0, "jellyfish"), WorkItem::new(1, "fat-tree")]
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        let k = ctx.scale.pick(14, 10, 6);
+        let servers = FatTree::servers_for_port_count(k);
+        let switches = FatTree::switches_for_port_count(k);
+        vec![
+            WorkItem::with_spec(0, "jellyfish", jellyfish_total_spec(switches, k, servers)),
+            WorkItem::with_spec(1, "fat-tree", fattree_spec(k)),
+        ]
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
-        let k = ctx.scale.pick(14, 10, 6);
-        let servers = FatTree::servers_for_port_count(k);
-        let seed = ctx.seed;
         let label = if item.index == 0 { "Jellyfish" } else { "Fat-tree" };
-        let snap = ctx.snapshot(&format!("fig1c/{}", item.label), |_| {
-            let (ft, jf) =
-                same_equipment_pair(k, servers, seed).expect("valid fat-tree parameters");
-            if item.index == 0 {
-                jf
-            } else {
-                ft.into_topology()
-            }
-        });
+        let mut ds = Dataset::new();
+        let snap = resolve(ctx, item, ctx.seed, &mut ds);
         let hist = server_pair_histogram_csr(&snap.topology, &snap.csr);
         let points = (2..=hist.len().max(7))
             .map(|h| (h as f64, fraction_of_server_pairs_within(&hist, h)))
             .collect();
-        ItemResult::new(item.index, Dataset::from_series(vec![Series::new(label, points)]))
+        ds.series.push(Series::new(label, points));
+        ItemResult::new(item.index, ds)
     }
 }
 
@@ -102,7 +141,7 @@ impl Experiment for Fig2a {
         "Bisection bandwidth vs server count at equal cost (Figure 2a)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
+    fn work_items(&self, _ctx: &RunCtx) -> Vec<WorkItem> {
         FIG2A_CONFIGS
             .iter()
             .enumerate()
@@ -152,7 +191,7 @@ impl Experiment for Fig2b {
         "Equipment cost vs servers at full bisection bandwidth (Figure 2b)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
+    fn work_items(&self, _ctx: &RunCtx) -> Vec<WorkItem> {
         FIG2B_PORTS
             .iter()
             .enumerate()
@@ -201,8 +240,8 @@ impl Experiment for Fig2c {
         "Servers at full capacity vs equipment (optimal routing, Figure 2c)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        fig2c_port_counts(scale)
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig2c_port_counts(ctx.scale)
             .into_iter()
             .enumerate()
             .map(|(i, k)| WorkItem::new(i, format!("k={k}")))
@@ -251,8 +290,8 @@ impl Experiment for Fig3 {
         "Throughput vs best-known degree-diameter graphs (Figure 3)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        fig3_configs(scale)
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig3_configs(ctx.scale)
             .into_iter()
             .enumerate()
             .map(|(i, (n, ports, degree))| {
@@ -269,14 +308,27 @@ impl Experiment for Fig3 {
         // bisection (the paper chooses server counts that keep the
         // benchmark below saturation so its full capacity is visible).
         let servers_per_switch = (ports - degree).min(degree / 2).max(1);
-        let (bench, jelly) = figure3_pair(n, ports, degree, servers_per_switch, seed)
-            .expect("figure 3 configuration is valid");
+        let dd_spec = TopoSpec::new("dd")
+            .with_param("n", n)
+            .with_param("ports", ports)
+            .with_param("degree", degree)
+            .with_param("servers", servers_per_switch);
+        let jf_spec = jellyfish_spec(n, ports, degree).with_param("servers", servers_per_switch);
         let opts = sweep_opts();
         let mut ds = Dataset::new();
-        for (label, topo) in [("Best-known Degree-Diameter Graph", &bench), ("Jellyfish", &jelly)] {
-            let servers = ServerMap::new(topo);
+        // The benchmark builds with the run seed, Jellyfish with the legacy
+        // `figure3_pair` derivation (seed ^ 0xF00D).
+        for (label, spec, build_seed) in [
+            ("Best-known Degree-Diameter Graph", &dd_spec, seed),
+            ("Jellyfish", &jf_spec, seed ^ 0xF00D),
+        ] {
+            let snap = ctx
+                .spec_snapshot(spec, build_seed)
+                .unwrap_or_else(|e| panic!("fig3: cannot build '{spec}': {e}"));
+            ds.push_meta(format!("topo:{label} #{i}"), spec.to_string());
+            let servers = ServerMap::new(&snap.topology);
             let tm = TrafficMatrix::random_permutation(&servers, seed ^ i as u64);
-            let r = normalized_throughput(topo, &servers, &tm, opts);
+            let r = normalized_throughput(&snap.topology, &servers, &tm, opts);
             ds.push_point(label, i as f64, r.normalized);
         }
         ItemResult::new(i, ds)
@@ -285,9 +337,23 @@ impl Experiment for Fig3 {
 
 // ------------------------------------------------------------------- fig4
 
-/// The SWDC variants Figure 4 compares against.
-const FIG4_VARIANTS: [&str; 4] =
-    ["Jellyfish", "Small World Ring", "Small World 2D-Torus", "Small World 3D-Hex-Torus"];
+/// The SWDC variants Figure 4 compares against, with their specs.
+fn fig4_axis(scale: Scale) -> Vec<(&'static str, TopoSpec)> {
+    let nodes = scale.pick(484, 100, 36);
+    let hex_nodes = scale.pick(450, 100, 36);
+    let swdc = |lattice: &str, n: usize| {
+        TopoSpec::new("swdc")
+            .with_param("lattice", lattice)
+            .with_param("n", n)
+            .with_param("servers", 2)
+    };
+    vec![
+        ("Jellyfish", jellyfish_spec(nodes, 8, 6).with_param("servers", 2)),
+        ("Small World Ring", swdc("ring", nodes)),
+        ("Small World 2D-Torus", swdc("torus2d", nodes)),
+        ("Small World 3D-Hex-Torus", swdc("hex3d", hex_nodes)),
+    ]
+}
 
 /// Figure 4: Jellyfish versus the three SWDC variants at equal equipment.
 pub struct Fig4;
@@ -301,32 +367,22 @@ impl Experiment for Fig4 {
         "Throughput vs small-world datacenter variants (Figure 4)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        FIG4_VARIANTS.iter().enumerate().map(|(i, v)| WorkItem::new(i, *v)).collect()
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig4_axis(ctx.scale)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, spec))| WorkItem::with_spec(i, label, spec))
+            .collect()
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
-        let nodes = ctx.scale.pick(484, 100, 36);
-        let hex_nodes = ctx.scale.pick(450, 100, 36);
         let seed = ctx.seed;
-        let label = FIG4_VARIANTS[item.index];
-        let snap = ctx.snapshot(&format!("fig4/{label}"), |_| match item.index {
-            0 => {
-                let mut jelly = JellyfishBuilder::new(nodes, 8, 6).seed(seed).build().unwrap();
-                for v in 0..jelly.num_switches() {
-                    jelly.set_servers(v, 2).unwrap();
-                }
-                jelly
-            }
-            1 => figure4_swdc(Lattice::Ring, nodes, 2, seed).unwrap(),
-            2 => figure4_swdc(Lattice::Torus2D, nodes, 2, seed).unwrap(),
-            _ => figure4_swdc(Lattice::HexTorus3D, hex_nodes, 2, seed).unwrap(),
-        });
+        let mut ds = Dataset::new();
+        let snap = resolve(ctx, item, seed, &mut ds);
         let servers = ServerMap::new(&snap.topology);
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0xF4);
         let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
-        let mut ds = Dataset::new();
-        ds.push_cell(label, r.normalized);
+        ds.push_cell(&item.label, r.normalized);
         ItemResult::new(item.index, ds)
     }
 }
@@ -360,12 +416,14 @@ impl Experiment for Fig5 {
         "Path length and diameter vs size, scratch vs expanded (Figure 5)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        let (_, _, sizes) = fig5_params(scale);
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        let (ports, degree, sizes) = fig5_params(ctx.scale);
         let mut items: Vec<WorkItem> = sizes
             .iter()
             .enumerate()
-            .map(|(i, n)| WorkItem::new(i, format!("scratch n={n}")))
+            .map(|(i, &n)| {
+                WorkItem::with_spec(i, format!("scratch n={n}"), jellyfish_spec(n, ports, degree))
+            })
             .collect();
         // Growth is inherently sequential: the whole expanded arc is one item.
         items.push(WorkItem::new(sizes.len(), "expanded growth arc"));
@@ -378,10 +436,9 @@ impl Experiment for Fig5 {
         let seed = ctx.seed;
         let mut ds = Dataset::new();
         if item.index < sizes.len() {
-            let n = sizes[item.index];
-            let topo = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
-            let stats = path_length_stats(topo.graph());
-            let x = (n * servers_per) as f64;
+            let snap = resolve(ctx, item, seed, &mut ds);
+            let stats = path_length_stats(snap.topology.graph());
+            let x = (sizes[item.index] * servers_per) as f64;
             ds.push_point("Jellyfish; Mean", x, stats.mean);
             ds.push_point("Jellyfish; Diameter", x, stats.diameter as f64);
         } else {
@@ -423,8 +480,8 @@ impl Experiment for Fig6 {
         "Incremental growth vs from-scratch throughput (Figure 6)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        let (start, end, step) = fig6_schedule(scale);
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        let (start, end, step) = fig6_schedule(ctx.scale);
         let stages = 1 + (end - start).div_ceil(step);
         (0..stages).map(|i| WorkItem::new(i, format!("stage {i}"))).collect()
     }
@@ -442,15 +499,16 @@ impl Experiment for Fig6 {
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ stage.num_switches() as u64);
         let r = normalized_throughput(stage, &servers, &tm, opts);
 
-        let fresh = JellyfishBuilder::new(stage.num_switches(), 12, 8)
-            .seed(seed ^ 0xABC ^ stage.num_switches() as u64)
-            .build()
-            .unwrap();
+        let fresh_spec = jellyfish_spec(stage.num_switches(), 12, 8);
+        let fresh = fresh_spec
+            .build(seed ^ 0xABC ^ stage.num_switches() as u64)
+            .expect("fresh jellyfish spec builds");
         let servers_f = ServerMap::new(&fresh);
         let tm_f =
             TrafficMatrix::random_permutation(&servers_f, seed ^ stage.num_switches() as u64);
         let rf = normalized_throughput(&fresh, &servers_f, &tm_f, opts);
         let mut ds = Dataset::new();
+        ds.push_meta(format!("topo:from-scratch stage {}", item.index), fresh_spec.to_string());
         ds.push_point("Jellyfish (Incremental)", stage.total_servers() as f64, r.normalized);
         ds.push_point("Jellyfish (From Scratch)", fresh.total_servers() as f64, rf.normalized);
         ItemResult::new(item.index, ds)
@@ -475,7 +533,7 @@ impl Experiment for Fig7 {
         "LEGUP-style expansion: bisection bandwidth per budget (Figure 7)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
+    fn work_items(&self, _ctx: &RunCtx) -> Vec<WorkItem> {
         // The expansion arc is stateful stage over stage: one item.
         vec![WorkItem::new(0, "expansion arc")]
     }
@@ -530,8 +588,21 @@ impl Experiment for Fig7 {
 /// The failed-link fractions of Figure 8.
 const FIG8_FRACTIONS: [f64; 6] = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
 
-/// Figure 8: throughput versus fraction of failed links.
+/// Figure 8: throughput versus fraction of failed links. The work items are
+/// the cross product of two base topology specs and the failure fractions,
+/// expressed as `+fail_links=f` transform chains.
 pub struct Fig8;
+
+fn fig8_bases(scale: Scale) -> [(&'static str, TopoSpec); 2] {
+    let k = scale.pick(12, 8, 6);
+    // Fat-tree with its native server count; Jellyfish with ~25% more
+    // servers on the same switches (the paper: 544 vs 432).
+    let jf_servers = FatTree::servers_for_port_count(k) * 5 / 4;
+    [
+        ("jellyfish", jellyfish_total_spec(FatTree::switches_for_port_count(k), k, jf_servers)),
+        ("fat-tree", fattree_spec(k)),
+    ]
+}
 
 impl Experiment for Fig8 {
     fn name(&self) -> &'static str {
@@ -542,43 +613,34 @@ impl Experiment for Fig8 {
         "Throughput vs fraction of failed links (Figure 8)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
         let mut items = Vec::new();
-        for (t, topo) in ["jellyfish", "fat-tree"].iter().enumerate() {
-            for (fi, f) in FIG8_FRACTIONS.iter().enumerate() {
-                items.push(WorkItem::new(t * FIG8_FRACTIONS.len() + fi, format!("{topo} f={f}")));
+        for (t, (name, base)) in fig8_bases(ctx.scale).into_iter().enumerate() {
+            for (fi, &f) in FIG8_FRACTIONS.iter().enumerate() {
+                items.push(WorkItem::with_spec(
+                    t * FIG8_FRACTIONS.len() + fi,
+                    format!("{name} f={f}"),
+                    base.clone().with_transform(ScenarioTransform::FailLinks(f)),
+                ));
             }
         }
         items
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
-        let k = ctx.scale.pick(12, 8, 6);
         let seed = ctx.seed;
         let topo_idx = item.index / FIG8_FRACTIONS.len();
         let f = FIG8_FRACTIONS[item.index % FIG8_FRACTIONS.len()];
-        // Fat-tree with its native server count; Jellyfish with ~25% more
-        // servers on the same switches (the paper: 544 vs 432).
-        let snap = ctx.snapshot(if topo_idx == 0 { "fig8/jf" } else { "fig8/ft" }, |_| {
-            if topo_idx == 0 {
-                let jf_servers = FatTree::servers_for_port_count(k) * 5 / 4;
-                jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed)
-                    .unwrap()
-            } else {
-                FatTree::new(k).unwrap().into_topology()
-            }
-        });
+        let mut ds = Dataset::new();
+        let snap = resolve(ctx, item, seed, &mut ds);
         let label = if topo_idx == 0 {
             format!("Jellyfish ({} Servers)", snap.topology.total_servers())
         } else {
             format!("Fat-tree ({} Servers)", snap.topology.total_servers())
         };
-        let mut failed = snap.topology.clone();
-        fail_random_links(&mut failed, f, seed ^ ((f * 100.0) as u64));
-        let servers = ServerMap::new(&failed);
+        let servers = ServerMap::new(&snap.topology);
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x8);
-        let r = normalized_throughput(&failed, &servers, &tm, sweep_opts());
-        let mut ds = Dataset::new();
+        let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
         ds.push_point(&label, f, r.normalized);
         ItemResult::new(item.index, ds)
     }
@@ -598,18 +660,22 @@ impl Experiment for Fig9 {
         "Ranked per-link distinct path counts, ECMP vs 8-KSP (Figure 9)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        ["ksp8", "ecmp64", "ecmp8"].iter().enumerate().map(|(i, s)| WorkItem::new(i, *s)).collect()
-    }
-
-    fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
         let switches = ctx.scale.pick(245, 80, 25);
         let ports = ctx.scale.pick(14, 10, 8);
         let degree = ctx.scale.pick(11, 7, 5);
+        let spec = jellyfish_spec(switches, ports, degree);
+        ["ksp8", "ecmp64", "ecmp8"]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| WorkItem::with_spec(i, *s, spec.clone()))
+            .collect()
+    }
+
+    fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
         let seed = ctx.seed;
-        let snap = ctx.snapshot("fig9", |_| {
-            JellyfishBuilder::new(switches, ports, degree).seed(seed).build().unwrap()
-        });
+        let mut ds = Dataset::new();
+        let snap = resolve(ctx, item, seed, &mut ds);
         let servers = ServerMap::new(&snap.topology);
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x9);
         let pairs: Vec<(usize, usize)> =
@@ -623,7 +689,8 @@ impl Experiment for Fig9 {
         let ranked = table.ranked_link_path_counts(&snap.csr);
         let points =
             ranked.iter().enumerate().map(|(rank, &count)| (rank as f64, count as f64)).collect();
-        ItemResult::new(item.index, Dataset::from_series(vec![Series::new(scheme.label(), points)]))
+        ds.series.push(Series::new(scheme.label(), points));
+        ItemResult::new(item.index, ds)
     }
 }
 
@@ -653,7 +720,7 @@ impl Experiment for Table1 {
         "Routing x congestion-control throughput matrix (Table 1)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
+    fn work_items(&self, _ctx: &RunCtx) -> Vec<WorkItem> {
         table1_transports().iter().enumerate().map(|(i, t)| WorkItem::new(i, t.label())).collect()
     }
 
@@ -665,13 +732,12 @@ impl Experiment for Table1 {
             Scale::Laptop => 8.0,
             Scale::Tiny => 4.0,
         };
-        let ft = ctx.snapshot("table1/ft", |_| FatTree::new(k).unwrap().into_topology());
+        let ft_spec = fattree_spec(k);
         // Jellyfish with ~13% more servers (the paper compares 780 vs 686).
-        let jf = ctx.snapshot("table1/jf", |_| {
-            let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
-            jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed)
-                .unwrap()
-        });
+        let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
+        let jf_spec = jellyfish_total_spec(FatTree::switches_for_port_count(k), k, jf_servers);
+        let ft = ctx.spec_snapshot(&ft_spec, seed).expect("fat-tree spec builds");
+        let jf = ctx.spec_snapshot(&jf_spec, seed).expect("jellyfish spec builds");
         let t = table1_transports()[item.index];
         // The three cells of one row are independent simulations.
         let cells: Vec<f64> = vec![
@@ -683,6 +749,8 @@ impl Experiment for Table1 {
         .map(|(topo, policy)| table1_cell(topo, policy, t, seed, duration))
         .collect();
         let mut ds = Dataset::new();
+        ds.push_meta("topo:fat-tree", ft_spec.to_string());
+        ds.push_meta("topo:jellyfish", jf_spec.to_string());
         ds.set_columns(&TABLE1_COLUMNS);
         ds.push_row(t.label(), cells);
         ItemResult::new(item.index, ds)
@@ -715,25 +783,29 @@ impl Experiment for Fig10 {
         "Packet-level vs optimal (flow-solver) throughput (Figure 10)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        fig10_sizes(scale)
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig10_sizes(ctx.scale)
             .into_iter()
             .enumerate()
-            .map(|(i, (n, _, _))| WorkItem::new(i, format!("n={n}")))
+            .map(|(i, (n, ports, degree))| {
+                WorkItem::with_spec(i, format!("n={n}"), jellyfish_spec(n, ports, degree))
+            })
             .collect()
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
         let i = item.index;
-        let (n, ports, degree) = fig10_sizes(ctx.scale)[i];
+        let (n, _, _) = fig10_sizes(ctx.scale)[i];
         let seed = ctx.seed;
-        let topo = JellyfishBuilder::new(n, ports, degree).seed(seed ^ i as u64).build().unwrap();
-        let servers = ServerMap::new(&topo);
-        let csr = topo.csr();
+        let mut ds = Dataset::new();
+        // Per-size seed derivation from the legacy loop: seed ^ i.
+        let snap = resolve(ctx, item, seed ^ i as u64, &mut ds);
+        let topo = &snap.topology;
+        let servers = ServerMap::new(topo);
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ (i as u64) << 4);
-        let optimal = normalized_throughput(&topo, &servers, &tm, sweep_opts()).normalized;
+        let optimal = normalized_throughput(topo, &servers, &tm, sweep_opts()).normalized;
         let conns = build_connections(
-            &csr,
+            &snap.csr,
             &servers,
             &tm,
             PathPolicy::ksp8(),
@@ -742,13 +814,12 @@ impl Experiment for Fig10 {
         );
         // The fluid engine is the packet proxy beyond the packet engine's reach.
         let packet_proxy = if n <= 60 {
-            let net = Network::build(&csr, &servers, LinkParams::default());
+            let net = Network::build(&snap.csr, &servers, LinkParams::default());
             let cfg = SimConfig { duration: 6.0, warmup: 1.5, seed, ..Default::default() };
             Simulator::new(net, conns, cfg).run().mean_throughput()
         } else {
             max_min_fair_allocation(&conns).mean_throughput()
         };
-        let mut ds = Dataset::new();
         ds.set_columns(&FIG10_COLUMNS);
         ds.push_row(format!("n={n}"), vec![topo.total_servers() as f64, optimal, packet_proxy]);
         ItemResult::new(i, ds)
@@ -791,18 +862,21 @@ fn fig11_12_work_items(scale: Scale) -> Vec<WorkItem> {
     fig11_port_counts(scale)
         .into_iter()
         .enumerate()
-        .map(|(i, k)| WorkItem::new(i, format!("k={k}")))
+        .map(|(i, k)| WorkItem::with_spec(i, format!("k={k}"), fattree_spec(k)))
         .collect()
 }
 
 fn fig11_12_run_item(ctx: &RunCtx, item: &WorkItem) -> ItemResult {
     let k = fig11_port_counts(ctx.scale)[item.index];
     let seed = ctx.seed;
-    let ft = FatTree::new(k).unwrap().into_topology();
+    let mut ds = Dataset::new();
+    let ft = resolve(ctx, item, seed, &mut ds);
+    let ft = &ft.topology;
     let ft_tp =
-        fluid_throughput(&ft, PathPolicy::ecmp8(), TransportPolicy::Mptcp { subflows: 8 }, seed);
+        fluid_throughput(ft, PathPolicy::ecmp8(), TransportPolicy::Mptcp { subflows: 8 }, seed);
     // Find the largest Jellyfish server count whose fluid throughput is at
-    // least the fat-tree's.
+    // least the fat-tree's. `jellyfish_with_servers` is the registry's
+    // `jellyfish:servers_total=...` generator under its legacy name.
     let switches = FatTree::switches_for_port_count(k);
     let ft_servers = FatTree::servers_for_port_count(k);
     let mut lo = ft_servers;
@@ -819,7 +893,6 @@ fn fig11_12_run_item(ctx: &RunCtx, item: &WorkItem) -> ItemResult {
             })
             .unwrap_or(false)
     };
-    let mut ds = Dataset::new();
     ds.set_columns(&FIG11_COLUMNS);
     if !feasible(lo) {
         ds.push_row(
@@ -858,8 +931,8 @@ impl Experiment for Fig11 {
         "Servers at the fat-tree's packet-level throughput (Figure 11)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        fig11_12_work_items(scale)
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig11_12_work_items(ctx.scale)
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
@@ -880,8 +953,8 @@ impl Experiment for Fig12 {
         "Throughput stability of the Figure 11 sweep (Figure 12)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        fig11_12_work_items(scale)
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig11_12_work_items(ctx.scale)
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
@@ -906,27 +979,28 @@ impl Experiment for Fig13 {
         "Per-flow throughput distribution and Jain fairness (Figure 13)"
     }
 
-    fn work_items(&self, _scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        vec![WorkItem::new(0, "jellyfish"), WorkItem::new(1, "fat-tree")]
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        let k = ctx.scale.pick(14, 8, 6);
+        let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
+        vec![
+            WorkItem::with_spec(
+                0,
+                "jellyfish",
+                jellyfish_total_spec(FatTree::switches_for_port_count(k), k, jf_servers),
+            ),
+            WorkItem::with_spec(1, "fat-tree", fattree_spec(k)),
+        ]
     }
 
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
-        let k = ctx.scale.pick(14, 8, 6);
         let seed = ctx.seed;
         let (label, policy) = if item.index == 0 {
             ("Jellyfish", PathPolicy::ksp8())
         } else {
             ("Fat-tree", PathPolicy::ecmp8())
         };
-        let snap = ctx.snapshot(&format!("fig13/{label}"), |_| {
-            if item.index == 0 {
-                let jf_servers = FatTree::servers_for_port_count(k) * 9 / 8;
-                jellyfish_with_servers(FatTree::switches_for_port_count(k), k, jf_servers, seed)
-                    .unwrap()
-            } else {
-                FatTree::new(k).unwrap().into_topology()
-            }
-        });
+        let mut ds = Dataset::new();
+        let snap = resolve(ctx, item, seed, &mut ds);
         let servers = ServerMap::new(&snap.topology);
         let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x13);
         let conns = build_connections(
@@ -942,7 +1016,7 @@ impl Experiment for Fig13 {
         tputs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let jain = jain_fairness_index(&tputs);
         let points = tputs.iter().enumerate().map(|(rank, &t)| (rank as f64, t)).collect();
-        let mut ds = Dataset::from_series(vec![Series::new(label, points)]);
+        ds.series.push(Series::new(label, points));
         ds.push_cell(format!("{FIG13_JAIN_PREFIX}{label}"), jain);
         ItemResult::new(item.index, ds)
     }
@@ -972,11 +1046,13 @@ impl Experiment for Fig14 {
         "Cable localization: two-layer vs unrestricted Jellyfish (Figure 14)"
     }
 
-    fn work_items(&self, scale: Scale, _seed: u64) -> Vec<WorkItem> {
-        fig14_sizes(scale)
+    fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
+        fig14_sizes(ctx.scale)
             .into_iter()
             .enumerate()
-            .map(|(i, (n, _, _, _))| WorkItem::new(i, format!("n={n}")))
+            .map(|(i, (n, ports, degree, _))| {
+                WorkItem::with_spec(i, format!("n={n}"), jellyfish_spec(n, ports, degree))
+            })
             .collect()
     }
 
@@ -985,11 +1061,13 @@ impl Experiment for Fig14 {
         let seed = ctx.seed;
         let fractions = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8];
         let opts = sweep_opts();
-        // Unrestricted baseline.
-        let base = JellyfishBuilder::new(n, ports, degree).seed(seed).build().unwrap();
-        let base_servers = ServerMap::new(&base);
+        let mut ds = Dataset::new();
+        // Unrestricted baseline (the spec on the item).
+        let base = resolve(ctx, item, seed, &mut ds);
+        let base = &base.topology;
+        let base_servers = ServerMap::new(base);
         let base_tm = TrafficMatrix::random_permutation(&base_servers, seed ^ 0x14);
-        let base_tp = normalized_throughput(&base, &base_servers, &base_tm, opts).normalized;
+        let base_tp = normalized_throughput(base, &base_servers, &base_tm, opts).normalized;
         let points = fractions
             .par_iter()
             .map(|&f| {
@@ -1008,12 +1086,7 @@ impl Experiment for Fig14 {
                 (f, if base_tp > 0.0 { tp / base_tp } else { 0.0 })
             })
             .collect();
-        ItemResult::new(
-            item.index,
-            Dataset::from_series(vec![Series::new(
-                format!("{} Servers", base.total_servers()),
-                points,
-            )]),
-        )
+        ds.series.push(Series::new(format!("{} Servers", base.total_servers()), points));
+        ItemResult::new(item.index, ds)
     }
 }

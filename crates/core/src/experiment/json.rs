@@ -39,7 +39,18 @@ fn num_into(out: &mut String, v: f64) {
 }
 
 fn dataset_into(out: &mut String, ds: &Dataset) {
-    out.push_str("{\"series\":[");
+    out.push_str("{\"meta\":[");
+    for (i, (k, v)) in ds.meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        escape_into(out, k);
+        out.push(',');
+        escape_into(out, v);
+        out.push(']');
+    }
+    out.push_str("],\"series\":[");
     for (i, s) in ds.series.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -108,10 +119,12 @@ pub(super) fn fragment_to_json(frag: &ShardFragment) -> String {
     let mut out = String::new();
     out.push_str("{\"experiment\":");
     escape_into(&mut out, &frag.experiment);
-    out.push_str(&format!(
-        ",\"scale\":\"{}\",\"seed\":{},\"shard\":[{},{}],\"items\":[",
-        frag.scale, frag.seed, frag.shard.index, frag.shard.count
-    ));
+    out.push_str(&format!(",\"scale\":\"{}\",\"seed\":{},\"topo\":", frag.scale, frag.seed));
+    match &frag.topo {
+        Some(spec) => escape_into(&mut out, spec),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(",\"shard\":[{},{}],\"items\":[", frag.shard.index, frag.shard.count));
     for (i, item) in frag.items.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -370,6 +383,16 @@ fn parse_document(text: &str) -> Result<Value, String> {
 
 fn dataset_from_value(v: &Value) -> Result<Dataset, String> {
     let mut ds = Dataset::new();
+    // `meta` is optional so fragments written before it existed still parse.
+    if let Ok(meta) = v.get("meta") {
+        for pair in meta.as_arr()? {
+            let kv = pair.as_arr()?;
+            if kv.len() != 2 {
+                return Err("meta entry is not a [key, value] pair".to_string());
+            }
+            ds.push_meta(kv[0].as_str()?.to_string(), kv[1].as_str()?.to_string());
+        }
+    }
     for s in v.get("series")?.as_arr()? {
         let label = s.get("label")?.as_str()?.to_string();
         let mut points = Vec::new();
@@ -408,6 +431,11 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
     let experiment = v.get("experiment")?.as_str()?.to_string();
     let scale: Scale = v.get("scale")?.as_str()?.parse().map_err(|e| format!("{e}"))?;
     let seed = v.get("seed")?.as_u64()?;
+    // `topo` is optional so fragments written before it existed still parse.
+    let topo = match v.get("topo") {
+        Ok(Value::Null) | Err(_) => None,
+        Ok(value) => Some(value.as_str()?.to_string()),
+    };
     let shard = v.get("shard")?.as_arr()?;
     if shard.len() != 2 {
         return Err("'shard' is not a [K, N] pair".to_string());
@@ -420,5 +448,5 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
             dataset_from_value(item.get("data")?)?,
         ));
     }
-    Ok(ShardFragment { experiment, scale, seed, shard, items })
+    Ok(ShardFragment { experiment, scale, seed, topo, shard, items })
 }

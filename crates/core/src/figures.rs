@@ -20,7 +20,7 @@
 //! sharded run merges back to the single-process output byte-for-byte.
 
 use crate::experiment::catalog::{self, FIG13_JAIN_PREFIX};
-use crate::experiment::{Dataset, Experiment};
+use crate::experiment::{Dataset, Experiment, RunCtx};
 use crate::legup::ExpansionStage;
 use jellyfish_sim::engine::{SimConfig, Simulator};
 use jellyfish_sim::net::{LinkParams, Network};
@@ -116,20 +116,20 @@ fn reorder(mut series: Vec<Series>, order: &[&str]) -> Vec<Series> {
 /// Figure 1(c): CDF of server-pair path lengths for a 686-server Jellyfish
 /// and the same-equipment fat-tree.
 pub fn fig1c_path_length_cdf(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig1c.run(scale, seed).series
+    catalog::Fig1c.run(&RunCtx::new(scale, seed)).series
 }
 
 /// Figure 2(a): normalized bisection bandwidth (Bollobás bound) versus number
 /// of servers, at equal cost, for the paper's three (N, k) points.
 pub fn fig2a_bisection_vs_servers() -> Vec<Series> {
-    catalog::Fig2a.run(Scale::Laptop, 0).series
+    catalog::Fig2a.run(&RunCtx::new(Scale::Laptop, 0)).series
 }
 
 /// Figure 2(b): equipment cost (total ports) versus servers supported at full
 /// bisection bandwidth, for 24/32/48/64-port switches.
 pub fn fig2b_equipment_cost() -> Vec<Series> {
     // Historically the combined fat-tree series came last.
-    let mut series = catalog::Fig2b.run(Scale::Laptop, 0).series;
+    let mut series = catalog::Fig2b.run(&RunCtx::new(Scale::Laptop, 0)).series;
     if let Some(pos) = series.iter().position(|s| s.label.starts_with("Fat-tree")) {
         let ft = series.remove(pos);
         series.push(ft);
@@ -142,20 +142,25 @@ pub fn fig2b_equipment_cost() -> Vec<Series> {
 ///
 /// Returns (jellyfish series, fat-tree series), x = total ports, y = servers.
 pub fn fig2c_servers_at_full_capacity(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig2c.run(scale, seed).series
+    catalog::Fig2c.run(&RunCtx::new(scale, seed)).series
 }
 
 /// Figure 3: normalized throughput of Jellyfish versus the degree-diameter
 /// benchmark graphs at the paper's nine configurations. Returns one series
 /// per topology family, x = configuration index, y = normalized throughput.
 pub fn fig3_degree_diameter(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig3.run(scale, seed).series
+    catalog::Fig3.run(&RunCtx::new(scale, seed)).series
 }
 
 /// Figure 4: normalized throughput of Jellyfish versus the three SWDC
 /// variants with the same equipment (degree 6, 2 servers per switch).
 pub fn fig4_swdc_comparison(scale: Scale, seed: u64) -> Vec<(String, f64)> {
-    catalog::Fig4.run(scale, seed).cells.into_iter().map(|c| (c.name, c.value)).collect()
+    catalog::Fig4
+        .run(&RunCtx::new(scale, seed))
+        .cells
+        .into_iter()
+        .map(|c| (c.name, c.value))
+        .collect()
 }
 
 /// Figure 5: mean path length and diameter versus server count for k=48,
@@ -163,7 +168,7 @@ pub fn fig4_swdc_comparison(scale: Scale, seed: u64) -> Vec<(String, f64)> {
 /// topologies. Returns series labelled accordingly (x = servers).
 pub fn fig5_path_length_vs_size(scale: Scale, seed: u64) -> Vec<Series> {
     reorder(
-        catalog::Fig5.run(scale, seed).series,
+        catalog::Fig5.run(&RunCtx::new(scale, seed)).series,
         &[
             "Jellyfish; Mean",
             "Expanded Jellyfish; Mean",
@@ -176,13 +181,13 @@ pub fn fig5_path_length_vs_size(scale: Scale, seed: u64) -> Vec<Series> {
 /// Figure 6: normalized throughput of incrementally grown topologies versus
 /// same-size from-scratch topologies (12-port switches, 4 servers each).
 pub fn fig6_incremental_vs_scratch(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig6.run(scale, seed).series
+    catalog::Fig6.run(&RunCtx::new(scale, seed)).series
 }
 
 /// Figure 7: the LEGUP-style expansion comparison. Returns the stages.
 pub fn fig7_legup_comparison(scale: Scale, seed: u64) -> Vec<ExpansionStage> {
     catalog::Fig7
-        .run(scale, seed)
+        .run(&RunCtx::new(scale, seed))
         .rows
         .into_iter()
         .map(|r| ExpansionStage {
@@ -197,14 +202,14 @@ pub fn fig7_legup_comparison(scale: Scale, seed: u64) -> Vec<ExpansionStage> {
 /// Figure 8: normalized throughput versus fraction of failed links, for
 /// Jellyfish and a same-equipment fat-tree carrying fewer servers.
 pub fn fig8_failure_resilience(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig8.run(scale, seed).series
+    catalog::Fig8.run(&RunCtx::new(scale, seed)).series
 }
 
 /// Figure 9: ranked per-directed-link path counts under 8-way ECMP, 64-way
 /// ECMP and 8-shortest-path routing on a Jellyfish topology with a random
 /// permutation workload.
 pub fn fig9_path_diversity(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig9.run(scale, seed).series
+    catalog::Fig9.run(&RunCtx::new(scale, seed)).series
 }
 
 /// One cell of Table 1: mean normalized per-server throughput for a
@@ -230,7 +235,7 @@ pub fn table1_cell(
 /// `(congestion control, fat-tree ECMP, jellyfish ECMP, jellyfish 8-KSP)`.
 pub fn table1(scale: Scale, seed: u64) -> Vec<(String, f64, f64, f64)> {
     catalog::Table1
-        .run(scale, seed)
+        .run(&RunCtx::new(scale, seed))
         .rows
         .into_iter()
         .map(|r| (r.label, r.values[0], r.values[1], r.values[2]))
@@ -243,7 +248,7 @@ pub fn table1(scale: Scale, seed: u64) -> Vec<(String, f64, f64, f64)> {
 /// packet proxy at `Scale::Paper` sizes beyond the packet engine's reach.
 pub fn fig10_packet_vs_optimal(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)> {
     catalog::Fig10
-        .run(scale, seed)
+        .run(&RunCtx::new(scale, seed))
         .rows
         .into_iter()
         .map(|r| (r.values[0] as usize, r.values[1], r.values[2]))
@@ -257,7 +262,7 @@ pub fn fig10_packet_vs_optimal(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)
 /// connections.
 pub fn fig11_12_packet_capacity(scale: Scale, seed: u64) -> Vec<(usize, usize, f64, usize, f64)> {
     catalog::Fig11
-        .run(scale, seed)
+        .run(&RunCtx::new(scale, seed))
         .rows
         .into_iter()
         .map(|r| {
@@ -276,7 +281,7 @@ pub fn fig11_12_packet_capacity(scale: Scale, seed: u64) -> Vec<(usize, usize, f
 /// index for the fat-tree and a same-equipment Jellyfish. Returns
 /// `(label, sorted throughputs, jain index)` per topology.
 pub fn fig13_fairness(scale: Scale, seed: u64) -> Vec<(String, Vec<f64>, f64)> {
-    let ds: Dataset = catalog::Fig13.run(scale, seed);
+    let ds: Dataset = catalog::Fig13.run(&RunCtx::new(scale, seed));
     ds.series
         .into_iter()
         .map(|s| {
@@ -296,7 +301,7 @@ pub fn fig13_fairness(scale: Scale, seed: u64) -> Vec<(String, Vec<f64>, f64)> {
 /// normalized to the unrestricted Jellyfish, as the fraction of in-pod links
 /// sweeps upward. One series per network size.
 pub fn fig14_cable_localization(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig14.run(scale, seed).series
+    catalog::Fig14.run(&RunCtx::new(scale, seed)).series
 }
 
 #[cfg(test)]

@@ -1,34 +1,63 @@
-//! Shard determinism: for every registered experiment at `Scale::Tiny`,
-//! splitting the work items across N shards and merging the shard outputs
-//! reproduces the unsharded [`Dataset`] exactly — same in-memory value, same
-//! rendered TSV bytes — including when the fragments cross a process
-//! boundary as JSON (the `figures run --shard` / `figures merge` path).
+//! Shard determinism: for every registered experiment at `Scale::Tiny` —
+//! and, for the topology-generic experiments, additionally under a `--topo`
+//! spec override — splitting the work items across N shards and merging the
+//! shard outputs reproduces the unsharded [`Dataset`] exactly — same
+//! in-memory value, same rendered TSV bytes — including when the fragments
+//! cross a process boundary as JSON (the `figures run --shard` /
+//! `figures merge` path).
 
-use jellyfish::experiment::{registry, Dataset, Experiment, ItemResult, Shard, ShardFragment};
+use jellyfish::experiment::{
+    registry, Dataset, Experiment, ItemResult, RunCtx, Shard, ShardFragment,
+};
 use jellyfish::figures::Scale;
+use jellyfish_topology::TopoSpec;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
 const SEED: u64 = 7;
 
+/// The spec axis: each topology-generic experiment also runs under an
+/// override exercising a different generator (and, for the failure sweep, a
+/// transform chain), so sharding is validated across the whole registry.
+const TOPO_OVERRIDES: [(&str, &str); 4] = [
+    ("throughput_vs_size", "leafspine:leaf=6,spine=3,servers=4"),
+    ("path_length", "swdc:lattice=ring,n=16,servers=2"),
+    ("bisection", "fattree:k=4"),
+    ("failure_sweep", "jellyfish:switches=16,ports=8,degree=5+fail_switches=0.05"),
+];
+
 struct Baseline {
     name: &'static str,
+    topo: Option<&'static str>,
     items: Vec<ItemResult>,
     dataset: Dataset,
 }
 
-/// Every experiment's full item results and merged dataset at `Scale::Tiny`,
-/// computed once per test binary (the sweep is the expensive part; the
-/// partition/merge checks against it are cheap).
+fn ctx_for(topo: Option<&str>) -> RunCtx {
+    let ctx = RunCtx::new(Scale::Tiny, SEED);
+    match topo {
+        Some(raw) => ctx.with_topo(raw.parse::<TopoSpec>().expect("override spec parses")),
+        None => ctx,
+    }
+}
+
+/// Every experiment's full item results and merged dataset at `Scale::Tiny`
+/// (plus the `--topo` override combinations), computed once per test binary
+/// (the sweep is the expensive part; the partition/merge checks against it
+/// are cheap).
 fn baselines() -> &'static [Baseline] {
     static CELL: OnceLock<Vec<Baseline>> = OnceLock::new();
     CELL.get_or_init(|| {
-        registry()
-            .iter()
-            .map(|exp| {
-                let items = exp.run_items(Scale::Tiny, SEED, None);
+        let mut cases: Vec<(&'static str, Option<&'static str>)> =
+            registry().iter().map(|exp| (exp.name(), None)).collect();
+        cases.extend(TOPO_OVERRIDES.iter().map(|&(name, spec)| (name, Some(spec))));
+        cases
+            .into_iter()
+            .map(|(name, topo)| {
+                let exp = find(name);
+                let items = exp.run_items(&ctx_for(topo), None);
                 let dataset = exp.merge(items.clone());
-                Baseline { name: exp.name(), items, dataset }
+                Baseline { name, topo, items, dataset }
             })
             .collect()
     })
@@ -67,20 +96,20 @@ proptest! {
             let merged = exp.merge(shards.into_iter().flatten().collect());
             prop_assert_eq!(
                 &merged, &base.dataset,
-                "{}: {} shards merged != unsharded", base.name, n
+                "{} (topo {:?}): {} shards merged != unsharded", base.name, base.topo, n
             );
             prop_assert_eq!(
                 merged.to_tsv(), base.dataset.to_tsv(),
-                "{}: rendered TSV differs", base.name
+                "{} (topo {:?}): rendered TSV differs", base.name, base.topo
             );
         }
     }
 }
 
 /// The full process-boundary path: `run_shard` recomputes each half of every
-/// experiment from scratch, the fragments round-trip through their JSON wire
-/// format, and the merge of the parsed fragments is byte-identical to the
-/// unsharded run.
+/// experiment (including the `--topo` overridden ones) from scratch, the
+/// fragments round-trip through their JSON wire format, and the merge of the
+/// parsed fragments is byte-identical to the unsharded run.
 #[test]
 fn sharded_runs_roundtrip_through_fragment_json() {
     const N: usize = 2;
@@ -93,8 +122,9 @@ fn sharded_runs_roundtrip_through_fragment_json() {
                 experiment: exp.name().to_string(),
                 scale: Scale::Tiny,
                 seed: SEED,
+                topo: base.topo.map(str::to_string),
                 shard,
-                items: exp.run_shard(Scale::Tiny, SEED, shard),
+                items: exp.run_shard(&ctx_for(base.topo), shard),
             };
             let parsed = ShardFragment::from_json(&fragment.to_json())
                 .unwrap_or_else(|e| panic!("{}: fragment JSON round-trip failed: {e}", base.name));
@@ -102,34 +132,51 @@ fn sharded_runs_roundtrip_through_fragment_json() {
             parsed_items.extend(parsed.items);
         }
         let merged = exp.merge(parsed_items);
-        assert_eq!(merged, base.dataset, "{}: sharded recompute != unsharded", base.name);
+        assert_eq!(
+            merged, base.dataset,
+            "{} (topo {:?}): sharded recompute != unsharded",
+            base.name, base.topo
+        );
         assert_eq!(merged.to_tsv(), base.dataset.to_tsv(), "{}: TSV bytes differ", base.name);
         assert_eq!(merged.to_json(), base.dataset.to_json(), "{}: JSON bytes differ", base.name);
     }
 }
 
 /// Work items are stable and complete: indices are `0..len`, in order, and
-/// every item is owned by exactly one shard for any N.
+/// every item is owned by exactly one shard for any N. Override-capable
+/// experiments must also replace their whole axis when a `--topo` spec is
+/// set, and carry the spec on every item.
 #[test]
 fn work_items_are_dense_and_uniquely_owned() {
-    for exp in registry() {
-        let items = exp.work_items(Scale::Tiny, SEED);
-        assert!(!items.is_empty(), "{}: no work items", exp.name());
+    let mut cases: Vec<(&str, Option<&str>)> =
+        registry().iter().map(|exp| (exp.name(), None)).collect();
+    cases.extend(TOPO_OVERRIDES.iter().copied().map(|(n, s)| (n, Some(s))));
+    for (name, topo) in cases {
+        let exp = find(name);
+        let items = exp.work_items(&ctx_for(topo));
+        assert!(!items.is_empty(), "{name}: no work items");
         for (i, item) in items.iter().enumerate() {
-            assert_eq!(item.index, i, "{}: non-dense item indices", exp.name());
+            assert_eq!(item.index, i, "{name}: non-dense item indices");
+        }
+        if let Some(raw) = topo {
+            let spec: TopoSpec = raw.parse().unwrap();
+            for item in &items {
+                let item_spec = item.spec.as_ref().unwrap_or_else(|| {
+                    panic!("{name}: overridden item '{}' lost its spec", item.label)
+                });
+                assert_eq!(
+                    item_spec.base(),
+                    spec.base(),
+                    "{name}: item '{}' ignores the --topo override",
+                    item.label
+                );
+            }
         }
         for n in 1..=5 {
             for item in &items {
                 let owners =
                     (1..=n).filter(|&k| Shard::new(k, n).unwrap().owns(item.index)).count();
-                assert_eq!(
-                    owners,
-                    1,
-                    "{}: item {} owned by {} shards",
-                    exp.name(),
-                    item.index,
-                    owners
-                );
+                assert_eq!(owners, 1, "{name}: item {} owned by {} shards", item.index, owners);
             }
         }
     }

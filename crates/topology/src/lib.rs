@@ -24,6 +24,10 @@
 //!   planner used as the LEGUP stand-in.
 //! * [`degree_diameter`] — benchmark graphs approximating the best-known
 //!   degree-diameter graphs via simulated annealing on average path length.
+//! * [`spec`] — the [`TopoSpec`] registry: every generator above as a
+//!   parseable, round-trippable spec string
+//!   (`jellyfish:switches=245,ports=14,degree=11+fail_links=0.08`) with
+//!   composable scenario transforms; see TOPOLOGIES.md.
 //! * [`failures`] — random link / switch failure injection.
 //! * [`properties`] — path-length distributions, diameter, reachability
 //!   profiles (Figure 1(c) and Figure 5 machinery).
@@ -53,10 +57,12 @@ pub mod fattree;
 pub mod graph;
 pub mod properties;
 pub mod rrg;
+pub mod spec;
 pub mod swdc;
 pub mod topology;
 
 pub use csr::{ArcId, CsrGraph, EdgeId};
 pub use graph::{Graph, NodeId};
 pub use rrg::JellyfishBuilder;
-pub use topology::{SwitchKind, Topology, TopologyError};
+pub use spec::{ScenarioTransform, SpecError, TopoSpec, TopologyGenerator};
+pub use topology::{InvariantError, SwitchKind, Topology, TopologyError};

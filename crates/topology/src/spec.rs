@@ -1,0 +1,836 @@
+//! First-class topology specifications: every generator in this crate as a
+//! parseable, round-trippable spec string, plus composable scenario
+//! transforms.
+//!
+//! The paper's evaluation is comparative — Jellyfish against fat-trees,
+//! small-world lattices, degree-diameter graphs, leaf-spine Clos — and the
+//! experiment pipeline wants to point any metric at any topology without
+//! code changes. A [`TopoSpec`] is that currency:
+//!
+//! ```text
+//! spec      := generator [":" key "=" value ("," key "=" value)*] transform*
+//! transform := "+" name "=" value
+//! ```
+//!
+//! Examples (see TOPOLOGIES.md at the repository root for the full grammar):
+//!
+//! ```text
+//! jellyfish:switches=245,ports=14,degree=11
+//! jellyfish:switches=125,ports=10,servers_total=250
+//! fattree:k=14
+//! swdc:lattice=torus2d,n=256,servers=2
+//! dd:config=3,servers=2
+//! leafspine:leaf=16,spine=8,servers=8
+//! jellyfish:switches=80,ports=12,degree=8+fail_links=0.08+expand=4
+//! ```
+//!
+//! A spec resolves through the [`GeneratorRegistry`] of
+//! [`TopologyGenerator`] trait objects, then applies its
+//! [`ScenarioTransform`] chain (failure injection and incremental expansion,
+//! wrapping [`crate::failures`] and [`crate::expansion`]). Construction is a
+//! pure function of `(spec, seed)`:
+//! [`TopoSpec::build`] with the same arguments always yields the same
+//! topology, which is what lets sharded experiment sweeps record spec
+//! strings and still merge byte-identically.
+//!
+//! Parse and display round-trip exactly: `parse(display(spec)) == spec` for
+//! every representable spec (property-tested in `tests/spec_roundtrip.rs`).
+
+use crate::clos::ClosConfig;
+use crate::degree_diameter::{optimized_graph, AnnealParams, FIGURE3_CONFIGS};
+use crate::expansion::add_racks;
+use crate::failures::{fail_random_links, fail_random_switches};
+use crate::fattree::FatTree;
+use crate::rrg::{build_heterogeneous, JellyfishBuilder};
+use crate::swdc::{Lattice, SwdcBuilder};
+use crate::topology::{Topology, TopologyError};
+use std::fmt;
+use std::str::FromStr;
+
+// ------------------------------------------------------------------ errors
+
+/// Errors from parsing or resolving a [`TopoSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec string does not match the grammar.
+    Syntax(String),
+    /// The generator name is not registered.
+    UnknownGenerator(String),
+    /// A transform name or value is not recognized.
+    UnknownTransform(String),
+    /// A parameter is missing, duplicated, unknown, or has a bad value.
+    Param(String),
+    /// The underlying generator or transform failed to build the topology.
+    Build(TopologyError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax(m) => write!(f, "bad spec syntax: {m}"),
+            SpecError::UnknownGenerator(name) => {
+                let known: Vec<&str> = generators().iter().map(|g| g.name()).collect();
+                write!(
+                    f,
+                    "unknown generator '{name}': registered generators are {}",
+                    known.join(", ")
+                )
+            }
+            SpecError::UnknownTransform(m) => {
+                write!(
+                    f,
+                    "unknown transform {m}: registered transforms are {}",
+                    transform_grammar()
+                )
+            }
+            SpecError::Param(m) => write!(f, "bad parameter: {m}"),
+            SpecError::Build(e) => write!(f, "cannot build topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TopologyError> for SpecError {
+    fn from(e: TopologyError) -> Self {
+        SpecError::Build(e)
+    }
+}
+
+// ------------------------------------------------------------------ params
+
+/// Ordered `key=value` parameters of a spec's generator segment.
+///
+/// Order is preserved from the parsed string (and from
+/// [`TopoSpec::with_param`] calls), which is what makes display a faithful
+/// inverse of parse.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Params {
+    pairs: Vec<(String, String)>,
+}
+
+impl Params {
+    /// No parameters.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// The raw `(key, value)` pairs in spec order.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// Appends a pair (keeps insertion order).
+    pub fn push(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.pairs.push((key.into(), value.to_string()));
+    }
+
+    /// The raw value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Rejects duplicate keys and keys outside `allowed`.
+    pub fn check_keys(&self, generator: &str, allowed: &[&str]) -> Result<(), SpecError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(SpecError::Param(format!(
+                    "{generator} does not take '{k}': known keys are {}",
+                    allowed.join(", ")
+                )));
+            }
+            if self.pairs[..i].iter().any(|(prev, _)| prev == k) {
+                return Err(SpecError::Param(format!("duplicate key '{k}'")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `key` as `usize`, if present.
+    pub fn usize_opt(&self, key: &str) -> Result<Option<usize>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| SpecError::Param(format!("'{key}={raw}' is not an unsigned integer"))),
+        }
+    }
+
+    /// Parses the required `key` as `usize`.
+    pub fn usize(&self, key: &str) -> Result<usize, SpecError> {
+        self.usize_opt(key)?
+            .ok_or_else(|| SpecError::Param(format!("missing required key '{key}'")))
+    }
+}
+
+// -------------------------------------------------------------- transforms
+
+/// A degradation or growth scenario applied on top of a generated topology.
+///
+/// Transforms compose left to right (`spec+fail_links=0.1+expand=4` fails
+/// links first, then expands) and wrap the existing procedures in
+/// [`crate::failures`] and [`crate::expansion`]. Each transform derives its
+/// RNG seed deterministically from the build seed and its own value, so a
+/// transformed spec is as reproducible as a bare one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioTransform {
+    /// Fail a uniform-random fraction of switch-to-switch links
+    /// (`+fail_links=0.08`); wraps [`fail_random_links`].
+    FailLinks(f64),
+    /// Fail a uniform-random fraction of switches, removing their links and
+    /// servers (`+fail_switches=0.02`); wraps [`fail_random_switches`].
+    FailSwitches(f64),
+    /// Incrementally add this many racks via the paper's §4.2 link-splice
+    /// procedure (`+expand=40`). Each new rack copies the port budget and
+    /// server count of switch 0; wraps [`add_racks`].
+    Expand(usize),
+    /// Uniform degradation: fail the same fraction of links *and* of
+    /// switches (`+degrade_uniform=0.05`) — the "everything ages at the same
+    /// rate" scenario.
+    DegradeUniform(f64),
+}
+
+impl ScenarioTransform {
+    /// The transform's spec-string name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioTransform::FailLinks(_) => "fail_links",
+            ScenarioTransform::FailSwitches(_) => "fail_switches",
+            ScenarioTransform::Expand(_) => "expand",
+            ScenarioTransform::DegradeUniform(_) => "degrade_uniform",
+        }
+    }
+
+    /// Parses one `name=value` transform segment.
+    pub fn parse(segment: &str) -> Result<Self, SpecError> {
+        let (name, raw) = segment.split_once('=').ok_or_else(|| {
+            SpecError::UnknownTransform(format!("'{segment}' (expected name=value)"))
+        })?;
+        let fraction = |raw: &str| -> Result<f64, SpecError> {
+            let v: f64 = raw
+                .parse()
+                .map_err(|_| SpecError::Param(format!("'{name}={raw}' is not a number")))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SpecError::Param(format!("'{name}={raw}' must be in [0, 1]")));
+            }
+            Ok(v)
+        };
+        match name {
+            "fail_links" => Ok(ScenarioTransform::FailLinks(fraction(raw)?)),
+            "fail_switches" => Ok(ScenarioTransform::FailSwitches(fraction(raw)?)),
+            "degrade_uniform" => Ok(ScenarioTransform::DegradeUniform(fraction(raw)?)),
+            "expand" => {
+                let racks: usize = raw.parse().map_err(|_| {
+                    SpecError::Param(format!("'expand={raw}' is not an unsigned integer"))
+                })?;
+                Ok(ScenarioTransform::Expand(racks))
+            }
+            other => Err(SpecError::UnknownTransform(format!("'{other}'"))),
+        }
+    }
+
+    /// The RNG seed this transform uses when applied under build seed
+    /// `base`. Fractional transforms use `base ^ (fraction * 100)` — the
+    /// derivation the legacy Figure 8 sweep used, so specs reproduce its
+    /// historical outputs bit-for-bit.
+    pub fn derived_seed(&self, base: u64) -> u64 {
+        match self {
+            ScenarioTransform::FailLinks(f)
+            | ScenarioTransform::FailSwitches(f)
+            | ScenarioTransform::DegradeUniform(f) => base ^ ((f * 100.0) as u64),
+            ScenarioTransform::Expand(racks) => base ^ 0xE ^ (*racks as u64),
+        }
+    }
+
+    /// Applies the transform in place.
+    pub fn apply(&self, topo: &mut Topology, base_seed: u64) -> Result<(), SpecError> {
+        let seed = self.derived_seed(base_seed);
+        match *self {
+            ScenarioTransform::FailLinks(f) => {
+                fail_random_links(topo, f, seed);
+            }
+            ScenarioTransform::FailSwitches(f) => {
+                fail_random_switches(topo, f, seed);
+            }
+            ScenarioTransform::DegradeUniform(f) => {
+                fail_random_links(topo, f, seed);
+                fail_random_switches(topo, f, seed ^ 0x5D1C);
+            }
+            ScenarioTransform::Expand(racks) => {
+                if topo.num_switches() == 0 {
+                    return Err(SpecError::Param("cannot expand an empty topology".into()));
+                }
+                let ports = topo.ports(0);
+                let servers = topo.servers(0);
+                add_racks(topo, racks, ports, servers, seed)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ScenarioTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioTransform::FailLinks(v)
+            | ScenarioTransform::FailSwitches(v)
+            | ScenarioTransform::DegradeUniform(v) => write!(f, "{}={v}", self.name()),
+            ScenarioTransform::Expand(racks) => write!(f, "expand={racks}"),
+        }
+    }
+}
+
+/// One-line grammar of the registered transforms, for error messages and
+/// `figures topo list`.
+pub fn transform_grammar() -> &'static str {
+    "fail_links=<fraction>, fail_switches=<fraction>, degrade_uniform=<fraction>, expand=<racks>"
+}
+
+// -------------------------------------------------------------- generators
+
+/// A named topology generator resolvable from a [`TopoSpec`].
+///
+/// Implementations validate their parameters and must be pure functions of
+/// `(params, seed)`; the experiment layer's snapshot cache and the shard
+/// merge machinery both rely on that determinism.
+pub trait TopologyGenerator: Sync {
+    /// Spec-string name (`jellyfish`, `fattree`, ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `figures topo list`.
+    fn describe(&self) -> &'static str;
+
+    /// An example spec string exercising this generator.
+    fn example(&self) -> &'static str;
+
+    /// Builds the topology for validated `params`.
+    fn build(&self, params: &Params, seed: u64) -> Result<Topology, SpecError>;
+}
+
+/// `jellyfish` — the paper's random regular graph (§3).
+///
+/// Keys: `switches` (required), `ports` (required), then one of
+/// * `degree` — network ports per switch; servers fill the rest;
+/// * `servers` — servers per switch; the network uses the rest;
+/// * both — explicit split, validated `degree + servers <= ports`;
+/// * `servers_total` — total servers spread as evenly as possible, each
+///   switch using its leftover ports for the network (the paper's
+///   same-equipment comparisons; equals [`build_heterogeneous`]).
+struct JellyfishGen;
+
+impl TopologyGenerator for JellyfishGen {
+    fn name(&self) -> &'static str {
+        "jellyfish"
+    }
+
+    fn describe(&self) -> &'static str {
+        "random regular graph of ToR switches (paper §3)"
+    }
+
+    fn example(&self) -> &'static str {
+        "jellyfish:switches=245,ports=14,degree=11"
+    }
+
+    fn build(&self, params: &Params, seed: u64) -> Result<Topology, SpecError> {
+        params.check_keys(
+            self.name(),
+            &["switches", "ports", "degree", "servers", "servers_total"],
+        )?;
+        let switches = params.usize("switches")?;
+        let ports = params.usize("ports")?;
+        let degree = params.usize_opt("degree")?;
+        let servers = params.usize_opt("servers")?;
+        let servers_total = params.usize_opt("servers_total")?;
+        match (degree, servers, servers_total) {
+            (None, None, Some(total)) => {
+                if total > switches.saturating_mul(ports.saturating_sub(1)) {
+                    return Err(SpecError::Param(format!(
+                        "servers_total={total} cannot attach to {switches} switches of {ports} ports"
+                    )));
+                }
+                // Even spread; every switch's remaining ports go to the
+                // network (identical to the legacy jellyfish_with_servers).
+                let base = total / switches;
+                let extra = total % switches;
+                let per: Vec<usize> =
+                    (0..switches).map(|i| base + usize::from(i < extra)).collect();
+                let degrees: Vec<usize> = per.iter().map(|&s| ports - s).collect();
+                Ok(build_heterogeneous(&vec![ports; switches], &degrees, seed)?)
+            }
+            (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
+                Err(SpecError::Param("servers_total is exclusive with degree/servers".into()))
+            }
+            (None, None, None) => Err(SpecError::Param(
+                "jellyfish needs one of degree, servers, or servers_total".into(),
+            )),
+            (deg, srv, None) => {
+                let degree = match (deg, srv) {
+                    (Some(d), _) => d,
+                    (None, Some(s)) => ports.checked_sub(s).ok_or_else(|| {
+                        SpecError::Param(format!("servers={s} exceeds ports={ports}"))
+                    })?,
+                    (None, None) => unreachable!(),
+                };
+                let mut topo = JellyfishBuilder::new(switches, ports, degree).seed(seed).build()?;
+                if let (Some(d), Some(s)) = (deg, srv) {
+                    if d + s > ports {
+                        return Err(SpecError::Param(format!(
+                            "degree={d} + servers={s} exceeds ports={ports}"
+                        )));
+                    }
+                    for v in 0..topo.num_switches() {
+                        topo.set_servers(v, s)?;
+                    }
+                }
+                Ok(topo)
+            }
+        }
+    }
+}
+
+/// `fattree` — the three-level k-ary fat-tree baseline. Key: `k` (required,
+/// even). Deterministic; the seed is unused.
+struct FatTreeGen;
+
+impl TopologyGenerator for FatTreeGen {
+    fn name(&self) -> &'static str {
+        "fattree"
+    }
+
+    fn describe(&self) -> &'static str {
+        "three-level k-ary fat-tree (Al-Fares et al.)"
+    }
+
+    fn example(&self) -> &'static str {
+        "fattree:k=14"
+    }
+
+    fn build(&self, params: &Params, _seed: u64) -> Result<Topology, SpecError> {
+        params.check_keys(self.name(), &["k"])?;
+        Ok(FatTree::new(params.usize("k")?)?.into_topology())
+    }
+}
+
+/// `swdc` — Small-World Data Center lattices with random shortcuts.
+///
+/// Keys: `lattice` (required: `ring`, `torus2d`, `hex3d`), `n` (required),
+/// `degree` (default 6), `servers` (per switch, default 1), `ports`
+/// (optional explicit budget).
+struct SwdcGen;
+
+/// Spec-string token of a [`Lattice`].
+pub fn lattice_token(lattice: Lattice) -> &'static str {
+    match lattice {
+        Lattice::Ring => "ring",
+        Lattice::Torus2D => "torus2d",
+        Lattice::HexTorus3D => "hex3d",
+    }
+}
+
+/// Parses a [`Lattice`] spec token.
+pub fn parse_lattice(token: &str) -> Result<Lattice, SpecError> {
+    match token {
+        "ring" => Ok(Lattice::Ring),
+        "torus2d" => Ok(Lattice::Torus2D),
+        "hex3d" => Ok(Lattice::HexTorus3D),
+        other => Err(SpecError::Param(format!(
+            "unknown lattice '{other}': valid lattices are ring, torus2d, hex3d"
+        ))),
+    }
+}
+
+impl TopologyGenerator for SwdcGen {
+    fn name(&self) -> &'static str {
+        "swdc"
+    }
+
+    fn describe(&self) -> &'static str {
+        "small-world data center lattice + random shortcuts (SoCC 2011)"
+    }
+
+    fn example(&self) -> &'static str {
+        "swdc:lattice=torus2d,n=256,servers=2"
+    }
+
+    fn build(&self, params: &Params, seed: u64) -> Result<Topology, SpecError> {
+        params.check_keys(self.name(), &["lattice", "n", "degree", "servers", "ports"])?;
+        let lattice = parse_lattice(
+            params
+                .get("lattice")
+                .ok_or_else(|| SpecError::Param("missing required key 'lattice'".into()))?,
+        )?;
+        let n = params.usize("n")?;
+        let degree = params.usize_opt("degree")?.unwrap_or(6);
+        let servers = params.usize_opt("servers")?.unwrap_or(1);
+        let mut builder =
+            SwdcBuilder::new(lattice, n, degree).servers_per_switch(servers).seed(seed);
+        if let Some(ports) = params.usize_opt("ports")? {
+            builder = builder.ports(ports);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+/// `dd` — best-known degree-diameter benchmark graphs (Figure 3).
+///
+/// Keys: either `config` (index into the paper's nine
+/// [`FIGURE3_CONFIGS`]) or explicit `n`, `ports`, `degree`; optional
+/// `servers` (per switch; default `ports - degree`).
+struct DegreeDiameterGen;
+
+impl TopologyGenerator for DegreeDiameterGen {
+    fn name(&self) -> &'static str {
+        "dd"
+    }
+
+    fn describe(&self) -> &'static str {
+        "best-known degree-diameter benchmark graph (paper §4.1)"
+    }
+
+    fn example(&self) -> &'static str {
+        "dd:config=3,servers=2"
+    }
+
+    fn build(&self, params: &Params, seed: u64) -> Result<Topology, SpecError> {
+        params.check_keys(self.name(), &["config", "n", "ports", "degree", "servers"])?;
+        let (n, ports, degree) = match params.usize_opt("config")? {
+            Some(i) => {
+                if params.get("n").is_some()
+                    || params.get("ports").is_some()
+                    || params.get("degree").is_some()
+                {
+                    return Err(SpecError::Param(
+                        "'config' is exclusive with explicit n/ports/degree".into(),
+                    ));
+                }
+                *FIGURE3_CONFIGS.get(i).ok_or_else(|| {
+                    SpecError::Param(format!(
+                        "config={i} out of range: the paper has {} configurations (0..={})",
+                        FIGURE3_CONFIGS.len(),
+                        FIGURE3_CONFIGS.len() - 1
+                    ))
+                })?
+            }
+            None => (params.usize("n")?, params.usize("ports")?, params.usize("degree")?),
+        };
+        let mut topo = optimized_graph(n, ports, degree, AnnealParams::default(), seed)?;
+        if let Some(servers) = params.usize_opt("servers")? {
+            if degree + servers > ports {
+                return Err(SpecError::Param(format!(
+                    "degree={degree} + servers={servers} exceeds ports={ports}"
+                )));
+            }
+            for v in 0..topo.num_switches() {
+                topo.set_servers(v, servers)?;
+            }
+        }
+        Ok(topo)
+    }
+}
+
+/// `leafspine` — two-level folded-Clos. Keys: `leaf`, `spine`, `servers`
+/// (per leaf; all required), `leaf_ports` (default `spine + servers`),
+/// `spine_ports` (default `leaf`). Deterministic; the seed is unused.
+struct LeafSpineGen;
+
+impl TopologyGenerator for LeafSpineGen {
+    fn name(&self) -> &'static str {
+        "leafspine"
+    }
+
+    fn describe(&self) -> &'static str {
+        "two-level folded-Clos (leaf-spine)"
+    }
+
+    fn example(&self) -> &'static str {
+        "leafspine:leaf=16,spine=8,servers=8"
+    }
+
+    fn build(&self, params: &Params, _seed: u64) -> Result<Topology, SpecError> {
+        params
+            .check_keys(self.name(), &["leaf", "spine", "servers", "leaf_ports", "spine_ports"])?;
+        let leaves = params.usize("leaf")?;
+        let spines = params.usize("spine")?;
+        let servers_per_leaf = params.usize("servers")?;
+        let leaf_ports = params.usize_opt("leaf_ports")?.unwrap_or(spines + servers_per_leaf);
+        let spine_ports = params.usize_opt("spine_ports")?.unwrap_or(leaves);
+        Ok(ClosConfig { leaves, spines, leaf_ports, spine_ports, servers_per_leaf }.build()?)
+    }
+}
+
+/// The registry of topology generators, in presentation order.
+///
+/// This is the [`GeneratorRegistry`]: the only place a generator needs to be
+/// added for `figures topo build`, `figures run --topo`, and every
+/// spec-driven experiment to pick it up.
+pub fn generators() -> &'static [&'static dyn TopologyGenerator] {
+    static REGISTRY: &[&dyn TopologyGenerator] =
+        &[&JellyfishGen, &FatTreeGen, &SwdcGen, &DegreeDiameterGen, &LeafSpineGen];
+    REGISTRY
+}
+
+/// Alias documenting the registry's role; see [`generators`].
+pub type GeneratorRegistry = &'static [&'static dyn TopologyGenerator];
+
+/// Looks up a registered generator by spec name.
+pub fn find_generator(name: &str) -> Option<&'static dyn TopologyGenerator> {
+    generators().iter().find(|g| g.name() == name).copied()
+}
+
+// ------------------------------------------------------------------- spec
+
+/// A parsed topology specification: a registered generator, its parameters,
+/// and a chain of scenario transforms.
+///
+/// `Display` produces the canonical spec string and `FromStr` parses it
+/// back; the two are exact inverses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoSpec {
+    generator: String,
+    params: Params,
+    transforms: Vec<ScenarioTransform>,
+}
+
+impl TopoSpec {
+    /// Starts a spec for `generator` with no parameters.
+    pub fn new(generator: impl Into<String>) -> Self {
+        TopoSpec { generator: generator.into(), params: Params::new(), transforms: Vec::new() }
+    }
+
+    /// Appends a `key=value` parameter (builder style).
+    pub fn with_param(mut self, key: &str, value: impl ToString) -> Self {
+        self.params.push(key, value);
+        self
+    }
+
+    /// Appends a scenario transform (builder style).
+    pub fn with_transform(mut self, t: ScenarioTransform) -> Self {
+        self.transforms.push(t);
+        self
+    }
+
+    /// The generator name.
+    pub fn generator(&self) -> &str {
+        &self.generator
+    }
+
+    /// The generator parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The transform chain, in application order.
+    pub fn transforms(&self) -> &[ScenarioTransform] {
+        &self.transforms
+    }
+
+    /// The spec without its transforms (the cacheable base topology).
+    pub fn base(&self) -> TopoSpec {
+        TopoSpec {
+            generator: self.generator.clone(),
+            params: self.params.clone(),
+            transforms: Vec::new(),
+        }
+    }
+
+    /// Resolves the generator from the registry.
+    pub fn resolve(&self) -> Result<&'static dyn TopologyGenerator, SpecError> {
+        find_generator(&self.generator)
+            .ok_or_else(|| SpecError::UnknownGenerator(self.generator.clone()))
+    }
+
+    /// Builds the base topology (no transforms). Pure in `(self, seed)`.
+    pub fn build_base(&self, seed: u64) -> Result<Topology, SpecError> {
+        self.resolve()?.build(&self.params, seed)
+    }
+
+    /// Applies this spec's transform chain to `topo` under build seed `seed`.
+    pub fn apply_transforms(&self, topo: &mut Topology, seed: u64) -> Result<(), SpecError> {
+        for t in &self.transforms {
+            t.apply(topo, seed)?;
+        }
+        Ok(())
+    }
+
+    /// Builds the fully transformed topology. Pure in `(self, seed)`.
+    pub fn build(&self, seed: u64) -> Result<Topology, SpecError> {
+        let mut topo = self.build_base(seed)?;
+        self.apply_transforms(&mut topo, seed)?;
+        Ok(topo)
+    }
+}
+
+impl fmt::Display for TopoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.generator)?;
+        for (i, (k, v)) in self.params.pairs().iter().enumerate() {
+            f.write_str(if i == 0 { ":" } else { "," })?;
+            write!(f, "{k}={v}")?;
+        }
+        for t in &self.transforms {
+            write!(f, "+{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TopoSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Syntax("empty spec".into()));
+        }
+        let mut segments = s.split('+');
+        let head = segments.next().expect("split yields at least one segment");
+        let (generator, raw_params) = match head.split_once(':') {
+            Some((g, p)) => (g, Some(p)),
+            None => (head, None),
+        };
+        if generator.is_empty() {
+            return Err(SpecError::Syntax(format!("'{s}' has no generator name")));
+        }
+        if find_generator(generator).is_none() {
+            return Err(SpecError::UnknownGenerator(generator.to_string()));
+        }
+        let mut params = Params::new();
+        if let Some(raw) = raw_params {
+            if raw.is_empty() {
+                return Err(SpecError::Syntax(format!("'{head}' has ':' but no parameters")));
+            }
+            for pair in raw.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| SpecError::Syntax(format!("'{pair}' is not key=value")))?;
+                if k.is_empty() || v.is_empty() {
+                    return Err(SpecError::Syntax(format!("'{pair}' has an empty key or value")));
+                }
+                params.push(k, v);
+            }
+        }
+        let transforms = segments.map(ScenarioTransform::parse).collect::<Result<Vec<_>, _>>()?;
+        Ok(TopoSpec { generator: generator.to_string(), params, transforms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trips_examples() {
+        for g in generators() {
+            let spec: TopoSpec = g
+                .example()
+                .parse()
+                .unwrap_or_else(|e| panic!("example for {} does not parse: {e}", g.name()));
+            assert_eq!(spec.to_string(), g.example(), "{} example not canonical", g.name());
+        }
+        let chained = "jellyfish:switches=80,ports=12,degree=8+fail_links=0.08+expand=4";
+        let spec: TopoSpec = chained.parse().unwrap();
+        assert_eq!(spec.transforms().len(), 2);
+        assert_eq!(spec.to_string(), chained);
+        assert_eq!(spec.base().to_string(), "jellyfish:switches=80,ports=12,degree=8");
+    }
+
+    #[test]
+    fn examples_build() {
+        for g in generators() {
+            let spec: TopoSpec = g.example().parse().unwrap();
+            let topo = spec
+                .build(7)
+                .unwrap_or_else(|e| panic!("example for {} does not build: {e}", g.name()));
+            assert!(topo.num_switches() > 0);
+            assert!(topo.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn bad_specs_fail_with_useful_errors() {
+        for (spec, needle) in [
+            ("", "empty"),
+            ("nope:k=4", "unknown generator"),
+            ("jellyfish:", "no parameters"),
+            ("jellyfish:switches", "not key=value"),
+            ("jellyfish:switches=,ports=4", "empty key or value"),
+            ("fattree:k=14+melt=0.5", "unknown transform"),
+            ("fattree:k=14+fail_links=1.5", "must be in [0, 1]"),
+            ("fattree:k=14+fail_links", "name=value"),
+        ] {
+            let err = spec.parse::<TopoSpec>().unwrap_err().to_string();
+            assert!(err.contains(needle), "'{spec}': expected '{needle}' in '{err}'");
+        }
+        // Parses, but fails at build with a parameter error.
+        for (spec, needle) in [
+            ("fattree:k=14,extra=1", "does not take"),
+            ("fattree:k=14,k=16", "duplicate"),
+            ("jellyfish:switches=10,ports=4", "one of degree, servers, or servers_total"),
+            ("jellyfish:switches=10,ports=4,degree=2,servers_total=9", "exclusive"),
+            ("dd:config=99", "out of range"),
+            ("swdc:lattice=moebius,n=100", "unknown lattice"),
+        ] {
+            let parsed: TopoSpec = spec.parse().unwrap_or_else(|e| panic!("'{spec}': {e}"));
+            let err = parsed.build(1).unwrap_err().to_string();
+            assert!(err.contains(needle), "'{spec}': expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn build_matches_legacy_constructors() {
+        // jellyfish with explicit degree == JellyfishBuilder.
+        let spec: TopoSpec = "jellyfish:switches=40,ports=12,degree=8".parse().unwrap();
+        let a = spec.build(99).unwrap();
+        let b = JellyfishBuilder::new(40, 12, 8).seed(99).build().unwrap();
+        let ea: Vec<_> = a.graph().edges().collect();
+        let eb: Vec<_> = b.graph().edges().collect();
+        assert_eq!(ea, eb);
+        assert_eq!(a.total_servers(), b.total_servers());
+
+        // servers key is the complement of degree.
+        let spec2: TopoSpec = "jellyfish:switches=40,ports=12,servers=4".parse().unwrap();
+        let c = spec2.build(99).unwrap();
+        assert_eq!(c.graph().edges().collect::<Vec<_>>(), ea);
+    }
+
+    #[test]
+    fn transforms_apply_in_order_and_derive_seeds() {
+        let spec: TopoSpec =
+            "jellyfish:switches=40,ports=12,degree=8+fail_links=0.1".parse().unwrap();
+        let failed = spec.build(5).unwrap();
+        // Same as building the base and failing with the derived seed.
+        let mut manual = spec.base().build(5).unwrap();
+        fail_random_links(&mut manual, 0.1, 5 ^ 10);
+        assert_eq!(
+            failed.graph().edges().collect::<Vec<_>>(),
+            manual.graph().edges().collect::<Vec<_>>()
+        );
+
+        let grown: TopoSpec = "jellyfish:switches=20,ports=8,degree=5+expand=3".parse().unwrap();
+        let t = grown.build(3).unwrap();
+        assert_eq!(t.num_switches(), 23);
+        assert!(t.check_invariants().is_ok());
+
+        let degraded: TopoSpec =
+            "jellyfish:switches=40,ports=12,degree=8+degrade_uniform=0.1".parse().unwrap();
+        let d = degraded.build(5).unwrap();
+        assert!(d.num_links() < failed.num_links() + 20);
+        assert!(d.graph().nodes().any(|v| d.graph().degree(v) == 0 || d.servers(v) == 0));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        for g in generators() {
+            let spec: TopoSpec = g.example().parse().unwrap();
+            let a = spec.build(2012).unwrap();
+            let b = spec.build(2012).unwrap();
+            assert_eq!(
+                a.graph().edges().collect::<Vec<_>>(),
+                b.graph().edges().collect::<Vec<_>>(),
+                "{}: two builds with one seed differ",
+                g.name()
+            );
+        }
+    }
+}

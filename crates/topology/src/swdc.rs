@@ -209,13 +209,24 @@ impl SwdcBuilder {
 
 /// Convenience constructor matching the paper's Figure 4 setup: `nodes`
 /// switches, network degree 6, `servers_per_switch` servers each.
+///
+/// Thin wrapper over the [`crate::spec`] registry: it resolves the
+/// equivalent `swdc:lattice=...,n=...,servers=...` spec, so its output is
+/// identical to what any spec-driven experiment builds.
 pub fn figure4_swdc(
     lattice: Lattice,
     nodes: usize,
     servers_per_switch: usize,
     seed: u64,
 ) -> Result<Topology, TopologyError> {
-    SwdcBuilder::new(lattice, nodes, 6).servers_per_switch(servers_per_switch).seed(seed).build()
+    let spec = crate::spec::TopoSpec::new("swdc")
+        .with_param("lattice", crate::spec::lattice_token(lattice))
+        .with_param("n", nodes)
+        .with_param("servers", servers_per_switch);
+    spec.build(seed).map_err(|e| match e {
+        crate::spec::SpecError::Build(e) => e,
+        other => TopologyError::InvalidParameters(other.to_string()),
+    })
 }
 
 #[cfg(test)]

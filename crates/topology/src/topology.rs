@@ -35,6 +35,43 @@ impl fmt::Display for SwitchKind {
     }
 }
 
+/// A violated structural invariant, reported by [`Topology::check_invariants`].
+///
+/// Callers can match on the failure kind instead of string-scraping: graph
+/// corruption (adjacency/edge-list disagreement) is a different class of bug
+/// than a switch over-committing its port budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantError {
+    /// The interconnect graph's internal structures disagree (adjacency vs
+    /// edge list, stale edge index, self-loop, duplicate entry).
+    Graph {
+        /// Description of the corrupt structure, from [`Graph::check_invariants`].
+        detail: String,
+    },
+    /// A switch uses more ports (network links + servers) than it has.
+    PortOvercommit {
+        /// The offending switch.
+        switch: NodeId,
+        /// Ports in use (network degree + attached servers).
+        used: usize,
+        /// The switch's port budget.
+        ports: usize,
+    },
+}
+
+impl fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantError::Graph { detail } => write!(f, "graph invariant violated: {detail}"),
+            InvariantError::PortOvercommit { switch, used, ports } => {
+                write!(f, "switch {switch} uses {used} ports but only has {ports}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
 /// Errors produced by topology generators and mutation procedures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
@@ -74,6 +111,8 @@ pub struct Topology {
     servers: Vec<usize>,
     kinds: Vec<SwitchKind>,
     name: String,
+    /// Bumped by every mutation; lets CSR-snapshot holders detect staleness.
+    generation: u64,
 }
 
 impl Topology {
@@ -98,7 +137,7 @@ impl Topology {
                 ports[n]
             );
         }
-        Topology { graph, ports, servers, kinds, name: name.into() }
+        Topology { graph, ports, servers, kinds, name: name.into(), generation: 0 }
     }
 
     /// Creates a homogeneous ToR-only topology: every switch has `ports`
@@ -134,7 +173,13 @@ impl Topology {
     ///
     /// Callers must preserve the port-budget invariant; expansion and failure
     /// procedures in this crate do so and re-check in debug builds.
+    ///
+    /// Handing out mutable access counts as a mutation: the [generation
+    /// counter](Topology::generation) is bumped even if the caller ends up
+    /// changing nothing, so previously taken [`CsrGraph`] snapshots
+    /// conservatively read as stale.
     pub fn graph_mut(&mut self) -> &mut Graph {
+        self.generation += 1;
         &mut self.graph
     }
 
@@ -142,9 +187,21 @@ impl Topology {
     ///
     /// This is the representation every consumer crate (routing, flow, sim)
     /// traverses; take the snapshot once per finished topology and re-take it
-    /// after mutations (expansion, failures).
+    /// after mutations (expansion, failures). Pair the snapshot with
+    /// [`Topology::generation`] to detect staleness: a snapshot taken at
+    /// generation `g` no longer reflects the topology once `generation() != g`.
     pub fn csr(&self) -> crate::csr::CsrGraph {
         crate::csr::CsrGraph::from_graph(&self.graph)
+    }
+
+    /// Mutation counter: incremented by every mutating method
+    /// ([`Topology::graph_mut`], [`Topology::add_switch`],
+    /// [`Topology::set_servers`], [`Topology::connect`],
+    /// [`Topology::disconnect`]). A [`CsrGraph`] snapshot taken when this
+    /// counter read `g` is stale — silently missing links or switches —
+    /// as soon as the counter moves past `g`.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of switches.
@@ -202,6 +259,7 @@ impl Topology {
     /// connected to anything. Returns its node id.
     pub fn add_switch(&mut self, ports: usize, servers: usize, kind: SwitchKind) -> NodeId {
         assert!(servers <= ports, "cannot attach more servers than ports");
+        self.generation += 1;
         let id = self.graph.add_node();
         self.ports.push(ports);
         self.servers.push(servers);
@@ -221,6 +279,7 @@ impl Topology {
             )));
         }
         self.servers[i] = servers;
+        self.generation += 1;
         Ok(())
     }
 
@@ -231,21 +290,27 @@ impl Topology {
         {
             return false;
         }
+        self.generation += 1;
         self.graph.add_edge(u, v)
     }
 
     /// Disconnects switches `u` and `v`. Returns `true` if a link existed.
     pub fn disconnect(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.generation += 1;
         self.graph.remove_edge(u, v)
     }
 
     /// Verifies all structural invariants; used by tests and after expansion.
-    pub fn check_invariants(&self) -> Result<(), String> {
-        self.graph.check_invariants()?;
+    pub fn check_invariants(&self) -> Result<(), InvariantError> {
+        self.graph.check_invariants().map_err(|detail| InvariantError::Graph { detail })?;
         for n in self.graph.nodes() {
             let used = self.graph.degree(n) + self.servers[n];
             if used > self.ports[n] {
-                return Err(format!("switch {n} uses {used} ports but only has {}", self.ports[n]));
+                return Err(InvariantError::PortOvercommit {
+                    switch: n,
+                    used,
+                    ports: self.ports[n],
+                });
             }
         }
         Ok(())
@@ -372,5 +437,68 @@ mod tests {
     fn error_display() {
         let e = TopologyError::Infeasible("odd degree sum".into());
         assert!(e.to_string().contains("odd degree sum"));
+    }
+
+    #[test]
+    fn every_mutator_bumps_the_generation() {
+        let mut t = triangle();
+        let g0 = t.generation();
+        t.disconnect(0, 1);
+        assert!(t.generation() > g0, "disconnect must bump the generation");
+        let g1 = t.generation();
+        t.connect(0, 1);
+        assert!(t.generation() > g1, "connect must bump the generation");
+        let g2 = t.generation();
+        t.set_servers(0, 1).unwrap();
+        assert!(t.generation() > g2, "set_servers must bump the generation");
+        let g3 = t.generation();
+        t.add_switch(4, 0, SwitchKind::TopOfRack);
+        assert!(t.generation() > g3, "add_switch must bump the generation");
+        let g4 = t.generation();
+        // graph_mut is conservative: handing out &mut Graph counts as a
+        // mutation even if the caller changes nothing.
+        let _ = t.graph_mut();
+        assert!(t.generation() > g4, "graph_mut must bump the generation");
+        // Read-only accessors do not bump.
+        let g5 = t.generation();
+        let _ = t.csr();
+        let _ = t.free_ports(0);
+        assert_eq!(t.generation(), g5);
+    }
+
+    #[test]
+    fn failed_connect_still_reads_as_mutation_conservatively() {
+        let mut t = triangle();
+        let g0 = t.generation();
+        // Already adjacent: connect returns false. A rejected no-op connect
+        // does not touch the graph, but `connect` pre-checks before bumping,
+        // so the generation stays put here.
+        assert!(!t.connect(0, 1));
+        assert_eq!(t.generation(), g0);
+    }
+
+    #[test]
+    fn invariant_error_is_matchable_by_kind() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        let mut t =
+            Topology::from_parts(g, vec![4, 4], vec![1, 1], vec![SwitchKind::TopOfRack; 2], "t");
+        assert_eq!(t.check_invariants(), Ok(()));
+        // Over-commit switch 0 behind the checker's back.
+        for _ in 0..4 {
+            let v = t.graph_mut().add_node();
+            t.ports.push(1);
+            t.servers.push(0);
+            t.kinds.push(SwitchKind::TopOfRack);
+            t.graph_mut().add_edge(0, v);
+        }
+        match t.check_invariants() {
+            Err(InvariantError::PortOvercommit { switch: 0, used, ports: 4 }) => {
+                assert!(used > 4);
+            }
+            other => panic!("expected PortOvercommit for switch 0, got {other:?}"),
+        }
+        let msg = t.check_invariants().unwrap_err().to_string();
+        assert!(msg.contains("switch 0"), "display should name the switch: {msg}");
     }
 }

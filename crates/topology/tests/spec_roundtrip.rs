@@ -1,0 +1,108 @@
+//! Property tests for the `TopoSpec` grammar: parse ↔ display round-trips
+//! for every registered generator under arbitrary parameter values and
+//! arbitrary transform chains, and `build(spec, seed)` is deterministic.
+
+use jellyfish_topology::spec::{generators, ScenarioTransform};
+use jellyfish_topology::TopoSpec;
+use proptest::prelude::*;
+
+/// Builds a spec for generator number `pick` from raw drawn integers. The
+/// values need not be buildable — the grammar must round-trip regardless of
+/// feasibility — but they cover every registered generator and both
+/// jellyfish server conventions.
+fn base_spec(pick: usize, a: usize, b: usize, c: usize) -> TopoSpec {
+    match pick {
+        0 => TopoSpec::new("jellyfish")
+            .with_param("switches", 1 + a)
+            .with_param("ports", 1 + b % 128)
+            .with_param("degree", c % 128),
+        1 => TopoSpec::new("jellyfish")
+            .with_param("switches", 1 + a)
+            .with_param("ports", 1 + b % 128)
+            .with_param("servers_total", c),
+        2 => TopoSpec::new("fattree").with_param("k", 2 + a % 64),
+        3 => TopoSpec::new("swdc")
+            .with_param("lattice", ["ring", "torus2d", "hex3d"][c % 3])
+            .with_param("n", 4 + a % 2_000)
+            .with_param("servers", 1 + b % 8),
+        4 => {
+            if c.is_multiple_of(2) {
+                TopoSpec::new("dd").with_param("config", a % 9)
+            } else {
+                TopoSpec::new("dd")
+                    .with_param("n", 4 + a % 500)
+                    .with_param("ports", 2 + b % 32)
+                    .with_param("degree", 2 + c % 16)
+            }
+        }
+        _ => TopoSpec::new("leafspine")
+            .with_param("leaf", 1 + a % 64)
+            .with_param("spine", 1 + b % 64)
+            .with_param("servers", 1 + c % 32),
+    }
+}
+
+fn transform(kind: usize, fraction: f64, racks: usize) -> ScenarioTransform {
+    match kind {
+        0 => ScenarioTransform::FailLinks(fraction),
+        1 => ScenarioTransform::FailSwitches(fraction),
+        2 => ScenarioTransform::DegradeUniform(fraction),
+        _ => ScenarioTransform::Expand(racks),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity for every representable spec,
+    /// covering every registered generator and arbitrary transform chains
+    /// (fractions use f64 shortest round-trip formatting, so exact equality
+    /// is required, not approximate).
+    #[test]
+    fn parse_display_round_trips(
+        pick in 0usize..6,
+        a in 0usize..10_000,
+        b in 0usize..10_000,
+        c in 0usize..10_000,
+        chain in proptest::collection::vec((0usize..4, 0.0f64..1.0, 0usize..1_000), 0..4),
+    ) {
+        let mut spec = base_spec(pick, a, b, c);
+        for (kind, fraction, racks) in chain {
+            spec = spec.with_transform(transform(kind, fraction, racks));
+        }
+        let rendered = spec.to_string();
+        let parsed: TopoSpec = match rendered.parse() {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(TestCaseError::Fail(format!("'{rendered}' does not re-parse: {e}"))),
+        };
+        prop_assert_eq!(&parsed, &spec, "'{}' parsed to a different spec", &rendered);
+        // And display is stable across the round trip.
+        prop_assert_eq!(parsed.to_string(), rendered);
+    }
+}
+
+proptest! {
+    // Building is the expensive half; fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(15))]
+
+    /// For buildable spec instances, two builds with one seed are
+    /// structurally identical across every registered generator.
+    #[test]
+    fn build_is_deterministic_per_seed(seed in 0u64..1_000_000, pick in 0usize..5) {
+        let g = generators()[pick];
+        let spec: TopoSpec = g.example().parse().unwrap();
+        let a = match spec.build(seed) {
+            Ok(topo) => topo,
+            Err(e) => return Err(TestCaseError::Fail(format!("{}: {e}", g.name()))),
+        };
+        let b = spec.build(seed).unwrap();
+        prop_assert_eq!(
+            a.graph().edges().collect::<Vec<_>>(),
+            b.graph().edges().collect::<Vec<_>>(),
+            "{}: same seed produced different graphs", g.name()
+        );
+        let servers_a: Vec<usize> = (0..a.num_switches()).map(|v| a.servers(v)).collect();
+        let servers_b: Vec<usize> = (0..b.num_switches()).map(|v| b.servers(v)).collect();
+        prop_assert_eq!(servers_a, servers_b);
+    }
+}
