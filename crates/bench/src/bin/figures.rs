@@ -8,7 +8,11 @@
 //! figures list
 //! figures run <experiment|all> [--scale tiny|laptop|paper] [--seed N]
 //!                              [--topo <spec>] [--json]
-//! figures run <experiment|all> --shard K/N [--scale ...] [--seed N] [--topo <spec>]
+//! figures run <experiment|all> --shard K/N [--plan <timings.json>]
+//!                              [--scale ...] [--seed N] [--topo <spec>]
+//! figures launch <experiment|all> --jobs N [--plan <timings.json>]
+//!                              [--hosts <file>] [--run-dir <dir>]
+//!                              [--scale ...] [--seed N] [--topo <spec>] [--json]
 //! figures merge <file...> [--json]
 //! figures topo list
 //! figures topo show <spec>
@@ -23,8 +27,18 @@
 //! `fig11`'s sweep byte-for-byte.
 //! With `--shard K/N` it evaluates only the K-th of N slices of each
 //! experiment's work items and prints one shard-fragment JSON line per
-//! experiment; `figures merge` recombines fragment files from all N shards
-//! and prints byte-for-byte what the unsharded `figures run` would have.
+//! experiment (with per-item wall-clock timings); `figures merge` recombines
+//! fragment files from all N shards and prints byte-for-byte what the
+//! unsharded `figures run` would have. By default shards stripe the work
+//! items; with `--plan <timings.json>` (a prior launch's timing file) they
+//! LPT-bin-pack by measured cost instead, falling back to striping when the
+//! file has no matching timings.
+//!
+//! `figures launch` is the one-command distributed driver: it spawns the N
+//! shard workers itself (locally, or through `--hosts` command templates),
+//! streams their fragments into `--run-dir`, retries each failed worker
+//! once, merges, and writes the run's own `timings.json` — see the
+//! "Distributed runs" section of EXPERIMENTS.md.
 //!
 //! `--topo <spec>` redirects the topology-generic experiments
 //! (`throughput_vs_size`, `path_length`, `bisection`, `failure_sweep`) at
@@ -34,11 +48,14 @@
 //! Unknown experiment names, scales, seeds, specs and shard specs are hard
 //! errors (exit code 2) listing the valid choices — never silent fallbacks.
 
-use jellyfish::experiment::{self, Experiment, RunCtx, Shard, ShardFragment};
+use jellyfish::experiment::{self, Experiment, RunCtx, Shard, ShardFragment, TimingFile, WorkPlan};
 use jellyfish::figures::Scale;
+use jellyfish_bench::launch::{self, LaunchConfig};
+use jellyfish_bench::merge::{experiment_names, merge_fragments, render_merged};
 use jellyfish_bench::{render_run, render_run_json};
 use jellyfish_topology::properties::path_length_stats;
 use jellyfish_topology::spec::{self, TopoSpec};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: figures <command> [options]
@@ -46,6 +63,7 @@ const USAGE: &str = "usage: figures <command> [options]
 commands:
   list                      list the registered experiments
   run <experiment|all>      evaluate experiments and print their datasets
+  launch <experiment|all>   spawn N shard workers, merge their fragments
   merge <file...>           merge `run --shard` fragment files
   topo list                 list the registered topology generators/transforms
   topo show <spec>          parse a topology spec and print its structure
@@ -59,7 +77,21 @@ run options:
                               failure_sweep); see TOPOLOGIES.md
   --shard K/N                 run only the K-th of N slices of the work
                               items and print mergeable JSON fragments
+  --plan <timings.json>       with --shard: partition by a prior run's
+                              per-item timings (LPT bin-packing) instead of
+                              striping; falls back to striping when the file
+                              has no matching timings
   --json                      print JSON instead of TSV (non-shard runs)
+
+launch options (plus --scale, --seed, --topo, --plan, --json as above):
+  --jobs N                    number of worker processes / shards (required)
+  --hosts <file>              worker command templates, one per line
+                              ('{}' is replaced by the quoted worker
+                              command, e.g. 'ssh build-01 {}'); default is
+                              local re-exec of this binary
+  --run-dir <dir>             where fragments, worker logs, timings.json and
+                              the merged output land
+                              (default: figures-runs/<name>-<scale>-<seed>)
 
 merge options:
   --json                      print JSON instead of TSV
@@ -72,18 +104,13 @@ fn fail(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn experiment_names() -> String {
-    let mut names = vec!["all"];
-    names.extend(experiment::names());
-    names.join(", ")
-}
-
 /// Parsed `run` options, every flag validated (no silent fallbacks).
 struct RunOptions {
     scale: Scale,
     seed: u64,
     topo: Option<TopoSpec>,
     shard: Option<Shard>,
+    plan: Option<String>,
     json: bool,
 }
 
@@ -106,8 +133,14 @@ fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, S
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
-    let mut opts =
-        RunOptions { scale: Scale::Laptop, seed: 2012, topo: None, shard: None, json: false };
+    let mut opts = RunOptions {
+        scale: Scale::Laptop,
+        seed: 2012,
+        topo: None,
+        shard: None,
+        plan: None,
+        json: false,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -131,6 +164,10 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.shard = Some(flag_value(args, i, "--shard")?.parse()?);
                 i += 2;
             }
+            "--plan" => {
+                opts.plan = Some(flag_value(args, i, "--plan")?.to_string());
+                i += 2;
+            }
             "--json" => {
                 opts.json = true;
                 i += 1;
@@ -142,6 +179,30 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         return Err("--shard output is always JSON; drop --json".to_string());
     }
     Ok(opts)
+}
+
+/// Loads a `--plan` timing file and checks it measured the same run
+/// configuration. An unreadable or unparsable file is a hard error (the flag
+/// was explicit); a file from a different `(scale, topo)` run is merely
+/// useless for balancing this one, so workers note it and stripe instead.
+fn load_plan(opts: &RunOptions) -> Result<Option<TimingFile>, String> {
+    let Some(path) = &opts.plan else { return Ok(None) };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read --plan '{path}': {e}"))?;
+    let tf = TimingFile::from_json(&text)
+        .map_err(|e| format!("--plan '{path}' is not a timing file: {e}"))?;
+    if tf.scale != opts.scale || tf.topo != opts.topo_string() {
+        eprintln!(
+            "figures: note: --plan '{path}' measured scale {} topo {}; this run is scale {} \
+             topo {}, so shards fall back to striping",
+            tf.scale,
+            tf.topo.as_deref().unwrap_or("<none>"),
+            opts.scale,
+            opts.topo_string().as_deref().unwrap_or("<none>")
+        );
+        return Ok(None);
+    }
+    Ok(Some(tf))
 }
 
 fn resolve_experiments(name: &str) -> Result<Vec<&'static dyn Experiment>, String> {
@@ -176,6 +237,9 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
         Ok(opts) => opts,
         Err(e) => return fail(&e),
     };
+    if opts.plan.is_some() && opts.shard.is_none() {
+        return fail("--plan only affects sharded runs; add --shard K/N (or use launch)");
+    }
     let experiments = match resolve_experiments(name) {
         Ok(exps) => exps,
         Err(e) => return fail(&e),
@@ -203,17 +267,26 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
             return fail(&format!("--topo '{spec}' does not build: {e}"));
         }
     }
+    let plan = match load_plan(&opts) {
+        Ok(plan) => plan,
+        Err(e) => return fail(&e),
+    };
     for exp in experiments {
         let ctx = opts.ctx();
         match opts.shard {
             Some(shard) => {
+                let num_items = exp.work_items(&ctx).len();
+                let timings = plan.as_ref().and_then(|tf| tf.get(exp.name()));
+                let work_plan = WorkPlan::plan(num_items, shard.count, timings);
+                let timed = exp.run_selected_timed(&ctx, &|i| work_plan.owns(shard, i));
                 let fragment = ShardFragment {
                     experiment: exp.name().to_string(),
                     scale: opts.scale,
                     seed: opts.seed,
                     topo: opts.topo_string(),
                     shard,
-                    items: exp.run_shard(&ctx, shard),
+                    timings_us: timed.timings_us,
+                    items: timed.items,
                 };
                 println!("{}", fragment.to_json());
             }
@@ -230,104 +303,6 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
-}
-
-/// All fragments of one `(experiment, scale, seed, topo)` group, with the
-/// merge validation `figures merge` applies: full, duplicate-free item
-/// coverage under a consistent run configuration.
-fn merge_group(
-    exp: &dyn Experiment,
-    fragments: &[&ShardFragment],
-) -> Result<(Scale, u64, Option<String>, jellyfish::experiment::Dataset), String> {
-    let name = exp.name();
-    let (scale, seed) = (fragments[0].scale, fragments[0].seed);
-    let topo = fragments[0].topo.clone();
-    for f in fragments {
-        if f.scale != scale || f.seed != seed {
-            return Err(format!(
-                "{name}: fragments disagree on scale/seed \
-                 ({scale}/{seed} vs {}/{}); shards of one sweep must share both",
-                f.scale, f.seed
-            ));
-        }
-        if f.topo != topo {
-            return Err(format!(
-                "{name}: fragments disagree on --topo ({} vs {}); \
-                 shards of one sweep must share the topology override",
-                topo.as_deref().unwrap_or("<none>"),
-                f.topo.as_deref().unwrap_or("<none>")
-            ));
-        }
-    }
-    let mut ctx = RunCtx::new(scale, seed);
-    if let Some(raw) = &topo {
-        let spec: TopoSpec = raw
-            .parse()
-            .map_err(|e| format!("{name}: fragment has an unparsable topo spec '{raw}': {e}"))?;
-        if !exp.supports_topo_override() {
-            return Err(format!("{name}: fragment carries --topo but the experiment is fixed"));
-        }
-        ctx = ctx.with_topo(spec);
-    }
-    let expected = exp.work_items(&ctx).len();
-    let mut seen = vec![false; expected];
-    let mut items = Vec::new();
-    let mut columns: Option<&[String]> = None;
-    let mut meta: Vec<(&str, &str)> = Vec::new();
-    for f in fragments {
-        for item in &f.items {
-            // Pre-validate what Dataset::concat asserts, so corrupted or
-            // version-skewed fragment files fail cleanly instead of panicking.
-            for (k, v) in &item.data.meta {
-                match meta.iter().find(|(ek, _)| ek == k) {
-                    Some((_, ev)) if ev != v => {
-                        return Err(format!(
-                            "{name}: fragments disagree on metadata '{k}' ('{ev}' vs '{v}'); \
-                             were they produced by different builds?"
-                        ));
-                    }
-                    Some(_) => {}
-                    None => meta.push((k, v)),
-                }
-            }
-            if !item.data.columns.is_empty() {
-                match columns {
-                    None => columns = Some(&item.data.columns),
-                    Some(cols) if cols != item.data.columns.as_slice() => {
-                        return Err(format!(
-                            "{name}: fragments disagree on table columns \
-                             ({cols:?} vs {:?}); were they produced by different builds?",
-                            item.data.columns
-                        ));
-                    }
-                    Some(_) => {}
-                }
-            }
-            if item.index >= expected {
-                return Err(format!(
-                    "{name}: fragment {} has item {} but the experiment only has {expected} \
-                     work items at scale {scale}",
-                    f.shard, item.index
-                ));
-            }
-            if seen[item.index] {
-                return Err(format!(
-                    "{name}: item {} appears in more than one fragment (same shard file \
-                     passed twice?)",
-                    item.index
-                ));
-            }
-            seen[item.index] = true;
-            items.push(item.clone());
-        }
-    }
-    if let Some(missing) = seen.iter().position(|&s| !s) {
-        return Err(format!(
-            "{name}: incomplete shard set: item {missing} of {expected} is missing \
-             (pass the fragment files of all N shards)"
-        ));
-    }
-    Ok((scale, seed, topo, exp.merge(items)))
 }
 
 fn cmd_merge(args: &[String]) -> ExitCode {
@@ -361,39 +336,145 @@ fn cmd_merge(args: &[String]) -> ExitCode {
             }
         }
     }
-    for f in &fragments {
-        if experiment::find(&f.experiment).is_none() {
+    // Validate every group before printing anything, then print per
+    // experiment in canonical registry order — the same order `figures run
+    // all` evaluates in (jellyfish_bench::merge shares this path with the
+    // launcher).
+    match merge_fragments(&fragments) {
+        Ok(merged) => {
+            print!("{}", render_merged(&merged, json));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+// ---------------------------------------------------------------- launch
+
+fn cmd_launch(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return fail(&format!(
+            "launch needs an experiment name: valid experiments are {}",
+            experiment_names()
+        ));
+    };
+    let experiments = match resolve_experiments(name) {
+        Ok(exps) => exps,
+        Err(e) => return fail(&e),
+    };
+    let parsed = parse_launch_options(&args[1..]);
+    let (jobs, opts, hosts_file, run_dir) = match parsed {
+        Ok(parsed) => parsed,
+        Err(e) => return fail(&e),
+    };
+    if opts.topo.is_some() {
+        if let Some(fixed) = experiments.iter().find(|e| !e.supports_topo_override()) {
             return fail(&format!(
-                "unknown experiment '{}' in fragment: valid experiments are {}",
-                f.experiment,
-                experiment_names()
+                "'{}' does not take --topo (its topology pairing is the experiment)",
+                fixed.name()
             ));
         }
     }
-    // Validate every group before printing anything, then print per
-    // experiment in canonical registry order — the same order `figures run
-    // all` evaluates in.
-    let mut merged = Vec::new();
-    for exp in experiment::registry() {
-        let group: Vec<&ShardFragment> =
-            fragments.iter().filter(|f| f.experiment == exp.name()).collect();
-        if group.is_empty() {
-            continue;
-        }
-        match merge_group(*exp, &group) {
-            Ok((scale, seed, topo, data)) => merged.push((exp.name(), scale, seed, topo, data)),
-            Err(e) => return fail(&e),
+    if let Some(spec) = &opts.topo {
+        if let Err(e) = spec.build(opts.seed) {
+            return fail(&format!("--topo '{spec}' does not build: {e}"));
         }
     }
-    for (name, scale, seed, topo, data) in &merged {
-        let rendered = if json {
-            render_run_json(name, *scale, *seed, topo.as_deref(), data)
-        } else {
-            render_run(name, *scale, *seed, topo.as_deref(), data)
-        };
-        print!("{rendered}");
+    // Surface an unreadable/unparsable --plan here, before any worker spawns
+    // (the workers re-validate it themselves).
+    if let Err(e) = load_plan(&opts) {
+        return fail(&e);
     }
-    ExitCode::SUCCESS
+    let hosts = match &hosts_file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let hosts = launch::parse_hosts_file(&text);
+                if hosts.is_empty() {
+                    return fail(&format!("--hosts '{path}' has no command templates"));
+                }
+                hosts
+            }
+            Err(e) => return fail(&format!("cannot read --hosts '{path}': {e}")),
+        },
+        None => Vec::new(),
+    };
+    let run_dir = run_dir.unwrap_or_else(|| {
+        PathBuf::from(format!("figures-runs/{name}-{}-{}", opts.scale, opts.seed))
+    });
+    let cfg = LaunchConfig {
+        name: name.clone(),
+        jobs,
+        scale: opts.scale,
+        seed: opts.seed,
+        topo: opts.topo_string(),
+        plan: opts.plan.as_ref().map(PathBuf::from),
+        hosts,
+        run_dir,
+        json: opts.json,
+    };
+    match launch::launch(&cfg) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// Parses `launch` flags: the shared run flags plus `--jobs`, `--hosts`,
+/// `--run-dir`. `--jobs` is required; `--shard` is the launcher's to assign.
+#[allow(clippy::type_complexity)]
+fn parse_launch_options(
+    args: &[String],
+) -> Result<(usize, RunOptions, Option<String>, Option<PathBuf>), String> {
+    let mut jobs: Option<usize> = None;
+    let mut hosts_file: Option<String> = None;
+    let mut run_dir: Option<PathBuf> = None;
+    let mut run_flags: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let raw = flag_value(args, i, "--jobs")?;
+                let n: usize = raw.parse().map_err(|_| {
+                    format!("unparsable --jobs '{raw}': expected a positive integer")
+                })?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+                i += 2;
+            }
+            "--hosts" => {
+                hosts_file = Some(flag_value(args, i, "--hosts")?.to_string());
+                i += 2;
+            }
+            "--run-dir" => {
+                run_dir = Some(PathBuf::from(flag_value(args, i, "--run-dir")?));
+                i += 2;
+            }
+            "--shard" => {
+                return Err(
+                    "launch assigns the shards itself; use --jobs N instead of --shard".to_string()
+                );
+            }
+            "--scale" | "--seed" | "--topo" | "--plan" => {
+                run_flags.push(args[i].clone());
+                run_flags.push(flag_value(args, i, &args[i])?.to_string());
+                i += 2;
+            }
+            "--json" => {
+                run_flags.push(args[i].clone());
+                i += 1;
+            }
+            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+        }
+    }
+    let Some(jobs) = jobs else {
+        return Err("launch needs --jobs N (the number of worker processes)".to_string());
+    };
+    let opts = parse_run_options(&run_flags)?;
+    Ok((jobs, opts, hosts_file, run_dir))
 }
 
 // ------------------------------------------------------------------ topo
@@ -505,6 +586,7 @@ fn main() -> ExitCode {
             };
             cmd_run(name, &args[2..])
         }
+        "launch" => cmd_launch(&args[1..]),
         "merge" => cmd_merge(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
         "--help" | "-h" | "help" => {

@@ -2,12 +2,18 @@
 //!
 //! The actual experiment logic lives in [`jellyfish::experiment`] (with the
 //! legacy per-figure entry points in [`jellyfish::figures`]); this crate
-//! only formats its output and wires it into `cargo bench` targets. See
+//! formats its output, wires it into `cargo bench` targets, and hosts the
+//! process-level sweep drivers: [`merge`] (shard-fragment validation and
+//! recombination shared by `figures merge` and the launcher) and [`launch`]
+//! (the distributed shard launcher behind `figures launch`). See
 //! EXPERIMENTS.md at the repository root for the index of experiments and
-//! the measured-vs-paper comparison.
+//! the distributed-run workflow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod launch;
+pub mod merge;
 
 use jellyfish::experiment::Dataset;
 use jellyfish::figures::{Scale, Series};

@@ -1,0 +1,188 @@
+//! Shard-fragment merging shared by `figures merge` and `figures launch`.
+//!
+//! A merge takes the [`ShardFragment`]s of all `N` shards of one or more
+//! experiments and recombines them into the datasets a single-process
+//! `figures run` would have produced, byte-for-byte. Before combining
+//! anything it validates the whole set: every fragment must name a
+//! registered experiment, fragments of one experiment must agree on
+//! `(scale, seed, topo)`, per-item timings (when present) must pair up with
+//! the items, and the items must cover the experiment's work-item list
+//! exactly — no duplicates, no gaps. Violations are reported with the
+//! experiment name *and* the offending item's debug label, so "item 7 is
+//! missing" reads as "item 7 ('jellyfish 96sw x16') is missing".
+
+use jellyfish::experiment::{self, Dataset, Experiment, RunCtx, ShardFragment};
+use jellyfish::figures::Scale;
+use jellyfish_topology::TopoSpec;
+
+/// One merged experiment: the run configuration the fragments agreed on and
+/// the recombined dataset, ready for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedRun {
+    /// Registered experiment name.
+    pub name: &'static str,
+    /// Scale all fragments ran at.
+    pub scale: Scale,
+    /// Seed all fragments ran with.
+    pub seed: u64,
+    /// The `--topo` override all fragments ran with, if any.
+    pub topo: Option<String>,
+    /// The dataset, identical to an unsharded [`Experiment::run`].
+    pub data: Dataset,
+}
+
+/// The valid experiment-name choices as one comma-separated string (`all`
+/// first, then the registry in canonical order) — the list every
+/// unknown-name error cites, in the CLI and here.
+pub fn experiment_names() -> String {
+    let mut names = vec!["all"];
+    names.extend(experiment::names());
+    names.join(", ")
+}
+
+/// Validates and merges a set of fragments (from any number of experiments),
+/// returning one [`MergedRun`] per experiment in canonical registry order —
+/// the order `figures run all` evaluates in.
+pub fn merge_fragments(fragments: &[ShardFragment]) -> Result<Vec<MergedRun>, String> {
+    for f in fragments {
+        if experiment::find(&f.experiment).is_none() {
+            return Err(format!(
+                "unknown experiment '{}' in fragment: valid experiments are {}",
+                f.experiment,
+                experiment_names()
+            ));
+        }
+    }
+    let mut merged = Vec::new();
+    for exp in experiment::registry() {
+        let group: Vec<&ShardFragment> =
+            fragments.iter().filter(|f| f.experiment == exp.name()).collect();
+        if group.is_empty() {
+            continue;
+        }
+        merged.push(merge_group(*exp, &group)?);
+    }
+    Ok(merged)
+}
+
+/// All fragments of one `(experiment, scale, seed, topo)` group, with the
+/// merge validation `figures merge` applies: full, duplicate-free item
+/// coverage under a consistent run configuration, and per-item timings that
+/// pair up with the items wherever they are present.
+fn merge_group(exp: &dyn Experiment, fragments: &[&ShardFragment]) -> Result<MergedRun, String> {
+    let name = exp.name();
+    let (scale, seed) = (fragments[0].scale, fragments[0].seed);
+    let topo = fragments[0].topo.clone();
+    for f in fragments {
+        if f.scale != scale || f.seed != seed {
+            return Err(format!(
+                "{name}: fragments disagree on scale/seed \
+                 ({scale}/{seed} vs {}/{}); shards of one sweep must share both",
+                f.scale, f.seed
+            ));
+        }
+        if f.topo != topo {
+            return Err(format!(
+                "{name}: fragments disagree on --topo ({} vs {}); \
+                 shards of one sweep must share the topology override",
+                topo.as_deref().unwrap_or("<none>"),
+                f.topo.as_deref().unwrap_or("<none>")
+            ));
+        }
+        if !f.timings_us.is_empty() && f.timings_us.len() != f.items.len() {
+            return Err(format!(
+                "{name}: fragment {} carries {} timings for {} items; \
+                 the file is corrupt or truncated",
+                f.shard,
+                f.timings_us.len(),
+                f.items.len()
+            ));
+        }
+    }
+    let mut ctx = RunCtx::new(scale, seed);
+    if let Some(raw) = &topo {
+        let spec: TopoSpec = raw
+            .parse()
+            .map_err(|e| format!("{name}: fragment has an unparsable topo spec '{raw}': {e}"))?;
+        if !exp.supports_topo_override() {
+            return Err(format!("{name}: fragment carries --topo but the experiment is fixed"));
+        }
+        ctx = ctx.with_topo(spec);
+    }
+    let work_items = exp.work_items(&ctx);
+    let expected = work_items.len();
+    let mut seen = vec![false; expected];
+    let mut items = Vec::new();
+    let mut columns: Option<&[String]> = None;
+    let mut meta: Vec<(&str, &str)> = Vec::new();
+    for f in fragments {
+        for item in &f.items {
+            // Pre-validate what Dataset::concat asserts, so corrupted or
+            // version-skewed fragment files fail cleanly instead of panicking.
+            for (k, v) in &item.data.meta {
+                match meta.iter().find(|(ek, _)| ek == k) {
+                    Some((_, ev)) if ev != v => {
+                        return Err(format!(
+                            "{name}: fragments disagree on metadata '{k}' ('{ev}' vs '{v}'); \
+                             were they produced by different builds?"
+                        ));
+                    }
+                    Some(_) => {}
+                    None => meta.push((k, v)),
+                }
+            }
+            if !item.data.columns.is_empty() {
+                match columns {
+                    None => columns = Some(&item.data.columns),
+                    Some(cols) if cols != item.data.columns.as_slice() => {
+                        return Err(format!(
+                            "{name}: fragments disagree on table columns \
+                             ({cols:?} vs {:?}); were they produced by different builds?",
+                            item.data.columns
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if item.index >= expected {
+                return Err(format!(
+                    "{name}: fragment {} has item {} but the experiment only has {expected} \
+                     work items at scale {scale}",
+                    f.shard, item.index
+                ));
+            }
+            if seen[item.index] {
+                return Err(format!(
+                    "{name}: item {} ('{}') appears in more than one fragment (same shard \
+                     file passed twice?)",
+                    item.index, work_items[item.index].label
+                ));
+            }
+            seen[item.index] = true;
+            items.push(item.clone());
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!(
+            "{name}: incomplete shard set: item {missing} ('{}') of {expected} is missing \
+             (pass the fragment files of all N shards)",
+            work_items[missing].label
+        ));
+    }
+    Ok(MergedRun { name, scale, seed, topo, data: exp.merge(items) })
+}
+
+/// Renders merged runs exactly as `figures run` prints them (TSV blocks, or
+/// one JSON line each with `json`).
+pub fn render_merged(runs: &[MergedRun], json: bool) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let rendered = if json {
+            crate::render_run_json(run.name, run.scale, run.seed, run.topo.as_deref(), &run.data)
+        } else {
+            crate::render_run(run.name, run.scale, run.seed, run.topo.as_deref(), &run.data)
+        };
+        out.push_str(&rendered);
+    }
+    out
+}

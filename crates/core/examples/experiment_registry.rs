@@ -32,13 +32,15 @@ fn main() {
     let fragments: Vec<ShardFragment> = (1..=2)
         .map(|k| {
             let shard = Shard::new(k, 2).unwrap();
+            let timed = exp.run_selected_timed(&RunCtx::new(Scale::Tiny, 7), &|i| shard.owns(i));
             let fragment = ShardFragment {
                 experiment: exp.name().to_string(),
                 scale: Scale::Tiny,
                 seed: 7,
                 topo: None,
                 shard,
-                items: exp.run_shard(&RunCtx::new(Scale::Tiny, 7), shard),
+                timings_us: timed.timings_us,
+                items: timed.items,
             };
             ShardFragment::from_json(&fragment.to_json()).expect("fragment JSON round-trips")
         })

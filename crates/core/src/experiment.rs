@@ -18,6 +18,18 @@
 //!   item derives its randomness from `(seed, item)` alone, running the
 //!   shards in separate processes and merging the [`ShardFragment`]s is
 //!   byte-identical to a single-process [`Experiment::run`].
+//! * [`WorkPlan`] — how the items are partitioned across the `N` shards:
+//!   pure `K/N` striping ([`WorkPlan::striped`], the `--shard` default), or
+//!   timing-aware LPT bin-packing over a prior run's measured per-item
+//!   wall-clock ([`WorkPlan::lpt`]). Both are exact partitions, so the merge
+//!   coverage validation is unaffected by which partitioner produced the
+//!   fragments.
+//! * [`TimingFile`] — the measured per-item wall-clock of a prior run
+//!   (`timings.json` in a `figures launch` run directory), keyed by
+//!   experiment; `figures run --plan <file>` feeds it back into
+//!   [`WorkPlan::plan`] so the next run is balanced by cost instead of
+//!   striped blindly. Timings are measurement, never data: they vary run to
+//!   run and have no influence on any item result.
 //! * [`registry`] — the static table of experiments (the paper's 17 figures
 //!   and tables plus the topology-generic sweeps in [`generic`]), keyed by
 //!   the names the `figures` CLI exposes (`figures list`).
@@ -510,6 +522,155 @@ impl fmt::Display for Shard {
     }
 }
 
+/// How an experiment's work items are partitioned across `N` shards.
+///
+/// [`WorkPlan::striped`] reproduces the classic `--shard K/N` striping rule
+/// ([`Shard::owns`]); [`WorkPlan::lpt`] bin-packs items by measured per-item
+/// cost (longest-processing-time-first greedy) so a prior run's
+/// [`TimingFile`] balances the next run. Both produce exact partitions —
+/// every item lands in exactly one bin — which is what keeps the
+/// `figures merge` coverage validation independent of the partitioner that
+/// produced the fragments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkPlan {
+    bins: Vec<Vec<usize>>,
+}
+
+impl WorkPlan {
+    /// The striping partition: bin `K` owns every index congruent to
+    /// `K - 1` modulo `num_shards` (exactly [`Shard::owns`]).
+    pub fn striped(num_items: usize, num_shards: usize) -> WorkPlan {
+        assert!(num_shards > 0, "a work plan needs at least one shard");
+        let mut bins = vec![Vec::new(); num_shards];
+        for index in 0..num_items {
+            bins[index % num_shards].push(index);
+        }
+        WorkPlan { bins }
+    }
+
+    /// The LPT (longest processing time first) greedy bin-packing: items in
+    /// descending timing order (ties broken by ascending index) each go to
+    /// the currently least-loaded bin (ties to the lowest bin index). The
+    /// result is a deterministic pure function of `(timings_us, num_shards)`
+    /// whose heaviest bin is within `mean + max_item` of the total/shards
+    /// lower bound — the classic greedy guarantee.
+    pub fn lpt(timings_us: &[u64], num_shards: usize) -> WorkPlan {
+        assert!(num_shards > 0, "a work plan needs at least one shard");
+        let mut order: Vec<usize> = (0..timings_us.len()).collect();
+        order.sort_by(|&a, &b| timings_us[b].cmp(&timings_us[a]).then(a.cmp(&b)));
+        let mut bins = vec![Vec::new(); num_shards];
+        let mut loads = vec![0u128; num_shards];
+        for index in order {
+            let mut best = 0;
+            for bin in 1..num_shards {
+                if loads[bin] < loads[best] {
+                    best = bin;
+                }
+            }
+            bins[best].push(index);
+            loads[best] += timings_us[index] as u128;
+        }
+        for bin in &mut bins {
+            bin.sort_unstable();
+        }
+        WorkPlan { bins }
+    }
+
+    /// The partition sharded workers actually use: LPT when `timings` holds
+    /// exactly one measurement per item, striping otherwise (no prior run,
+    /// or the item decomposition changed since the timing file was written).
+    pub fn plan(num_items: usize, num_shards: usize, timings: Option<&[u64]>) -> WorkPlan {
+        match timings {
+            Some(t) if t.len() == num_items => WorkPlan::lpt(t, num_shards),
+            _ => WorkPlan::striped(num_items, num_shards),
+        }
+    }
+
+    /// Number of bins (shards) this plan partitions into.
+    pub fn num_shards(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The item indices shard `K/N` owns under this plan, ascending; panics
+    /// when the plan was built for a different shard count.
+    pub fn items_for(&self, shard: Shard) -> &[usize] {
+        assert_eq!(
+            shard.count,
+            self.bins.len(),
+            "work plan was built for {} shards, asked for shard {shard}",
+            self.bins.len()
+        );
+        &self.bins[shard.index - 1]
+    }
+
+    /// Whether `index` belongs to `shard` under this plan.
+    pub fn owns(&self, shard: Shard, index: usize) -> bool {
+        self.items_for(shard).binary_search(&index).is_ok()
+    }
+}
+
+/// The measured per-item wall-clock of one prior run, keyed by experiment:
+/// what `figures launch` writes as `timings.json` into its run directory and
+/// what `figures run/launch --plan <file>` feeds back into [`WorkPlan::plan`]
+/// for timing-aware load balancing. `scale`, `seed` and `topo` record the
+/// run the measurements came from; workers fall back to striping when they
+/// do not match the current run (the item decomposition may differ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingFile {
+    /// Scale of the measured run.
+    pub scale: Scale,
+    /// Seed of the measured run.
+    pub seed: u64,
+    /// `--topo` override spec string of the measured run, if any.
+    pub topo: Option<String>,
+    /// Per-experiment measurements: `timings_us[i]` is the wall-clock of
+    /// work item `i` in microseconds.
+    pub experiments: Vec<(String, Vec<u64>)>,
+}
+
+impl TimingFile {
+    /// An empty timing file for a `(scale, seed, topo)` run.
+    pub fn new(scale: Scale, seed: u64, topo: Option<String>) -> Self {
+        TimingFile { scale, seed, topo, experiments: Vec::new() }
+    }
+
+    /// Records (or replaces) the per-item timings of one experiment.
+    pub fn record(&mut self, name: impl Into<String>, timings_us: Vec<u64>) {
+        let name = name.into();
+        match self.experiments.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, t)) => *t = timings_us,
+            None => self.experiments.push((name, timings_us)),
+        }
+    }
+
+    /// The recorded timings of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&[u64]> {
+        self.experiments.iter().find(|(n, _)| n == name).map(|(_, t)| t.as_slice())
+    }
+
+    /// Renders the timing file as JSON.
+    pub fn to_json(&self) -> String {
+        json::timing_file_to_json(self)
+    }
+
+    /// Parses [`TimingFile::to_json`] output.
+    pub fn from_json(text: &str) -> Result<TimingFile, String> {
+        json::timing_file_from_json(text)
+    }
+}
+
+/// The items one (possibly partial) run evaluated plus the wall-clock each
+/// item took: `items` and `timings_us` are parallel vectors, exactly the
+/// payload of a [`ShardFragment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRun {
+    /// Item results, sorted by item index.
+    pub items: Vec<ItemResult>,
+    /// Wall-clock microseconds [`Experiment::run_item`] took for the
+    /// corresponding entry of `items` (clamped to at least 1).
+    pub timings_us: Vec<u64>,
+}
+
 /// The output of one shard of one experiment: the metadata a merge needs to
 /// validate coverage plus the item results the shard owns. Serializes to a
 /// single JSON line (`figures run --shard K/N` emits one per experiment) and
@@ -528,6 +689,10 @@ pub struct ShardFragment {
     pub topo: Option<String>,
     /// Which slice of the work items this fragment holds.
     pub shard: Shard,
+    /// Measured wall-clock microseconds per entry of `items` (parallel
+    /// vectors; empty only in fragments from builds that predate timing).
+    /// `figures launch` aggregates these into the run's [`TimingFile`].
+    pub timings_us: Vec<u64>,
     /// The item results, sorted by item index.
     pub items: Vec<ItemResult>,
 }
@@ -600,15 +765,29 @@ pub trait Experiment: Sync {
     /// Shared driver for [`Experiment::run`] / [`Experiment::run_shard`]:
     /// evaluates the (optionally shard-filtered) items in parallel.
     fn run_items(&self, ctx: &RunCtx, shard: Option<Shard>) -> Vec<ItemResult> {
-        let items: Vec<WorkItem> = self
-            .work_items(ctx)
-            .into_iter()
-            .filter(|it| shard.is_none_or(|s| s.owns(it.index)))
+        self.run_selected_timed(ctx, &|index| shard.is_none_or(|s| s.owns(index))).items
+    }
+
+    /// The timing-aware driver everything funnels through: evaluates the
+    /// items `selected` accepts (by index) in parallel, recording each
+    /// item's wall-clock. The timings are measurement, not data — they vary
+    /// run to run and never influence an item result, so sharded outputs
+    /// stay byte-identical to single-process runs regardless of them.
+    fn run_selected_timed(&self, ctx: &RunCtx, selected: &dyn Fn(usize) -> bool) -> TimedRun {
+        let items: Vec<WorkItem> =
+            self.work_items(ctx).into_iter().filter(|it| selected(it.index)).collect();
+        let mut timed: Vec<(ItemResult, u64)> = items
+            .par_iter()
+            .map(|item| {
+                let start = std::time::Instant::now();
+                let result = self.run_item(ctx, item);
+                let micros = start.elapsed().as_micros().max(1) as u64;
+                (result, micros)
+            })
             .collect();
-        let mut results: Vec<ItemResult> =
-            items.par_iter().map(|item| self.run_item(ctx, item)).collect();
-        results.sort_by_key(|r| r.index);
-        results
+        timed.sort_by_key(|(r, _)| r.index);
+        let (items, timings_us) = timed.into_iter().unzip();
+        TimedRun { items, timings_us }
     }
 }
 
@@ -802,6 +981,7 @@ mod tests {
             seed: u64::MAX,
             topo: None,
             shard: Shard::new(2, 3).unwrap(),
+            timings_us: vec![u64::MAX],
             items: vec![ItemResult::new(1, ds)],
         };
         let back = ShardFragment::from_json(&frag.to_json()).unwrap();
@@ -809,7 +989,92 @@ mod tests {
         frag.topo = Some("leafspine:leaf=6,spine=3,servers=4".to_string());
         let back = ShardFragment::from_json(&frag.to_json()).unwrap();
         assert_eq!(frag, back);
+        // Timing-free fragments (older builds) still parse; a fragment whose
+        // timings disagree with its item count is corrupt and rejected.
+        frag.timings_us = Vec::new();
+        let back = ShardFragment::from_json(&frag.to_json()).unwrap();
+        assert_eq!(frag, back);
+        frag.timings_us = vec![1, 2];
+        assert!(ShardFragment::from_json(&frag.to_json())
+            .unwrap_err()
+            .contains("2 timings for 1 items"));
         assert!(ShardFragment::from_json("{\"experiment\":1}").is_err());
         assert!(ShardFragment::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn striped_plan_matches_shard_ownership() {
+        for n in 1..=5usize {
+            let plan = WorkPlan::striped(17, n);
+            assert_eq!(plan.num_shards(), n);
+            for k in 1..=n {
+                let shard = Shard::new(k, n).unwrap();
+                for index in 0..17 {
+                    assert_eq!(plan.owns(shard, index), shard.owns(index));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_plan_balances_by_measured_cost() {
+        // One dominant item plus small ones: striping piles the heavy item
+        // onto whatever bin its index lands in together with other work; LPT
+        // isolates it.
+        let timings = [100, 1, 1, 1, 1, 1];
+        let plan = WorkPlan::lpt(&timings, 2);
+        let heavy = Shard::new(1, 2).unwrap();
+        assert_eq!(plan.items_for(heavy), &[0], "heaviest item gets a bin of its own");
+        let rest = Shard::new(2, 2).unwrap();
+        assert_eq!(plan.items_for(rest), &[1, 2, 3, 4, 5]);
+        // Exact partition, deterministic rebuild.
+        let mut all: Vec<usize> =
+            (1..=2).flat_map(|k| plan.items_for(Shard::new(k, 2).unwrap()).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..timings.len()).collect::<Vec<_>>());
+        assert_eq!(plan, WorkPlan::lpt(&timings, 2));
+    }
+
+    #[test]
+    fn plan_falls_back_to_striping_without_matching_timings() {
+        let striped = WorkPlan::striped(5, 2);
+        assert_eq!(WorkPlan::plan(5, 2, None), striped);
+        assert_eq!(WorkPlan::plan(5, 2, Some(&[9, 9, 9])), striped, "stale length: striped");
+        let timed = WorkPlan::plan(5, 2, Some(&[50, 1, 1, 1, 1]));
+        assert_eq!(timed, WorkPlan::lpt(&[50, 1, 1, 1, 1], 2));
+    }
+
+    #[test]
+    fn timing_file_records_and_round_trips() {
+        let mut tf = TimingFile::new(Scale::Tiny, 7, Some("fattree:k=4".to_string()));
+        tf.record("fig9", vec![3, 1, 4]);
+        tf.record("fig8", vec![2, 7]);
+        tf.record("fig9", vec![5, 9, 2]);
+        assert_eq!(tf.get("fig9"), Some(&[5, 9, 2][..]), "re-recording replaces");
+        assert_eq!(tf.get("fig8"), Some(&[2, 7][..]));
+        assert_eq!(tf.get("nope"), None);
+        let back = TimingFile::from_json(&tf.to_json()).unwrap();
+        assert_eq!(tf, back);
+        let no_topo = TimingFile::new(Scale::Laptop, u64::MAX, None);
+        assert_eq!(TimingFile::from_json(&no_topo.to_json()).unwrap(), no_topo);
+        assert!(TimingFile::from_json("{}").is_err());
+        assert!(TimingFile::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn run_selected_timed_times_every_selected_item() {
+        let exp = find("fig2a").unwrap();
+        let ctx = RunCtx::new(Scale::Tiny, 7);
+        let n = exp.work_items(&ctx).len();
+        let timed = exp.run_selected_timed(&ctx, &|i| i % 2 == 0);
+        assert_eq!(timed.items.len(), n.div_ceil(2));
+        assert_eq!(timed.items.len(), timed.timings_us.len());
+        assert!(timed.items.iter().all(|r| r.index % 2 == 0));
+        assert!(timed.timings_us.iter().all(|&t| t >= 1), "timings are clamped non-zero");
+        // The timed results are the same item results the untimed path gives.
+        let untimed = exp.run_items(&ctx, None);
+        for item in &timed.items {
+            assert_eq!(untimed[item.index], *item);
+        }
     }
 }

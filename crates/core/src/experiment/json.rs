@@ -7,7 +7,7 @@
 //! `f64` — survives a write/parse cycle exactly. That exactness is what lets
 //! `figures merge` reproduce a single-process run byte-for-byte.
 
-use super::{Dataset, ItemResult, Row, Series, Shard, ShardFragment};
+use super::{Dataset, ItemResult, Row, Series, Shard, ShardFragment, TimingFile};
 use crate::figures::Scale;
 
 // ---------------------------------------------------------------- encoding
@@ -124,7 +124,17 @@ pub(super) fn fragment_to_json(frag: &ShardFragment) -> String {
         Some(spec) => escape_into(&mut out, spec),
         None => out.push_str("null"),
     }
-    out.push_str(&format!(",\"shard\":[{},{}],\"items\":[", frag.shard.index, frag.shard.count));
+    out.push_str(&format!(
+        ",\"shard\":[{},{}],\"timings_us\":[",
+        frag.shard.index, frag.shard.count
+    ));
+    for (i, t) in frag.timings_us.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{t}"));
+    }
+    out.push_str("],\"items\":[");
     for (i, item) in frag.items.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -132,6 +142,34 @@ pub(super) fn fragment_to_json(frag: &ShardFragment) -> String {
         out.push_str(&format!("{{\"index\":{},\"data\":", item.index));
         dataset_into(&mut out, &item.data);
         out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a timing file (`figures launch`'s `timings.json`) as JSON.
+pub(super) fn timing_file_to_json(tf: &TimingFile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"scale\":\"{}\",\"seed\":{},\"topo\":", tf.scale, tf.seed));
+    match &tf.topo {
+        Some(spec) => escape_into(&mut out, spec),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"experiments\":[");
+    for (i, (name, timings)) in tf.experiments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        escape_into(&mut out, name);
+        out.push_str(",[");
+        for (j, t) in timings.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{t}"));
+        }
+        out.push_str("]]");
     }
     out.push_str("]}");
     out
@@ -441,6 +479,12 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
         return Err("'shard' is not a [K, N] pair".to_string());
     }
     let shard = Shard::new(shard[0].as_usize()?, shard[1].as_usize()?)?;
+    // `timings_us` is optional so fragments written before it existed still
+    // parse; when present it must pair up with the items exactly.
+    let timings_us: Vec<u64> = match v.get("timings_us") {
+        Ok(arr) => arr.as_arr()?.iter().map(|t| t.as_u64()).collect::<Result<_, _>>()?,
+        Err(_) => Vec::new(),
+    };
     let mut items = Vec::new();
     for item in v.get("items")?.as_arr()? {
         items.push(ItemResult::new(
@@ -448,5 +492,34 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
             dataset_from_value(item.get("data")?)?,
         ));
     }
-    Ok(ShardFragment { experiment, scale, seed, topo, shard, items })
+    if !timings_us.is_empty() && timings_us.len() != items.len() {
+        return Err(format!(
+            "fragment carries {} timings for {} items; the file is corrupt or truncated",
+            timings_us.len(),
+            items.len()
+        ));
+    }
+    Ok(ShardFragment { experiment, scale, seed, topo, shard, timings_us, items })
+}
+
+/// Parses [`timing_file_to_json`] output.
+pub(super) fn timing_file_from_json(text: &str) -> Result<TimingFile, String> {
+    let v = parse_document(text)?;
+    let scale: Scale = v.get("scale")?.as_str()?.parse().map_err(|e| format!("{e}"))?;
+    let seed = v.get("seed")?.as_u64()?;
+    let topo = match v.get("topo") {
+        Ok(Value::Null) | Err(_) => None,
+        Ok(value) => Some(value.as_str()?.to_string()),
+    };
+    let mut tf = TimingFile::new(scale, seed, topo);
+    for entry in v.get("experiments")?.as_arr()? {
+        let pair = entry.as_arr()?;
+        if pair.len() != 2 {
+            return Err("timing entry is not a [name, timings] pair".to_string());
+        }
+        let timings =
+            pair[1].as_arr()?.iter().map(|t| t.as_u64()).collect::<Result<Vec<_>, _>>()?;
+        tf.record(pair[0].as_str()?.to_string(), timings);
+    }
+    Ok(tf)
 }

@@ -118,13 +118,22 @@ fn sharded_runs_roundtrip_through_fragment_json() {
         let mut parsed_items = Vec::new();
         for k in 1..=N {
             let shard = Shard::new(k, N).unwrap();
+            let timed = exp.run_selected_timed(&ctx_for(base.topo), &|i| shard.owns(i));
+            assert_eq!(
+                timed.items.len(),
+                timed.timings_us.len(),
+                "{}: timing per item",
+                exp.name()
+            );
+            assert!(timed.timings_us.iter().all(|&t| t > 0), "{}: zero timing", exp.name());
             let fragment = ShardFragment {
                 experiment: exp.name().to_string(),
                 scale: Scale::Tiny,
                 seed: SEED,
                 topo: base.topo.map(str::to_string),
                 shard,
-                items: exp.run_shard(&ctx_for(base.topo), shard),
+                timings_us: timed.timings_us,
+                items: timed.items,
             };
             let parsed = ShardFragment::from_json(&fragment.to_json())
                 .unwrap_or_else(|e| panic!("{}: fragment JSON round-trip failed: {e}", base.name));
