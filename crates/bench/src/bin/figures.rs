@@ -12,6 +12,7 @@
 //!                              [--scale ...] [--seed N] [--topo <spec>]
 //! figures launch <experiment|all> --jobs N [--plan <timings.json>]
 //!                              [--hosts <file>] [--run-dir <dir>]
+//!                              [--timeout-secs N]
 //!                              [--scale ...] [--seed N] [--topo <spec>] [--json]
 //! figures merge <file...> [--json]
 //! figures topo list
@@ -37,8 +38,10 @@
 //! `figures launch` is the one-command distributed driver: it spawns the N
 //! shard workers itself (locally, or through `--hosts` command templates),
 //! streams their fragments into `--run-dir`, retries each failed worker
-//! once, merges, and writes the run's own `timings.json` — see the
-//! "Distributed runs" section of EXPERIMENTS.md.
+//! once (after an exponential backoff; with `--timeout-secs N` a worker
+//! still running after N seconds is killed and counts as failed), merges,
+//! and writes the run's own `timings.json` — see the "Distributed runs"
+//! section of EXPERIMENTS.md.
 //!
 //! `--topo <spec>` redirects the topology-generic experiments
 //! (`throughput_vs_size`, `path_length`, `bisection`, `failure_sweep`) at
@@ -53,10 +56,12 @@ use jellyfish::figures::Scale;
 use jellyfish_bench::launch::{self, LaunchConfig};
 use jellyfish_bench::merge::{experiment_names, merge_fragments, render_merged};
 use jellyfish_bench::{render_run, render_run_json};
+use jellyfish_sim::net::LinkParams;
 use jellyfish_topology::properties::path_length_stats;
 use jellyfish_topology::spec::{self, TopoSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: figures <command> [options]
 
@@ -92,6 +97,10 @@ launch options (plus --scale, --seed, --topo, --plan, --json as above):
   --run-dir <dir>             where fragments, worker logs, timings.json and
                               the merged output land
                               (default: figures-runs/<name>-<scale>-<seed>)
+  --timeout-secs N            per-worker wall-clock deadline: an attempt
+                              still running after N seconds is killed and
+                              counts as failed (then retried once, like any
+                              other failure); default is no deadline
 
 merge options:
   --json                      print JSON instead of TSV
@@ -363,7 +372,7 @@ fn cmd_launch(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let parsed = parse_launch_options(&args[1..]);
-    let (jobs, opts, hosts_file, run_dir) = match parsed {
+    let (jobs, opts, hosts_file, run_dir, timeout) = match parsed {
         Ok(parsed) => parsed,
         Err(e) => return fail(&e),
     };
@@ -410,6 +419,7 @@ fn cmd_launch(args: &[String]) -> ExitCode {
         plan: opts.plan.as_ref().map(PathBuf::from),
         hosts,
         run_dir,
+        timeout,
         json: opts.json,
     };
     match launch::launch(&cfg) {
@@ -422,14 +432,16 @@ fn cmd_launch(args: &[String]) -> ExitCode {
 }
 
 /// Parses `launch` flags: the shared run flags plus `--jobs`, `--hosts`,
-/// `--run-dir`. `--jobs` is required; `--shard` is the launcher's to assign.
+/// `--run-dir`, `--timeout-secs`. `--jobs` is required; `--shard` is the
+/// launcher's to assign.
 #[allow(clippy::type_complexity)]
 fn parse_launch_options(
     args: &[String],
-) -> Result<(usize, RunOptions, Option<String>, Option<PathBuf>), String> {
+) -> Result<(usize, RunOptions, Option<String>, Option<PathBuf>, Option<Duration>), String> {
     let mut jobs: Option<usize> = None;
     let mut hosts_file: Option<String> = None;
     let mut run_dir: Option<PathBuf> = None;
+    let mut timeout: Option<Duration> = None;
     let mut run_flags: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -443,6 +455,17 @@ fn parse_launch_options(
                     return Err("--jobs must be at least 1".to_string());
                 }
                 jobs = Some(n);
+                i += 2;
+            }
+            "--timeout-secs" => {
+                let raw = flag_value(args, i, "--timeout-secs")?;
+                let n: u64 = raw.parse().map_err(|_| {
+                    format!("unparsable --timeout-secs '{raw}': expected a positive integer")
+                })?;
+                if n == 0 {
+                    return Err("--timeout-secs must be at least 1".to_string());
+                }
+                timeout = Some(Duration::from_secs(n));
                 i += 2;
             }
             "--hosts" => {
@@ -474,7 +497,7 @@ fn parse_launch_options(
         return Err("launch needs --jobs N (the number of worker processes)".to_string());
     };
     let opts = parse_run_options(&run_flags)?;
-    Ok((jobs, opts, hosts_file, run_dir))
+    Ok((jobs, opts, hosts_file, run_dir, timeout))
 }
 
 // ------------------------------------------------------------------ topo
@@ -531,6 +554,18 @@ fn cmd_topo_show(args: &[String]) -> ExitCode {
     }
     for t in spec.transforms() {
         println!("transform\t{t}");
+    }
+    // The simulator's per-link baseline, so a run's provenance is readable
+    // off the spec alone: every link starts from these defaults, and the
+    // `impair` line (the field-wise merge of the spec's `+impair=` chain)
+    // shows what the wire layer does on top — including any `queue:` buffer
+    // override.
+    let link = LinkParams::default();
+    println!("link\trate\t{}", link.rate);
+    println!("link\tdelay\t{}", link.delay);
+    println!("link\tbuffer\t{}", link.buffer);
+    if let Some(cfg) = spec.impairment() {
+        println!("impair\t{cfg}");
     }
     ExitCode::SUCCESS
 }

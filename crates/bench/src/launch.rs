@@ -14,9 +14,12 @@
 //!    of a hosts file (see [`parse_hosts_file`]); each worker's stdout
 //!    streams into `<run-dir>/shard-K.jsonl`, its stderr into
 //!    `<run-dir>/shard-K.log`.
-//! 3. retry — a worker that exits non-zero, or whose fragment file is
-//!    missing/empty/unparsable, is retried exactly once; a second failure is
-//!    a hard error naming the shard (and pointing at its log).
+//! 3. retry — a worker that exits non-zero, overruns the `--timeout-secs`
+//!    deadline (it is killed and counts as failed), or leaves its fragment
+//!    file missing/empty/unparsable, is retried exactly once, after an
+//!    exponentially growing backoff; a second failure is a hard error naming
+//!    the shard (and pointing at its log). Workers are polled, never
+//!    blocking-waited, so one hung worker cannot stall the whole launch.
 //! 4. merge — the collected fragments go through the same validation and
 //!    recombination as `figures merge` ([`crate::merge`]), so the launcher's
 //!    stdout is byte-identical to a single-process `figures run`. The
@@ -31,10 +34,25 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 /// A worker is retried this many times in total (one retry after the first
 /// failure) before the launch fails hard.
 const MAX_ATTEMPTS: usize = 2;
+
+/// Base of the exponential backoff slept before re-spawning a failed worker.
+const RETRY_BACKOFF_MS: u64 = 250;
+
+/// How often the launcher polls its workers (`try_wait`, deadline checks,
+/// due retries).
+const POLL_INTERVAL: Duration = Duration::from_millis(15);
+
+/// Backoff before spawning attempt number `attempt` of a worker:
+/// `RETRY_BACKOFF_MS << (attempt - 1)`, i.e. 500ms before the (single)
+/// second attempt, doubling from there should `MAX_ATTEMPTS` ever grow.
+fn retry_backoff(attempt: usize) -> Duration {
+    Duration::from_millis(RETRY_BACKOFF_MS << (attempt - 1).min(6))
+}
 
 /// Everything `figures launch` needs for one distributed run.
 #[derive(Debug, Clone)]
@@ -57,6 +75,10 @@ pub struct LaunchConfig {
     /// Directory the fragment files, worker logs, `timings.json` and merged
     /// output are written into (created if missing).
     pub run_dir: PathBuf,
+    /// Per-worker wall-clock deadline (`--timeout-secs`): an attempt still
+    /// running this long after its spawn is killed and counts as failed
+    /// (going through the normal retry path). `None`: wait indefinitely.
+    pub timeout: Option<Duration>,
     /// Render the merged output as JSON lines instead of TSV blocks.
     pub json: bool,
 }
@@ -236,62 +258,148 @@ fn kill_all(children: Vec<(usize, Child)>) {
     }
 }
 
+/// What the poll loop observed about one running worker.
+enum Polled {
+    /// Still within its deadline (or has none) and still running.
+    Running,
+    /// Exited on its own.
+    Exited(std::process::ExitStatus),
+    /// Overran its deadline; it has been killed and reaped.
+    TimedOut,
+    /// `try_wait` itself failed — the launch cannot continue.
+    WaitErr(std::io::Error),
+}
+
 /// Runs every worker to completion, concurrently, retrying each failed
-/// worker exactly once. Returns all shards' fragments (in shard order), or a
-/// hard error naming the shard that failed twice — after killing and reaping
-/// whatever workers were still running.
-pub fn run_workers(cmds: &[WorkerCmd], run_dir: &Path) -> Result<Vec<ShardFragment>, String> {
+/// worker exactly once (after an exponential backoff). Workers are polled
+/// with `try_wait` rather than blocking-waited, so a per-worker `timeout`
+/// can kill an attempt that hangs — a timed-out attempt counts as a failure
+/// and goes through the same retry path as a non-zero exit. Returns all
+/// shards' fragments (in shard order), or a hard error naming the shard
+/// that failed twice — after killing and reaping whatever workers were
+/// still running.
+pub fn run_workers(
+    cmds: &[WorkerCmd],
+    run_dir: &Path,
+    timeout: Option<Duration>,
+) -> Result<Vec<ShardFragment>, String> {
+    // (worker index, running child, wall-clock deadline of this attempt).
+    struct Running {
+        idx: usize,
+        child: Child,
+        deadline: Option<Instant>,
+    }
+    let abort = |running: Vec<Running>, err: String| {
+        kill_all(running.into_iter().map(|r| (r.idx, r.child)).collect());
+        Err(err)
+    };
     let mut attempts = vec![1usize; cmds.len()];
     let mut fragments: Vec<Vec<ShardFragment>> = vec![Vec::new(); cmds.len()];
-    let mut wave: Vec<(usize, Child)> = Vec::with_capacity(cmds.len());
+    let mut running: Vec<Running> = Vec::with_capacity(cmds.len());
+    // Failed workers sitting out their backoff: (worker index, respawn time).
+    let mut waiting: Vec<(usize, Instant)> = Vec::new();
+    let mut remaining = cmds.len();
     for (i, cmd) in cmds.iter().enumerate() {
         match spawn_worker(cmd, run_dir, 1) {
-            Ok(child) => wave.push((i, child)),
-            Err(e) => {
-                kill_all(wave);
-                return Err(e);
-            }
+            Ok(child) => running.push(Running {
+                idx: i,
+                child,
+                deadline: timeout.map(|t| Instant::now() + t),
+            }),
+            Err(e) => return abort(running, e),
         }
     }
-    while !wave.is_empty() {
-        let mut retries = Vec::new();
-        let mut pending = std::mem::take(&mut wave);
-        while let Some((i, mut child)) = pending.pop() {
-            let cmd = &cmds[i];
-            let status = match child.wait() {
-                Ok(status) => status,
-                Err(e) => {
-                    kill_all(pending);
-                    return Err(format!("shard {}: wait on worker failed: {e}", cmd.shard));
+    while remaining > 0 {
+        let now = Instant::now();
+        // Re-spawn workers whose backoff has elapsed.
+        let mut deferred = Vec::new();
+        for (i, due) in waiting.drain(..) {
+            if now < due {
+                deferred.push((i, due));
+                continue;
+            }
+            match spawn_worker(&cmds[i], run_dir, attempts[i]) {
+                Ok(child) => running.push(Running {
+                    idx: i,
+                    child,
+                    deadline: timeout.map(|t| Instant::now() + t),
+                }),
+                Err(e) => return abort(running, e),
+            }
+        }
+        waiting = deferred;
+        // Poll every running worker without blocking.
+        let mut progressed = false;
+        let mut i = 0;
+        while i < running.len() {
+            let polled = {
+                let w = &mut running[i];
+                match w.child.try_wait() {
+                    Ok(Some(status)) => Polled::Exited(status),
+                    Ok(None) => match w.deadline {
+                        Some(d) if now >= d => {
+                            let _ = w.child.kill();
+                            let _ = w.child.wait();
+                            Polled::TimedOut
+                        }
+                        _ => Polled::Running,
+                    },
+                    Err(e) => Polled::WaitErr(e),
                 }
             };
-            match collect_worker(cmd, status, run_dir) {
-                Ok(frags) => fragments[i] = frags,
-                Err(why) if attempts[i] < MAX_ATTEMPTS => retries.push((i, why)),
-                Err(why) => {
-                    kill_all(pending);
-                    return Err(format!(
-                        "shard {}: {why} (after {} retry); worker log: {}",
+            if matches!(polled, Polled::Running) {
+                i += 1;
+                continue;
+            }
+            let w = running.swap_remove(i);
+            let cmd = &cmds[w.idx];
+            progressed = true;
+            let outcome = match polled {
+                Polled::Exited(status) => collect_worker(cmd, status, run_dir),
+                Polled::TimedOut => Err(format!(
+                    "timed out after {}s (killed)",
+                    timeout.expect("deadlines only exist with a timeout").as_secs_f64()
+                )),
+                Polled::WaitErr(e) => {
+                    let err = format!("shard {}: wait on worker failed: {e}", cmd.shard);
+                    let mut rest = running;
+                    rest.push(w);
+                    return abort(rest, err);
+                }
+                Polled::Running => unreachable!("handled above"),
+            };
+            match outcome {
+                Ok(frags) => {
+                    fragments[w.idx] = frags;
+                    remaining -= 1;
+                }
+                Err(why) if attempts[w.idx] < MAX_ATTEMPTS => {
+                    attempts[w.idx] += 1;
+                    let backoff = retry_backoff(attempts[w.idx]);
+                    eprintln!(
+                        "figures launch: shard {}: {why}; retrying in {}ms \
+                         (attempt {}/{MAX_ATTEMPTS})",
                         cmd.shard,
-                        MAX_ATTEMPTS - 1,
-                        log_path(run_dir, cmd.shard).display()
-                    ));
+                        backoff.as_millis(),
+                        attempts[w.idx]
+                    );
+                    waiting.push((w.idx, now + backoff));
+                }
+                Err(why) => {
+                    return abort(
+                        running,
+                        format!(
+                            "shard {}: {why} (after {} retry); worker log: {}",
+                            cmd.shard,
+                            MAX_ATTEMPTS - 1,
+                            log_path(run_dir, cmd.shard).display()
+                        ),
+                    );
                 }
             }
         }
-        for (i, why) in retries {
-            attempts[i] += 1;
-            eprintln!(
-                "figures launch: shard {}: {why}; retrying (attempt {}/{MAX_ATTEMPTS})",
-                cmds[i].shard, attempts[i]
-            );
-            match spawn_worker(&cmds[i], run_dir, attempts[i]) {
-                Ok(child) => wave.push((i, child)),
-                Err(e) => {
-                    kill_all(wave);
-                    return Err(e);
-                }
-            }
+        if !progressed && remaining > 0 {
+            std::thread::sleep(POLL_INTERVAL);
         }
     }
     Ok(fragments.into_iter().flatten().collect())
@@ -366,7 +474,7 @@ pub fn launch(cfg: &LaunchConfig) -> Result<String, String> {
         cfg.jobs,
         cfg.run_dir.display()
     );
-    let fragments = run_workers(&cmds, &cfg.run_dir)?;
+    let fragments = run_workers(&cmds, &cfg.run_dir, cfg.timeout)?;
     let merged: Vec<MergedRun> = merge::merge_fragments(&fragments)?;
     let timings = assemble_timings(cfg, &fragments)?;
     let timings_path = cfg.run_dir.join("timings.json");
@@ -409,13 +517,67 @@ mod tests {
         let marker = dir.join("attempts");
         let shard = Shard::new(2, 3).unwrap();
         let cmd = sh(shard, format!("echo x >> {}; exit 3", marker.display()));
-        let err = run_workers(&[cmd], &dir).unwrap_err();
+        let start = std::time::Instant::now();
+        let err = run_workers(&[cmd], &dir, None).unwrap_err();
         assert!(err.contains("shard 2/3"), "error must name the shard: {err}");
         assert!(err.contains("exit"), "error must say how the worker died: {err}");
+        assert!(
+            start.elapsed() >= retry_backoff(2),
+            "the retry must sit out its backoff ({:?} elapsed)",
+            start.elapsed()
+        );
         let attempts = std::fs::read_to_string(&marker).unwrap();
         assert_eq!(attempts.lines().count(), 2, "exactly one retry after the first failure");
         let log = std::fs::read_to_string(log_path(&dir, shard)).unwrap();
         assert!(log.contains("--- attempt 1:") && log.contains("--- attempt 2:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hung_worker_is_timed_out_killed_and_retried() {
+        let dir = scratch("timeout");
+        let marker = dir.join("ran-once");
+        let payload = dir.join("fragment.json");
+        std::fs::write(&payload, format!("{FRAGMENT}\n")).unwrap();
+        let shard = Shard::new(1, 1).unwrap();
+        // First attempt hangs (30s sleep); the 1s deadline must kill it and
+        // the retry then succeeds — the launch never waits out the sleep.
+        let cmd = sh(
+            shard,
+            format!(
+                "if [ -f {m} ]; then cat {p}; else touch {m}; exec sleep 30; fi",
+                m = marker.display(),
+                p = payload.display()
+            ),
+        );
+        let start = std::time::Instant::now();
+        let fragments = run_workers(&[cmd], &dir, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(fragments.len(), 1);
+        assert_eq!(fragments[0].experiment, "fig9");
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "must kill the hung attempt, not wait it out ({:?})",
+            start.elapsed()
+        );
+        let log = std::fs::read_to_string(log_path(&dir, shard)).unwrap();
+        assert!(log.contains("--- attempt 2:"), "the timed-out attempt must be retried: {log}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_that_times_out_twice_fails_the_launch_naming_the_shard() {
+        let dir = scratch("timeout-twice");
+        let shard = Shard::new(1, 2).unwrap();
+        let cmd = sh(shard, "exec sleep 30".to_string());
+        let start = std::time::Instant::now();
+        let err = run_workers(&[cmd], &dir, Some(Duration::from_millis(300))).unwrap_err();
+        assert!(err.contains("shard 1/2"), "error must name the shard: {err}");
+        assert!(err.contains("timed out"), "error must say the worker hung: {err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "both attempts must be killed at their deadline ({:?})",
+            start.elapsed()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -434,7 +596,7 @@ mod tests {
                 p = payload.display()
             ),
         );
-        let fragments = run_workers(&[cmd], &dir).unwrap();
+        let fragments = run_workers(&[cmd], &dir, None).unwrap();
         assert_eq!(fragments.len(), 1);
         assert_eq!(fragments[0].experiment, "fig9");
         let _ = std::fs::remove_dir_all(&dir);
@@ -460,7 +622,7 @@ mod tests {
             ),
         );
         let start = std::time::Instant::now();
-        let err = run_workers(&[fail, slow], &dir).unwrap_err();
+        let err = run_workers(&[fail, slow], &dir, None).unwrap_err();
         assert!(err.contains("shard 1/2"), "{err}");
         assert!(start.elapsed().as_secs() < 20, "must not wait out the killed sleeper");
         let pid: u32 = std::fs::read_to_string(&pid_file).unwrap().trim().parse().unwrap();
@@ -475,9 +637,9 @@ mod tests {
     fn empty_or_garbage_fragment_files_count_as_failures() {
         let dir = scratch("garbage");
         let shard = Shard::new(1, 2).unwrap();
-        let err = run_workers(&[sh(shard, "true".to_string())], &dir).unwrap_err();
+        let err = run_workers(&[sh(shard, "true".to_string())], &dir, None).unwrap_err();
         assert!(err.contains("shard 1/2") && err.contains("empty"), "{err}");
-        let err = run_workers(&[sh(shard, "echo not json".to_string())], &dir).unwrap_err();
+        let err = run_workers(&[sh(shard, "echo not json".to_string())], &dir, None).unwrap_err();
         assert!(err.contains("shard 1/2"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -499,6 +661,7 @@ mod tests {
             plan: None,
             hosts: vec!["ssh a {}".to_string(), "ssh b {}".to_string()],
             run_dir: PathBuf::from("/tmp/unused"),
+            timeout: None,
             json: false,
         };
         let cmds = worker_commands(&cfg).unwrap();

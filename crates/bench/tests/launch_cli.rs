@@ -148,6 +148,49 @@ fn a_twice_failing_worker_fails_the_launch_naming_the_shard() {
 }
 
 #[test]
+fn a_hung_worker_is_killed_at_the_timeout_and_the_launch_fails_fast() {
+    let dir = scratch("timeout");
+    let hosts = dir.join("hosts");
+    // Every worker hangs (the template never runs the real command); with a
+    // 1s deadline both attempts are killed, and the launch fails naming the
+    // shard instead of blocking on the 60s sleep.
+    std::fs::write(&hosts, "sleep 60 # {}\n").unwrap();
+    let start = std::time::Instant::now();
+    let launched = figures(&[
+        "launch",
+        "fig2b",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--jobs",
+        "2",
+        "--timeout-secs",
+        "1",
+        "--hosts",
+        hosts.to_str().unwrap(),
+        "--run-dir",
+        dir.join("run").to_str().unwrap(),
+    ]);
+    assert_eq!(launched.status.code(), Some(2));
+    let err = stderr(&launched);
+    assert!(err.contains("timed out"), "error must say the worker hung: {err}");
+    assert!(err.contains("retrying"), "the first timeout still retries: {err}");
+    assert!(err.contains("shard"), "hard error names the shard: {err}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "launch must not wait out hung workers ({:?})",
+        start.elapsed()
+    );
+
+    // Flag validation: a zero deadline is rejected up front.
+    let zero = figures(&["launch", "fig2b", "--jobs", "2", "--timeout-secs", "0"]);
+    assert_eq!(zero.status.code(), Some(2));
+    assert!(stderr(&zero).contains("--timeout-secs"), "{}", stderr(&zero));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn merge_errors_name_the_experiment_and_the_item_label() {
     let dir = scratch("merge-errors");
     let frag = dir.join("shard1.jsonl");

@@ -64,6 +64,7 @@ use std::sync::{Arc, Mutex};
 
 pub mod catalog;
 pub mod generic;
+pub mod impair;
 mod json;
 
 /// One named row of a [`Dataset`] table.
@@ -792,11 +793,13 @@ pub trait Experiment: Sync {
 }
 
 /// The static registry: the paper's 17 figures/tables in canonical order,
-/// followed by the four topology-generic metric sweeps (which accept
-/// `--topo <spec>` overrides).
+/// followed by the topology-generic metric sweeps and the impaired
+/// graceful-degradation sweeps (all of which accept `--topo <spec>`
+/// overrides).
 pub fn registry() -> &'static [&'static dyn Experiment] {
     use catalog::*;
     use generic::*;
+    use impair::*;
     static REGISTRY: &[&dyn Experiment] = &[
         &Fig1c,
         &Fig2a,
@@ -819,6 +822,9 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &PathLength,
         &Bisection,
         &FailureSweep,
+        &ThroughputVsLoss,
+        &LatencyHistogramExp,
+        &ImpairedFailureSweep,
     ];
     REGISTRY
 }
@@ -838,13 +844,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_21_experiments_with_unique_names() {
+    fn registry_has_the_24_experiments_with_unique_names() {
         let names = names();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 24);
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(dedup.len(), 21, "duplicate experiment names");
+        assert_eq!(dedup.len(), 24, "duplicate experiment names");
         assert!(find("fig1c").is_some());
         assert!(find("table1").is_some());
         assert!(find("throughput_vs_size").is_some());
@@ -854,7 +860,15 @@ mod tests {
             registry().iter().filter(|e| e.supports_topo_override()).map(|e| e.name()).collect();
         assert_eq!(
             overridable,
-            ["throughput_vs_size", "path_length", "bisection", "failure_sweep"]
+            [
+                "throughput_vs_size",
+                "path_length",
+                "bisection",
+                "failure_sweep",
+                "throughput_vs_loss",
+                "latency_histogram",
+                "impaired_failure_sweep"
+            ]
         );
     }
 

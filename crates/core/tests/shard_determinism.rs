@@ -19,11 +19,15 @@ const SEED: u64 = 7;
 /// The spec axis: each topology-generic experiment also runs under an
 /// override exercising a different generator (and, for the failure sweep, a
 /// transform chain), so sharding is validated across the whole registry.
-const TOPO_OVERRIDES: [(&str, &str); 4] = [
+const TOPO_OVERRIDES: [(&str, &str); 6] = [
     ("throughput_vs_size", "leafspine:leaf=6,spine=3,servers=4"),
     ("path_length", "swdc:lattice=ring,n=16,servers=2"),
     ("bisection", "fattree:k=4"),
     ("failure_sweep", "jellyfish:switches=16,ports=8,degree=5+fail_switches=0.05"),
+    // Impaired runs must shard/merge bit-identically too: the impairment
+    // RNG streams are pure functions of (spec, seed), never of shard shape.
+    ("throughput_vs_loss", "jellyfish:switches=16,ports=8,degree=5+impair=jitter_ms:2,queue:16"),
+    ("latency_histogram", "fattree:k=4+impair=ge:0.05/0.5,jdist:exp,jitter_ms:3"),
 ];
 
 struct Baseline {

@@ -68,6 +68,9 @@ pub struct SimReport {
     pub drops: u64,
     /// Total packets transmitted in the fabric.
     pub transmitted: u64,
+    /// Karn-filtered RTT samples observed after warmup, in event order
+    /// (never-retransmitted segments only), for latency histograms.
+    pub rtt_samples: Vec<f64>,
 }
 
 impl SimReport {
@@ -138,6 +141,7 @@ pub struct Simulator {
     events: BinaryHeap<Reverse<(TimeKey, EventBox)>>,
     event_counter: u64,
     now: f64,
+    rtt_samples: Vec<f64>,
 }
 
 /// Wrapper so events can live in the heap without an Ord requirement of
@@ -189,6 +193,7 @@ impl Simulator {
             events: BinaryHeap::new(),
             event_counter: 0,
             now: 0.0,
+            rtt_samples: Vec::new(),
         }
     }
 
@@ -253,6 +258,7 @@ impl Simulator {
             connections,
             drops: self.network.total_drops(),
             transmitted: self.network.total_transmitted(),
+            rtt_samples: self.rtt_samples,
         }
     }
 
@@ -275,22 +281,18 @@ impl Simulator {
             let f = &self.connections[conn].subflows[sub].forward;
             (f[0], f[1])
         };
+        let pkt = Packet { conn, subflow: sub, seq, ack: 0, is_ack: false, hop: 1 };
         match self.network.transmit_sized(u, v, self.now, 1.0) {
             TransmitOutcome::Delivered { arrival } => {
-                self.schedule(
-                    arrival,
-                    Event::Arrive(Packet {
-                        conn,
-                        subflow: sub,
-                        seq,
-                        ack: 0,
-                        is_ack: false,
-                        hop: 1,
-                    }),
-                );
+                self.schedule(arrival, Event::Arrive(pkt));
             }
-            TransmitOutcome::Dropped => {
-                // Lost on the host uplink; recovery will resend it.
+            TransmitOutcome::Duplicated { arrival, dup_arrival } => {
+                self.schedule(arrival, Event::Arrive(pkt));
+                self.schedule(dup_arrival, Event::Arrive(pkt));
+            }
+            TransmitOutcome::Dropped | TransmitOutcome::NoLink => {
+                // Lost on the host uplink (or the uplink is gone entirely);
+                // recovery will resend it.
             }
         }
     }
@@ -321,12 +323,18 @@ impl Simulator {
             (path[pkt.hop], path[pkt.hop + 1])
         };
         let size = if pkt.is_ack { ACK_SIZE } else { 1.0 };
+        let next = Packet { hop: pkt.hop + 1, ..pkt };
         match self.network.transmit_sized(u, v, self.now, size) {
             TransmitOutcome::Delivered { arrival } => {
-                self.schedule(arrival, Event::Arrive(Packet { hop: pkt.hop + 1, ..pkt }));
+                self.schedule(arrival, Event::Arrive(next));
             }
-            TransmitOutcome::Dropped => {
-                // Silently lost; the sender recovers via dupacks or RTO.
+            TransmitOutcome::Duplicated { arrival, dup_arrival } => {
+                self.schedule(arrival, Event::Arrive(next));
+                self.schedule(dup_arrival, Event::Arrive(next));
+            }
+            TransmitOutcome::Dropped | TransmitOutcome::NoLink => {
+                // Silently lost (or the next hop's link no longer exists);
+                // the sender recovers via dupacks or RTO.
             }
         }
     }
@@ -342,21 +350,23 @@ impl Simulator {
             let sf = &self.connections[pkt.conn].subflows[pkt.subflow];
             (sf.reverse[0], sf.reverse[1])
         };
+        let ack_pkt = Packet {
+            conn: pkt.conn,
+            subflow: pkt.subflow,
+            seq: pkt.seq,
+            ack: ack_value,
+            is_ack: true,
+            hop: 1,
+        };
         match self.network.transmit_sized(u, v, self.now, ACK_SIZE) {
             TransmitOutcome::Delivered { arrival } => {
-                self.schedule(
-                    arrival,
-                    Event::Arrive(Packet {
-                        conn: pkt.conn,
-                        subflow: pkt.subflow,
-                        seq: pkt.seq,
-                        ack: ack_value,
-                        is_ack: true,
-                        hop: 1,
-                    }),
-                );
+                self.schedule(arrival, Event::Arrive(ack_pkt));
             }
-            TransmitOutcome::Dropped => {}
+            TransmitOutcome::Duplicated { arrival, dup_arrival } => {
+                self.schedule(arrival, Event::Arrive(ack_pkt));
+                self.schedule(dup_arrival, Event::Arrive(ack_pkt));
+            }
+            TransmitOutcome::Dropped | TransmitOutcome::NoLink => {}
         }
     }
 
@@ -369,6 +379,13 @@ impl Simulator {
             // send_times entries are removed when a segment is retransmitted.
             let rtt_sample = sf.send_times.get(&pkt.seq).map(|&t| self.now - t);
             sf.send_times.remove(&pkt.seq);
+            // Collect post-warmup samples for the latency-histogram
+            // experiments; recording does not perturb the simulation.
+            if self.now >= self.config.warmup {
+                if let Some(rtt) = rtt_sample {
+                    self.rtt_samples.push(rtt);
+                }
+            }
             sf.sender.on_ack(pkt.ack, self.now, rtt_sample, increase)
         };
         match action {
@@ -590,10 +607,64 @@ mod tests {
             ],
             drops: 3,
             transmitted: 100,
+            rtt_samples: vec![0.01, 0.02],
         };
         assert!((report.mean_throughput() - 0.75).abs() < 1e-12);
         assert_eq!(report.sorted_throughputs(), vec![0.5, 1.0]);
-        let empty = SimReport { connections: vec![], drops: 0, transmitted: 0 };
+        let empty =
+            SimReport { connections: vec![], drops: 0, transmitted: 0, rtt_samples: vec![] };
         assert_eq!(empty.mean_throughput(), 0.0);
+    }
+
+    #[test]
+    fn runs_collect_post_warmup_rtt_samples() {
+        let report = small_sim(12, 9, 6, PathPolicy::ksp8(), TransportPolicy::Tcp { flows: 1 }, 5);
+        assert!(!report.rtt_samples.is_empty(), "a busy run must observe RTTs");
+        // Every sample is at least one uncongested round trip.
+        let params = LinkParams::default();
+        let floor = 2.0 * (params.delay + 1.0 / params.rate);
+        assert!(report.rtt_samples.iter().all(|&r| r >= floor - 1e-12));
+    }
+
+    #[test]
+    fn impaired_engine_degrades_but_still_progresses() {
+        use jellyfish_topology::spec::ImpairConfig;
+        let run = |cfg: Option<ImpairConfig>| {
+            let topo = JellyfishBuilder::new(12, 9, 6).seed(5).build().unwrap();
+            let servers = ServerMap::new(&topo);
+            let csr = topo.csr();
+            let tm = TrafficMatrix::random_permutation(&servers, 5 ^ 0xABCD);
+            let conns = build_connections(
+                &csr,
+                &servers,
+                &tm,
+                PathPolicy::ksp8(),
+                TransportPolicy::Mptcp { subflows: 8 },
+                5,
+            );
+            let mut net = Network::build(&csr, &servers, LinkParams::default());
+            if let Some(cfg) = cfg {
+                net = net.with_impairment(cfg, 17);
+            }
+            let config = SimConfig { duration: 6.0, warmup: 1.5, seed: 5, ..Default::default() };
+            Simulator::new(net, conns, config).run()
+        };
+        let ideal = run(None);
+        let lossy = run(Some(ImpairConfig { loss: 0.03, ..Default::default() }));
+        assert!(lossy.mean_throughput() > 0.05, "3% loss must not collapse the fabric");
+        assert!(
+            lossy.mean_throughput() < ideal.mean_throughput(),
+            "loss should cost throughput: {} !< {}",
+            lossy.mean_throughput(),
+            ideal.mean_throughput()
+        );
+        // Attaching an all-default impairment is arithmetically invisible.
+        let noop = run(Some(ImpairConfig::default()));
+        assert_eq!(noop.mean_throughput(), ideal.mean_throughput());
+        assert_eq!(noop.drops, ideal.drops);
+        // Determinism under impairment.
+        let lossy_again = run(Some(ImpairConfig { loss: 0.03, ..Default::default() }));
+        assert_eq!(lossy.mean_throughput(), lossy_again.mean_throughput());
+        assert_eq!(lossy.drops, lossy_again.drops);
     }
 }

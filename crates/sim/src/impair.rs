@@ -1,0 +1,248 @@
+//! Deterministic per-link impairment: loss, burst loss, jitter, reordering
+//! and duplication layered on top of [`crate::net::Network`]'s ideal pipes.
+//!
+//! The model is configured by a [`ImpairConfig`] parsed from a spec's
+//! `+impair=` transform (see `jellyfish_topology::spec`) and attached with
+//! [`crate::net::Network::with_impairment`]. Every directed link owns an
+//! independent RNG stream derived from `(impairment seed, stable link key)`
+//! alone — the same splitmix-style derivation the topology transforms use —
+//! so a packet's fate depends only on the config, the seed, and how many
+//! packets that particular link has carried before it. That is what makes
+//! impaired runs bit-reproducible across `--shard K/N` slices and
+//! `figures launch` workers: shards simulate disjoint work items, and within
+//! one item the per-link packet order is fully determined by the engine's
+//! event order.
+//!
+//! Per serialized packet, in a fixed draw order (each draw is skipped when
+//! its config knob is off, so enabling one impairment never perturbs the
+//! streams of another):
+//!
+//! 1. **Gilbert–Elliott** state transition (good→bad with probability `p`,
+//!    bad→good with probability `r`); a packet sent while the link is in the
+//!    bad state is lost on the wire.
+//! 2. **i.i.d. loss** with probability `loss`.
+//! 3. If it survived: a **jitter** draw (uniform on `[0, jitter_ms)` or
+//!    exponential with mean `jitter_ms`), a **reorder** draw (the packet is
+//!    held back one serialization slot, modelling an adjacent-pair swap),
+//!    and a **duplication** draw (a second copy occupies the next
+//!    transmission slot, with its own jitter).
+//!
+//! Wire losses happen *after* the packet occupied the transmitter — a
+//! corrupted frame still burns bandwidth — which is why they are distinct
+//! from queue (buffer overflow) drops in the counters.
+
+use jellyfish_topology::spec::{ImpairConfig, JitterDist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG stream seed of link key `key` under impairment seed `seed`.
+/// Mirrors the per-item derivation used by the experiment layer.
+pub fn stream_seed(seed: u64, key: usize) -> u64 {
+    seed ^ (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Per-directed-link impairment state: an independent RNG stream plus the
+/// Gilbert–Elliott channel state.
+#[derive(Debug, Clone)]
+struct LinkState {
+    rng: StdRng,
+    ge_bad: bool,
+}
+
+/// What the wire decided for one serialized packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PacketFate {
+    /// Lost on the wire (after consuming its transmission slot).
+    pub lost: bool,
+    /// Extra propagation delay, in time units.
+    pub jitter: f64,
+    /// Held back one serialization slot behind its successor.
+    pub reorder: bool,
+    /// `Some(extra delay)` when a duplicate copy is generated.
+    pub duplicate: Option<f64>,
+}
+
+impl PacketFate {
+    const CLEAN: PacketFate =
+        PacketFate { lost: false, jitter: 0.0, reorder: false, duplicate: None };
+}
+
+/// Impairment state for every directed link of a network, keyed by the
+/// network's stable link ids (switch arcs, then host uplinks, then host
+/// downlinks).
+#[derive(Debug, Clone)]
+pub struct Impairments {
+    cfg: ImpairConfig,
+    states: Vec<LinkState>,
+}
+
+fn jitter_draw(cfg: &ImpairConfig, rng: &mut StdRng) -> f64 {
+    // Time unit is one second: jitter_ms:5 adds up to (uniform) or on
+    // average (exp) 0.005 units, five default propagation delays.
+    let scale = cfg.jitter_ms / 1000.0;
+    if scale <= 0.0 {
+        return 0.0;
+    }
+    match cfg.jitter_dist {
+        JitterDist::Uniform => rng.gen_range(0.0..scale),
+        // Inverse-CDF sampling; 1 - u is in (0, 1], so the log is finite.
+        JitterDist::Exp => -scale * (1.0 - rng.gen::<f64>()).ln(),
+    }
+}
+
+impl Impairments {
+    /// Fresh impairment state for `num_links` directed links. Pure in
+    /// `(cfg, seed, num_links)`.
+    pub fn new(cfg: ImpairConfig, seed: u64, num_links: usize) -> Self {
+        let states = (0..num_links)
+            .map(|key| LinkState {
+                rng: StdRng::seed_from_u64(stream_seed(seed, key)),
+                ge_bad: false,
+            })
+            .collect();
+        Impairments { cfg, states }
+    }
+
+    /// The active configuration.
+    pub fn cfg(&self) -> &ImpairConfig {
+        &self.cfg
+    }
+
+    /// Decides the wire fate of the next packet on link `key`, advancing
+    /// that link's RNG stream and Gilbert–Elliott state.
+    pub(crate) fn fate(&mut self, key: usize) -> PacketFate {
+        let cfg = self.cfg;
+        let st = &mut self.states[key];
+        let mut lost = false;
+        if cfg.ge_good_to_bad > 0.0 || cfg.ge_bad_to_good > 0.0 {
+            let flip = if st.ge_bad { cfg.ge_bad_to_good } else { cfg.ge_good_to_bad };
+            if flip > 0.0 && st.rng.gen_bool(flip) {
+                st.ge_bad = !st.ge_bad;
+            }
+            lost |= st.ge_bad;
+        }
+        if cfg.loss > 0.0 {
+            lost |= st.rng.gen_bool(cfg.loss);
+        }
+        if lost {
+            return PacketFate { lost: true, ..PacketFate::CLEAN };
+        }
+        let jitter = jitter_draw(&cfg, &mut st.rng);
+        let reorder = cfg.reorder > 0.0 && st.rng.gen_bool(cfg.reorder);
+        let duplicate = if cfg.duplicate > 0.0 && st.rng.gen_bool(cfg.duplicate) {
+            Some(jitter_draw(&cfg, &mut st.rng))
+        } else {
+            None
+        };
+        PacketFate { lost: false, jitter, reorder, duplicate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(loss: f64) -> ImpairConfig {
+        ImpairConfig { loss, ..Default::default() }
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_seed_and_key() {
+        let cfg = ImpairConfig {
+            loss: 0.1,
+            jitter_ms: 5.0,
+            reorder: 0.05,
+            duplicate: 0.02,
+            ..Default::default()
+        };
+        let mut a = Impairments::new(cfg, 42, 4);
+        let mut b = Impairments::new(cfg, 42, 4);
+        for i in 0..500 {
+            assert_eq!(a.fate(i % 4), b.fate(i % 4), "packet {i}");
+        }
+    }
+
+    #[test]
+    fn links_draw_independent_streams() {
+        // Consuming fates on link 0 must not change link 1's sequence.
+        let cfg = lossy(0.3);
+        let mut interleaved = Impairments::new(cfg, 7, 2);
+        let mut solo = Impairments::new(cfg, 7, 2);
+        let a: Vec<_> = (0..200)
+            .map(|_| {
+                interleaved.fate(0);
+                interleaved.fate(1)
+            })
+            .collect();
+        let b: Vec<_> = (0..200).map(|_| solo.fate(1)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iid_loss_rate_is_close_to_nominal() {
+        let mut imp = Impairments::new(lossy(0.2), 9, 1);
+        let lost = (0..10_000).filter(|_| imp.fate(0).lost).count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_come_in_bursts() {
+        // Sticky bad state (r small) ⇒ loss runs much longer than i.i.d.
+        // loss of the same long-run rate would produce.
+        let cfg = ImpairConfig { ge_good_to_bad: 0.01, ge_bad_to_good: 0.2, ..Default::default() };
+        let mut imp = Impairments::new(cfg, 3, 1);
+        let fates: Vec<bool> = (0..50_000).map(|_| imp.fate(0).lost).collect();
+        let total = fates.iter().filter(|&&l| l).count();
+        // Long-run loss rate ≈ p / (p + r) ≈ 0.0476.
+        let rate = total as f64 / fates.len() as f64;
+        assert!((rate - 0.01 / 0.21).abs() < 0.01, "long-run GE loss rate {rate}");
+        // Mean burst length ≈ 1/r = 5 packets.
+        let mut bursts = 0usize;
+        for i in 0..fates.len() {
+            if fates[i] && (i == 0 || !fates[i - 1]) {
+                bursts += 1;
+            }
+        }
+        let mean_burst = total as f64 / bursts as f64;
+        assert!(mean_burst > 3.0, "mean GE burst length {mean_burst} should be ≈ 5");
+    }
+
+    #[test]
+    fn jitter_is_bounded_uniform_or_positive_exp() {
+        let uni = ImpairConfig { jitter_ms: 5.0, ..Default::default() };
+        let mut imp = Impairments::new(uni, 11, 1);
+        for _ in 0..1_000 {
+            let j = imp.fate(0).jitter;
+            assert!((0.0..0.005).contains(&j), "uniform jitter {j} out of [0, 0.005)");
+        }
+        let exp = ImpairConfig { jitter_ms: 5.0, jitter_dist: JitterDist::Exp, ..uni };
+        let mut imp = Impairments::new(exp, 11, 1);
+        let mean = (0..10_000).map(|_| imp.fate(0).jitter).sum::<f64>() / 10_000.0;
+        assert!(imp.fate(0).jitter >= 0.0);
+        assert!((mean - 0.005).abs() < 0.0005, "exp jitter mean {mean} should be ≈ 0.005");
+    }
+
+    #[test]
+    fn ideal_config_is_a_no_op() {
+        // All knobs off ⇒ no draws, every fate is clean: attaching a
+        // default impairment cannot perturb a run.
+        let mut imp = Impairments::new(ImpairConfig::default(), 5, 2);
+        for i in 0..100 {
+            assert_eq!(imp.fate(i % 2), PacketFate::CLEAN);
+        }
+    }
+
+    #[test]
+    fn later_draws_are_gated_on_earlier_fate() {
+        // A packet's leading draws (GE, loss, jitter) are positioned before
+        // the duplication draw, so enabling duplication leaves the first
+        // packet's loss and jitter decisions unchanged.
+        let a_cfg = ImpairConfig { loss: 0.1, jitter_ms: 2.0, ..Default::default() };
+        let b_cfg = ImpairConfig { duplicate: 0.5, ..a_cfg };
+        let fa = Impairments::new(a_cfg, 5, 1).fate(0);
+        let fb = Impairments::new(b_cfg, 5, 1).fate(0);
+        assert_eq!(fa.lost, fb.lost);
+        assert_eq!(fa.jitter, fb.jitter);
+    }
+}

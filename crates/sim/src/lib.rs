@@ -22,6 +22,10 @@
 //! * [`fluid`] — a fast fluid (max-min fair) engine used to cross-check the
 //!   packet engine and to run sweeps at sizes where packet-level simulation
 //!   is unnecessary.
+//! * [`impair`] — deterministic per-link impairment (i.i.d. and
+//!   Gilbert–Elliott loss, latency jitter, reordering, duplication, queue
+//!   overrides) attached via `Network::with_impairment` and configured by a
+//!   spec's `+impair=` transform.
 //!
 //! Normalization follows the paper: a connection's throughput is reported as
 //! a fraction of the server NIC rate.
@@ -31,6 +35,7 @@
 
 pub mod engine;
 pub mod fluid;
+pub mod impair;
 pub mod mptcp;
 pub mod net;
 pub mod routing;

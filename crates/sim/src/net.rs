@@ -22,6 +22,8 @@
 //! matches what a per-packet queue would compute for deterministic service
 //! times.
 
+use crate::impair::Impairments;
+use jellyfish_topology::spec::ImpairConfig;
 use jellyfish_topology::CsrGraph;
 use jellyfish_traffic::ServerMap;
 use std::collections::HashMap;
@@ -42,6 +44,10 @@ pub struct LinkParams {
 }
 
 impl Default for LinkParams {
+    /// The ideal-fabric baseline every experiment starts from (surfaced by
+    /// `figures topo show` so provenance distinguishes ideal from impaired
+    /// runs): `rate` 100 packets per time unit, `delay` 0.001 time units of
+    /// one-way propagation, `buffer` 25 packets of drop-tail queue.
     fn default() -> Self {
         LinkParams {
             rate: 100.0,
@@ -71,8 +77,22 @@ pub enum TransmitOutcome {
         /// Arrival time at the downstream node.
         arrival: f64,
     },
-    /// Packet dropped at the queue (buffer overflow).
+    /// Packet dropped: at the queue (buffer overflow) or — under an
+    /// impairment model — lost on the wire after occupying the transmitter.
     Dropped,
+    /// The directed link does not exist (e.g. it was failed out of the
+    /// topology). The packet goes nowhere; callers treat this like a loss
+    /// so failure scenarios degrade instead of aborting.
+    NoLink,
+    /// Packet accepted and duplicated by the impairment model: two copies
+    /// arrive, the duplicate one transmission slot (plus its own jitter)
+    /// behind the original.
+    Duplicated {
+        /// Arrival time of the original copy.
+        arrival: f64,
+        /// Arrival time of the duplicate copy.
+        dup_arrival: f64,
+    },
 }
 
 /// The simulated network fabric.
@@ -90,6 +110,15 @@ pub struct Network {
     tor_of: Vec<SimNode>,
     params: LinkParams,
     num_switches: usize,
+    /// Optional per-link impairment model; `None` is the ideal fabric and
+    /// keeps the arithmetic of `transmit_sized` bit-identical to the
+    /// pre-impairment implementation.
+    impair: Option<Impairments>,
+    /// Packets lost on the wire by the impairment model (distinct from
+    /// queue drops, though both count in each link's `dropped`).
+    wire_lost: u64,
+    /// Transmit attempts on links that do not exist.
+    no_link: u64,
 }
 
 /// Flat handle to one directed link's slot.
@@ -113,6 +142,34 @@ impl Network {
             csr: csr.clone(),
             params,
             num_switches,
+            impair: None,
+            wire_lost: 0,
+            no_link: 0,
+        }
+    }
+
+    /// Attaches a deterministic impairment model (builder style). Every
+    /// directed link gets an independent RNG stream derived from `seed` and
+    /// the link's stable id, so the packet fates of a run depend only on
+    /// `(config, seed, event order)` — bit-reproducible across shards.
+    pub fn with_impairment(mut self, cfg: ImpairConfig, seed: u64) -> Self {
+        let n = self.switch_links.len() + 2 * self.host_up.len();
+        self.impair = Some(Impairments::new(cfg, seed, n));
+        self
+    }
+
+    /// The attached impairment config, if any.
+    pub fn impairment(&self) -> Option<&ImpairConfig> {
+        self.impair.as_ref().map(|i| i.cfg())
+    }
+
+    /// The stable impairment-stream key of a resolved link slot: switch
+    /// arcs first, then host uplinks, then host downlinks.
+    fn link_key(&self, slot: &LinkSlot) -> usize {
+        match *slot {
+            LinkSlot::Switch(arc) => arc,
+            LinkSlot::HostUp(s) => self.switch_links.len() + s,
+            LinkSlot::HostDown(s) => self.switch_links.len() + self.host_up.len() + s,
         }
     }
 
@@ -171,10 +228,15 @@ impl Network {
         now: f64,
         size: f64,
     ) -> TransmitOutcome {
-        let slot = self.resolve(u, v).unwrap_or_else(|| panic!("no link {u} -> {v}"));
+        let Some(slot) = self.resolve(u, v) else {
+            self.no_link += 1;
+            return TransmitOutcome::NoLink;
+        };
         let rate = self.params.rate;
-        let buffer = self.params.buffer as f64;
         let delay = self.params.delay;
+        let buffer =
+            self.impair.as_ref().and_then(|i| i.cfg().queue).unwrap_or(self.params.buffer) as f64;
+        let key = self.link_key(&slot);
         let link = self.link_mut(&slot);
         let backlog = (link.busy_until - now).max(0.0) * rate;
         if backlog + size > buffer {
@@ -185,7 +247,37 @@ impl Network {
         let finish = start + size / rate;
         link.busy_until = finish;
         link.transmitted += 1;
-        TransmitOutcome::Delivered { arrival: finish + delay }
+        let arrival = finish + delay;
+        let Some(impair) = self.impair.as_mut() else {
+            return TransmitOutcome::Delivered { arrival };
+        };
+        let fate = impair.fate(key);
+        if fate.lost {
+            // The frame occupied the transmitter and then died on the wire:
+            // bandwidth is spent, nothing arrives.
+            self.wire_lost += 1;
+            self.link_mut(&slot).dropped += 1;
+            return TransmitOutcome::Dropped;
+        }
+        let mut arrival = arrival + fate.jitter;
+        if fate.reorder {
+            // Adjacent-pair swap: hold the packet back one and a half
+            // serialization slots so it lands just behind its successor on
+            // a busy link.
+            arrival += 1.5 * size / rate;
+        }
+        if let Some(dup_jitter) = fate.duplicate {
+            // The duplicate occupies the next transmission slot.
+            let link = self.link_mut(&slot);
+            let dup_finish = link.busy_until + size / rate;
+            link.busy_until = dup_finish;
+            link.transmitted += 1;
+            return TransmitOutcome::Duplicated {
+                arrival,
+                dup_arrival: dup_finish + delay + dup_jitter,
+            };
+        }
+        TransmitOutcome::Delivered { arrival }
     }
 
     fn all_links(&self) -> impl Iterator<Item = &Link> {
@@ -200,6 +292,18 @@ impl Network {
     /// Total packets transmitted across all links.
     pub fn total_transmitted(&self) -> u64 {
         self.all_links().map(|l| l.transmitted).sum()
+    }
+
+    /// Packets the impairment model lost on the wire (a subset of
+    /// [`Network::total_drops`]).
+    pub fn total_wire_losses(&self) -> u64 {
+        self.wire_lost
+    }
+
+    /// Transmit attempts on directed links that do not exist (only possible
+    /// when routing state outlives a failure scenario).
+    pub fn no_link_drops(&self) -> u64 {
+        self.no_link
     }
 
     /// Per-directed-link utilization over a horizon: transmitted packets
@@ -330,12 +434,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no link")]
-    fn transmit_on_missing_link_panics() {
+    fn transmit_on_missing_link_returns_no_link() {
+        // Hosts are never directly connected; a failed-link scenario must
+        // degrade (typed outcome), not abort.
         let mut net = network();
         let h0 = net.host_node(0);
         let h1 = net.host_node(1);
-        net.transmit(h0, h1, 0.0);
+        assert_eq!(net.transmit(h0, h1, 0.0), TransmitOutcome::NoLink);
+        assert_eq!(net.no_link_drops(), 1);
+        assert_eq!(net.total_transmitted(), 0);
+    }
+
+    #[test]
+    fn impaired_network_loses_and_jitters_deterministically() {
+        use jellyfish_topology::spec::ImpairConfig;
+        let cfg = ImpairConfig { loss: 0.2, jitter_ms: 5.0, ..Default::default() };
+        let run = |seed: u64| {
+            let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+            let servers = ServerMap::new(&topo);
+            let mut net = Network::build(&topo.csr(), &servers, LinkParams::default())
+                .with_impairment(cfg, seed);
+            let (u, v) = (net.host_node(0), 0);
+            (0..200).map(|i| net.transmit(u, v, i as f64 * 0.1)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same impairment seed must replay identically");
+        assert_ne!(run(7), run(8), "different seeds should impair differently");
+        let outcomes = run(7);
+        assert!(outcomes.contains(&TransmitOutcome::Dropped), "some wire loss");
+        // Jitter perturbs arrivals beyond the deterministic pipeline.
+        let ideal_first = 1.0 / LinkParams::default().rate + LinkParams::default().delay;
+        assert!(outcomes.iter().any(
+            |o| matches!(o, TransmitOutcome::Delivered { arrival } if *arrival > ideal_first + 1e-12)
+        ));
+    }
+
+    #[test]
+    fn impaired_queue_override_shrinks_the_buffer() {
+        use jellyfish_topology::spec::ImpairConfig;
+        let cfg = ImpairConfig { queue: Some(2), ..Default::default() };
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let mut net =
+            Network::build(&topo.csr(), &servers, LinkParams::default()).with_impairment(cfg, 7);
+        let (u, v) = (net.host_node(0), 0);
+        assert!(matches!(net.transmit(u, v, 0.0), TransmitOutcome::Delivered { .. }));
+        assert!(matches!(net.transmit(u, v, 0.0), TransmitOutcome::Delivered { .. }));
+        // Default buffer (25) would accept this; the override drops it.
+        assert_eq!(net.transmit(u, v, 0.0), TransmitOutcome::Dropped);
+        assert_eq!(net.total_wire_losses(), 0, "queue overflow is not a wire loss");
+    }
+
+    #[test]
+    fn duplication_occupies_a_second_slot() {
+        use jellyfish_topology::spec::ImpairConfig;
+        let cfg = ImpairConfig { duplicate: 1.0, ..Default::default() };
+        let params = LinkParams::default();
+        let topo = JellyfishBuilder::new(6, 6, 3).seed(1).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let mut net = Network::build(&topo.csr(), &servers, params).with_impairment(cfg, 7);
+        let (u, v) = (net.host_node(0), 0);
+        let TransmitOutcome::Duplicated { arrival, dup_arrival } = net.transmit(u, v, 0.0) else {
+            panic!("duplicate probability 1.0 must duplicate");
+        };
+        assert!((dup_arrival - arrival - 1.0 / params.rate).abs() < 1e-12);
+        assert_eq!(net.total_transmitted(), 2, "the copy burns a transmission slot");
     }
 
     #[test]

@@ -164,6 +164,248 @@ impl Params {
     }
 }
 
+// -------------------------------------------------------------- impairment
+
+/// Distribution of per-packet latency jitter in an [`ImpairConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JitterDist {
+    /// Uniform on `[0, jitter_ms)` (the default).
+    #[default]
+    Uniform,
+    /// Exponential with mean `jitter_ms` (heavy-ish tail).
+    Exp,
+}
+
+impl JitterDist {
+    /// The spec-string token (`uniform` / `exp`).
+    pub fn token(self) -> &'static str {
+        match self {
+            JitterDist::Uniform => "uniform",
+            JitterDist::Exp => "exp",
+        }
+    }
+}
+
+/// Per-link impairment parameters carried by the `+impair=` transform.
+///
+/// Unlike the other transforms this does not rewrite the topology: it rides
+/// on the spec into the simulation layer, where `jellyfish-sim` attaches a
+/// deterministic per-link impairment model to every link. The grammar is a
+/// comma-separated list of `key:value` items (`:`/`/` inside a transform
+/// value are fine — specs split on `+` first):
+///
+/// ```text
+/// +impair=loss:0.01,jitter_ms:5,ge:0.9/0.1,queue:64
+/// ```
+///
+/// | key         | value                  | semantics                                        |
+/// |-------------|------------------------|--------------------------------------------------|
+/// | `loss`      | fraction               | i.i.d. per-packet wire loss probability          |
+/// | `ge`        | `p/r`, both fractions  | Gilbert–Elliott burst loss: P(good→bad)/P(bad→good) per packet; packets sent in the bad state are lost |
+/// | `jitter_ms` | milliseconds ≥ 0       | extra per-packet propagation delay               |
+/// | `jdist`     | `uniform` \| `exp`     | jitter distribution (default `uniform`)          |
+/// | `reorder`   | fraction               | probability a delivered packet is held back behind its successor |
+/// | `dup`       | fraction               | probability a delivered packet is duplicated     |
+/// | `queue`     | packets                | overrides the link's drop-tail queue capacity    |
+///
+/// Every field defaults to "off"; `Display` prints only the non-default
+/// fields in the canonical order above (an all-default config prints as
+/// `loss:0` so the transform still round-trips).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImpairConfig {
+    /// I.i.d. per-packet loss probability on the wire.
+    pub loss: f64,
+    /// Gilbert–Elliott P(good → bad) per packet.
+    pub ge_good_to_bad: f64,
+    /// Gilbert–Elliott P(bad → good) per packet.
+    pub ge_bad_to_good: f64,
+    /// Mean/bound of the extra per-packet latency, in milliseconds.
+    pub jitter_ms: f64,
+    /// Distribution of the jitter.
+    pub jitter_dist: JitterDist,
+    /// Probability a delivered packet is reordered behind its successor.
+    pub reorder: f64,
+    /// Probability a delivered packet is duplicated.
+    pub duplicate: f64,
+    /// Drop-tail queue capacity override (packets); `None` keeps the link's
+    /// configured buffer.
+    pub queue: Option<usize>,
+}
+
+fn mix64(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl ImpairConfig {
+    /// True when every field is at its default (no impairment).
+    pub fn is_ideal(&self) -> bool {
+        *self == ImpairConfig::default()
+    }
+
+    /// A deterministic token folding every field, used by
+    /// [`ScenarioTransform::derived_seed`] so distinct impairment configs
+    /// draw distinct RNG streams under one build seed.
+    pub fn seed_token(&self) -> u64 {
+        let mut h: u64 = 0x1A11_7A17;
+        for v in [
+            self.loss.to_bits(),
+            self.ge_good_to_bad.to_bits(),
+            self.ge_bad_to_good.to_bits(),
+            self.jitter_ms.to_bits(),
+            self.jitter_dist as u64,
+            self.reorder.to_bits(),
+            self.duplicate.to_bits(),
+            self.queue.map_or(0, |q| q as u64 + 1),
+        ] {
+            h = mix64(h, v);
+        }
+        h
+    }
+
+    /// Field-wise overlay: every non-default field of `later` replaces this
+    /// config's value. This is how chained `+impair=` transforms compose
+    /// (later transforms win per key, untouched keys persist).
+    pub fn merged(mut self, later: &ImpairConfig) -> ImpairConfig {
+        let d = ImpairConfig::default();
+        if later.loss != d.loss {
+            self.loss = later.loss;
+        }
+        if later.ge_good_to_bad != d.ge_good_to_bad || later.ge_bad_to_good != d.ge_bad_to_good {
+            self.ge_good_to_bad = later.ge_good_to_bad;
+            self.ge_bad_to_good = later.ge_bad_to_good;
+        }
+        if later.jitter_ms != d.jitter_ms {
+            self.jitter_ms = later.jitter_ms;
+        }
+        if later.jitter_dist != d.jitter_dist {
+            self.jitter_dist = later.jitter_dist;
+        }
+        if later.reorder != d.reorder {
+            self.reorder = later.reorder;
+        }
+        if later.duplicate != d.duplicate {
+            self.duplicate = later.duplicate;
+        }
+        if later.queue.is_some() {
+            self.queue = later.queue;
+        }
+        self
+    }
+
+    /// Parses the `key:value,...` value of an `+impair=` transform.
+    pub fn parse(raw: &str) -> Result<Self, SpecError> {
+        const KEYS: &str = "loss, ge, jitter_ms, jdist, reorder, dup, queue";
+        let fraction = |key: &str, raw: &str| -> Result<f64, SpecError> {
+            let v: f64 = raw
+                .parse()
+                .map_err(|_| SpecError::Param(format!("impair '{key}:{raw}' is not a number")))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SpecError::Param(format!("impair '{key}:{raw}' must be in [0, 1]")));
+            }
+            Ok(v)
+        };
+        let mut cfg = ImpairConfig::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for item in raw.split(',') {
+            let (key, value) = item.split_once(':').ok_or_else(|| {
+                SpecError::Param(format!("impair '{item}' is not key:value (keys: {KEYS})"))
+            })?;
+            if seen.contains(&key) {
+                return Err(SpecError::Param(format!("impair has duplicate key '{key}'")));
+            }
+            match key {
+                "loss" => cfg.loss = fraction(key, value)?,
+                "ge" => {
+                    let (p, r) = value.split_once('/').ok_or_else(|| {
+                        SpecError::Param(format!(
+                            "impair 'ge:{value}' is not <good_to_bad>/<bad_to_good>"
+                        ))
+                    })?;
+                    cfg.ge_good_to_bad = fraction("ge", p)?;
+                    cfg.ge_bad_to_good = fraction("ge", r)?;
+                }
+                "jitter_ms" => {
+                    let v: f64 = value.parse().map_err(|_| {
+                        SpecError::Param(format!("impair 'jitter_ms:{value}' is not a number"))
+                    })?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(SpecError::Param(format!(
+                            "impair 'jitter_ms:{value}' must be finite and >= 0"
+                        )));
+                    }
+                    cfg.jitter_ms = v;
+                }
+                "jdist" => {
+                    cfg.jitter_dist = match value {
+                        "uniform" => JitterDist::Uniform,
+                        "exp" => JitterDist::Exp,
+                        other => {
+                            return Err(SpecError::Param(format!(
+                                "impair 'jdist:{other}': valid distributions are uniform, exp"
+                            )))
+                        }
+                    }
+                }
+                "reorder" => cfg.reorder = fraction(key, value)?,
+                "dup" => cfg.duplicate = fraction(key, value)?,
+                "queue" => {
+                    let q: usize = value.parse().map_err(|_| {
+                        SpecError::Param(format!(
+                            "impair 'queue:{value}' is not an unsigned integer"
+                        ))
+                    })?;
+                    if q == 0 {
+                        return Err(SpecError::Param(
+                            "impair 'queue:0' would drop every packet".into(),
+                        ));
+                    }
+                    cfg.queue = Some(q);
+                }
+                other => {
+                    return Err(SpecError::Param(format!(
+                        "impair does not take '{other}': known keys are {KEYS}"
+                    )))
+                }
+            }
+            seen.push(key);
+        }
+        Ok(cfg)
+    }
+}
+
+impl fmt::Display for ImpairConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        let mut item = |f: &mut fmt::Formatter<'_>, s: fmt::Arguments<'_>| -> fmt::Result {
+            f.write_str(sep)?;
+            sep = ",";
+            f.write_fmt(s)
+        };
+        if self.loss != 0.0 || self.is_ideal() {
+            item(f, format_args!("loss:{}", self.loss))?;
+        }
+        if self.ge_good_to_bad != 0.0 || self.ge_bad_to_good != 0.0 {
+            item(f, format_args!("ge:{}/{}", self.ge_good_to_bad, self.ge_bad_to_good))?;
+        }
+        if self.jitter_ms != 0.0 {
+            item(f, format_args!("jitter_ms:{}", self.jitter_ms))?;
+        }
+        if self.jitter_dist != JitterDist::default() {
+            item(f, format_args!("jdist:{}", self.jitter_dist.token()))?;
+        }
+        if self.reorder != 0.0 {
+            item(f, format_args!("reorder:{}", self.reorder))?;
+        }
+        if self.duplicate != 0.0 {
+            item(f, format_args!("dup:{}", self.duplicate))?;
+        }
+        if let Some(q) = self.queue {
+            item(f, format_args!("queue:{q}"))?;
+        }
+        Ok(())
+    }
+}
+
 // -------------------------------------------------------------- transforms
 
 /// A degradation or growth scenario applied on top of a generated topology.
@@ -189,6 +431,12 @@ pub enum ScenarioTransform {
     /// switches (`+degrade_uniform=0.05`) — the "everything ages at the same
     /// rate" scenario.
     DegradeUniform(f64),
+    /// Per-link impairment (`+impair=loss:0.01,jitter_ms:5`). Unlike the
+    /// other transforms this leaves the topology untouched: the config rides
+    /// on the spec into the simulation layer (see [`TopoSpec::impairment`]),
+    /// which attaches deterministic per-link loss/jitter/reorder/duplicate
+    /// models keyed by the build seed.
+    Impair(ImpairConfig),
 }
 
 impl ScenarioTransform {
@@ -199,6 +447,7 @@ impl ScenarioTransform {
             ScenarioTransform::FailSwitches(_) => "fail_switches",
             ScenarioTransform::Expand(_) => "expand",
             ScenarioTransform::DegradeUniform(_) => "degrade_uniform",
+            ScenarioTransform::Impair(_) => "impair",
         }
     }
 
@@ -226,6 +475,7 @@ impl ScenarioTransform {
                 })?;
                 Ok(ScenarioTransform::Expand(racks))
             }
+            "impair" => Ok(ScenarioTransform::Impair(ImpairConfig::parse(raw)?)),
             other => Err(SpecError::UnknownTransform(format!("'{other}'"))),
         }
     }
@@ -240,6 +490,7 @@ impl ScenarioTransform {
             | ScenarioTransform::FailSwitches(f)
             | ScenarioTransform::DegradeUniform(f) => base ^ ((f * 100.0) as u64),
             ScenarioTransform::Expand(racks) => base ^ 0xE ^ (*racks as u64),
+            ScenarioTransform::Impair(cfg) => base ^ cfg.seed_token(),
         }
     }
 
@@ -265,6 +516,9 @@ impl ScenarioTransform {
                 let servers = topo.servers(0);
                 add_racks(topo, racks, ports, servers, seed)?;
             }
+            // Impairment lives in the simulation layer, not the graph; the
+            // config is read back out via [`TopoSpec::impairment`].
+            ScenarioTransform::Impair(_) => {}
         }
         Ok(())
     }
@@ -277,6 +531,7 @@ impl fmt::Display for ScenarioTransform {
             | ScenarioTransform::FailSwitches(v)
             | ScenarioTransform::DegradeUniform(v) => write!(f, "{}={v}", self.name()),
             ScenarioTransform::Expand(racks) => write!(f, "expand={racks}"),
+            ScenarioTransform::Impair(cfg) => write!(f, "impair={cfg}"),
         }
     }
 }
@@ -284,7 +539,9 @@ impl fmt::Display for ScenarioTransform {
 /// One-line grammar of the registered transforms, for error messages and
 /// `figures topo list`.
 pub fn transform_grammar() -> &'static str {
-    "fail_links=<fraction>, fail_switches=<fraction>, degrade_uniform=<fraction>, expand=<racks>"
+    "fail_links=<fraction>, fail_switches=<fraction>, degrade_uniform=<fraction>, \
+     expand=<racks>, impair=<key:value,...> (keys: loss, ge, jitter_ms, jdist, reorder, \
+     dup, queue)"
 }
 
 // -------------------------------------------------------------- generators
@@ -634,6 +891,39 @@ impl TopoSpec {
         }
     }
 
+    /// The effective impairment of this spec's transform chain, if any:
+    /// `+impair=` segments fold left to right with field-wise overlay
+    /// ([`ImpairConfig::merged`]), so later segments override only the keys
+    /// they set.
+    pub fn impairment(&self) -> Option<ImpairConfig> {
+        let mut acc: Option<ImpairConfig> = None;
+        for t in &self.transforms {
+            if let ScenarioTransform::Impair(cfg) = t {
+                acc = Some(match acc {
+                    None => *cfg,
+                    Some(prev) => prev.merged(cfg),
+                });
+            }
+        }
+        acc
+    }
+
+    /// This spec with every `+impair=` transform removed (topology-affecting
+    /// transforms are kept in order). Experiments use this to re-spec an
+    /// item with their own impairment axis.
+    pub fn without_impairment(&self) -> TopoSpec {
+        TopoSpec {
+            generator: self.generator.clone(),
+            params: self.params.clone(),
+            transforms: self
+                .transforms
+                .iter()
+                .filter(|t| !matches!(t, ScenarioTransform::Impair(_)))
+                .copied()
+                .collect(),
+        }
+    }
+
     /// Resolves the generator from the registry.
     pub fn resolve(&self) -> Result<&'static dyn TopologyGenerator, SpecError> {
         find_generator(&self.generator)
@@ -817,6 +1107,74 @@ mod tests {
         let d = degraded.build(5).unwrap();
         assert!(d.num_links() < failed.num_links() + 20);
         assert!(d.graph().nodes().any(|v| d.graph().degree(v) == 0 || d.servers(v) == 0));
+    }
+
+    #[test]
+    fn impair_parses_and_round_trips() {
+        let s = "jellyfish:switches=20,ports=8,degree=5+impair=loss:0.01,ge:0.9/0.1,jitter_ms:5,jdist:exp,reorder:0.02,dup:0.001,queue:64";
+        let spec: TopoSpec = s.parse().unwrap();
+        assert_eq!(spec.to_string(), s);
+        let cfg = spec.impairment().unwrap();
+        assert_eq!(cfg.loss, 0.01);
+        assert_eq!(cfg.ge_good_to_bad, 0.9);
+        assert_eq!(cfg.ge_bad_to_good, 0.1);
+        assert_eq!(cfg.jitter_ms, 5.0);
+        assert_eq!(cfg.jitter_dist, JitterDist::Exp);
+        assert_eq!(cfg.reorder, 0.02);
+        assert_eq!(cfg.duplicate, 0.001);
+        assert_eq!(cfg.queue, Some(64));
+        // Impairment never alters the graph.
+        let ideal = spec.without_impairment();
+        assert_eq!(ideal.to_string(), "jellyfish:switches=20,ports=8,degree=5");
+        assert_eq!(
+            spec.build(7).unwrap().graph().edges().collect::<Vec<_>>(),
+            ideal.build(7).unwrap().graph().edges().collect::<Vec<_>>()
+        );
+        // Non-canonical key order parses and re-renders canonically.
+        let shuffled: TopoSpec = "fattree:k=4+impair=queue:32,loss:0.5".parse().unwrap();
+        assert_eq!(shuffled.to_string(), "fattree:k=4+impair=loss:0.5,queue:32");
+        // All-default config still round-trips.
+        let ideal_cfg = ImpairConfig::default();
+        let t = ScenarioTransform::Impair(ideal_cfg);
+        assert_eq!(t.to_string(), "impair=loss:0");
+        assert_eq!(ScenarioTransform::parse("impair=loss:0").unwrap(), t);
+    }
+
+    #[test]
+    fn impair_chains_merge_field_wise() {
+        let spec: TopoSpec =
+            "fattree:k=4+impair=loss:0.01,jitter_ms:5+impair=loss:0.2+fail_links=0.1"
+                .parse()
+                .unwrap();
+        let cfg = spec.impairment().unwrap();
+        assert_eq!(cfg.loss, 0.2, "later impair overrides loss");
+        assert_eq!(cfg.jitter_ms, 5.0, "unset keys persist");
+        // Stripping impairment keeps the topology-affecting transforms.
+        assert_eq!(spec.without_impairment().to_string(), "fattree:k=4+fail_links=0.1");
+        assert_eq!(spec.base().to_string(), "fattree:k=4");
+        // Distinct configs derive distinct seeds; equal configs agree.
+        let a = ScenarioTransform::Impair(cfg).derived_seed(7);
+        let b = ScenarioTransform::Impair(ImpairConfig { loss: 0.3, ..cfg }).derived_seed(7);
+        assert_ne!(a, b);
+        assert_eq!(a, ScenarioTransform::Impair(cfg).derived_seed(7));
+    }
+
+    #[test]
+    fn impair_rejects_bad_values() {
+        for (raw, needle) in [
+            ("fattree:k=4+impair=loss:2", "must be in [0, 1]"),
+            ("fattree:k=4+impair=loss", "not key:value"),
+            ("fattree:k=4+impair=warp:0.1", "does not take 'warp'"),
+            ("fattree:k=4+impair=loss:0.1,loss:0.2", "duplicate key"),
+            ("fattree:k=4+impair=ge:0.5", "<good_to_bad>/<bad_to_good>"),
+            ("fattree:k=4+impair=jitter_ms:-3", "must be finite and >= 0"),
+            ("fattree:k=4+impair=jdist:normal", "valid distributions"),
+            ("fattree:k=4+impair=queue:0", "drop every packet"),
+            ("fattree:k=4+impair=queue:x", "unsigned integer"),
+        ] {
+            let err = raw.parse::<TopoSpec>().unwrap_err().to_string();
+            assert!(err.contains(needle), "'{raw}': expected '{needle}' in '{err}'");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! for every registered generator under arbitrary parameter values and
 //! arbitrary transform chains, and `build(spec, seed)` is deterministic.
 
-use jellyfish_topology::spec::{generators, ScenarioTransform};
+use jellyfish_topology::spec::{generators, ImpairConfig, JitterDist, ScenarioTransform};
 use jellyfish_topology::TopoSpec;
 use proptest::prelude::*;
 
@@ -47,8 +47,41 @@ fn transform(kind: usize, fraction: f64, racks: usize) -> ScenarioTransform {
         0 => ScenarioTransform::FailLinks(fraction),
         1 => ScenarioTransform::FailSwitches(fraction),
         2 => ScenarioTransform::DegradeUniform(fraction),
-        _ => ScenarioTransform::Expand(racks),
+        3 => ScenarioTransform::Expand(racks),
+        _ => impair_transform(racks, fraction),
     }
+}
+
+/// An `impair=` transform with an arbitrary subset of fields set: `mask`
+/// picks which knobs are non-default (including none — the all-default
+/// config has its own `loss:0` rendering), `x` in `[0, 1)` supplies the
+/// values. Fractions keep f64 shortest round-trip formatting, so display →
+/// parse must reproduce them bit-exactly.
+fn impair_transform(mask: usize, x: f64) -> ScenarioTransform {
+    let mut cfg = ImpairConfig::default();
+    if mask & 1 != 0 {
+        cfg.loss = x;
+    }
+    if mask & 2 != 0 {
+        cfg.ge_good_to_bad = x * 0.5;
+        cfg.ge_bad_to_good = 1.0 - x * 0.5;
+    }
+    if mask & 4 != 0 {
+        cfg.jitter_ms = x * 20.0;
+    }
+    if mask & 8 != 0 {
+        cfg.jitter_dist = JitterDist::Exp;
+    }
+    if mask & 16 != 0 {
+        cfg.reorder = x;
+    }
+    if mask & 32 != 0 {
+        cfg.duplicate = x;
+    }
+    if mask & 64 != 0 {
+        cfg.queue = Some(1 + mask % 256);
+    }
+    ScenarioTransform::Impair(cfg)
 }
 
 proptest! {
@@ -64,7 +97,7 @@ proptest! {
         a in 0usize..10_000,
         b in 0usize..10_000,
         c in 0usize..10_000,
-        chain in proptest::collection::vec((0usize..4, 0.0f64..1.0, 0usize..1_000), 0..4),
+        chain in proptest::collection::vec((0usize..5, 0.0f64..1.0, 0usize..1_000), 0..4),
     ) {
         let mut spec = base_spec(pick, a, b, c);
         for (kind, fraction, racks) in chain {
