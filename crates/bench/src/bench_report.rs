@@ -1,0 +1,236 @@
+//! `figures bench` — the tracked hot-kernel benchmark trajectory.
+//!
+//! Runs each rewritten kernel next to its pre-rewrite scalar baseline at a
+//! fixed per-scale instance size and writes one JSON report (`BENCH_7.json`
+//! by default) with a record per kernel:
+//! `{"kernel", "n", "ns_per_iter", "speedup_vs_scalar"}`. `ns_per_iter` is
+//! the optimized path's wall-clock per iteration; `speedup_vs_scalar` is the
+//! baseline's time divided by it, so values above 1 mean the rewrite pays
+//! off. PERF.md documents the kernel inventory and how to read the report;
+//! CI runs `figures bench --scale tiny` as a smoke check and archives the
+//! report as an artifact.
+
+use jellyfish::figures::Scale;
+use jellyfish_flow::bisection::{min_bisection_heuristic, min_bisection_heuristic_reference};
+use jellyfish_flow::kernels as flow_kernels;
+use jellyfish_routing::shortest::{all_pairs_distances_reference, all_pairs_distances_serial};
+use jellyfish_topology::kernels as topo_kernels;
+use jellyfish_topology::{CsrGraph, JellyfishBuilder, Topology};
+use std::time::{Duration, Instant};
+
+/// One measured kernel: the optimized path's per-iteration time and its
+/// speedup over the pre-rewrite scalar baseline.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Kernel name (see PERF.md for the inventory).
+    pub kernel: String,
+    /// Problem size the kernel ran at (switches, arcs or edges — per kernel).
+    pub n: usize,
+    /// Optimized path, nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Baseline time divided by optimized time (> 1 means faster).
+    pub speedup_vs_scalar: f64,
+}
+
+/// Per-scale instance sizes: `(bfs_topo, kl_topo, kl_restarts)` as
+/// `JellyfishBuilder::new` argument triples. The laptop sizes are the
+/// acceptance targets: all-pairs BFS at the paper's jellyfish 245×14 and
+/// Kernighan–Lin at n = 500.
+fn sizes(scale: Scale) -> ((usize, usize, usize), (usize, usize, usize), usize) {
+    match scale {
+        Scale::Tiny => ((60, 10, 6), (60, 10, 6), 2),
+        Scale::Laptop => ((245, 14, 11), (500, 24, 12), 2),
+        Scale::Paper => ((686, 24, 19), (1000, 24, 12), 2),
+    }
+}
+
+/// Times `f` with one warmup call, then iterates until `min_total` elapses
+/// or `max_iters` is reached, returning mean nanoseconds per iteration.
+fn time_ns<F: FnMut()>(mut f: F, min_total: Duration, max_iters: u32) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= min_total || iters >= max_iters {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn record<F, G>(kernel: &str, n: usize, optimized: F, scalar: G) -> BenchRecord
+where
+    F: FnMut(),
+    G: FnMut(),
+{
+    let budget = Duration::from_millis(150);
+    let ns_opt = time_ns(optimized, budget, 1000);
+    let ns_scalar = time_ns(scalar, budget, 1000);
+    BenchRecord {
+        kernel: kernel.to_string(),
+        n,
+        ns_per_iter: ns_opt,
+        speedup_vs_scalar: ns_scalar / ns_opt,
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Runs the full suite at `scale` and returns the records in a fixed order.
+pub fn run_suite(scale: Scale, seed: u64) -> Vec<BenchRecord> {
+    let ((bn, bp, bd), (kn, kp, kd), restarts) = sizes(scale);
+    let bfs_topo: Topology =
+        JellyfishBuilder::new(bn, bp, bd).seed(seed).build().expect("bench topology builds");
+    let bfs_csr: CsrGraph = bfs_topo.csr();
+    let kl_topo: Topology =
+        JellyfishBuilder::new(kn, kp, kd).seed(seed ^ 1).build().expect("bench topology builds");
+
+    let mut records = Vec::new();
+
+    // 1. All-pairs BFS: direction-optimizing flat-matrix sweep vs the
+    //    pre-rewrite per-source queue BFS building Vec<Vec<usize>>.
+    records.push(record(
+        "all_pairs_bfs",
+        bn,
+        || {
+            std::hint::black_box(all_pairs_distances_serial(&bfs_csr));
+        },
+        || {
+            std::hint::black_box(all_pairs_distances_reference(&bfs_csr));
+        },
+    ));
+
+    // 2. Kernighan–Lin bisection: sorted-partner selection with incremental
+    //    D-values vs the all-pairs scan. Both run the identical restart
+    //    schedule and produce the identical cut.
+    records.push(record(
+        "kl_bisection",
+        kn,
+        || {
+            std::hint::black_box(min_bisection_heuristic(&kl_topo, restarts, seed));
+        },
+        || {
+            std::hint::black_box(min_bisection_heuristic_reference(&kl_topo, restarts, seed));
+        },
+    ));
+
+    // 3. Garg–Könemann arc update: chunked vs scalar on this topology's arc
+    //    arrays with a synthetic 16-hop path (both variants always compiled,
+    //    so one binary measures both).
+    let num_arcs = bfs_csr.num_arcs();
+    let mut state = seed | 1;
+    let arcs: Vec<usize> = (0..16).map(|_| (xorshift(&mut state) as usize) % num_arcs).collect();
+    // Each variant mutates its own copy of the arc state so the two timed
+    // closures don't alias (and neither drifts the other's inputs).
+    let mut opt_state = (vec![1.0f64; num_arcs], vec![0.0f64; num_arcs], 0.0f64);
+    let mut ref_state = opt_state.clone();
+    records.push(record(
+        "gk_apply",
+        num_arcs,
+        || {
+            let (length, flow, tw) = &mut opt_state;
+            for _ in 0..64 {
+                flow_kernels::gk_apply_chunked(length, flow, &arcs, 0.5, 1.000_01, 1.0, tw);
+            }
+            std::hint::black_box(length);
+        },
+        || {
+            let (length, flow, tw) = &mut ref_state;
+            for _ in 0..64 {
+                flow_kernels::gk_apply_scalar(length, flow, &arcs, 0.5, 1.000_01, 1.0, tw);
+            }
+            std::hint::black_box(length);
+        },
+    ));
+
+    // 4. Cut-size scan: chunked vs scalar over the full edge list.
+    let num_edges = bfs_csr.num_edges();
+    let in_set: Vec<bool> = (0..bfs_csr.num_nodes()).map(|v| v % 2 == 0).collect();
+    let edges: Vec<(u32, u32)> = bfs_csr.edges().map(|(u, v)| (u as u32, v as u32)).collect();
+    records.push(record(
+        "cut_size",
+        num_edges,
+        || {
+            for _ in 0..16 {
+                std::hint::black_box(topo_kernels::cut_size_chunked(&edges, &in_set));
+            }
+        },
+        || {
+            for _ in 0..16 {
+                std::hint::black_box(topo_kernels::cut_size_scalar(&edges, &in_set));
+            }
+        },
+    ));
+
+    records
+}
+
+/// Serializes a suite run as the `BENCH_*.json` report.
+pub fn render_report(scale: Scale, seed: u64, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"simd\": {},\n", topo_kernels::simd_enabled()));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"ns_per_iter\": {:.1}, \
+             \"speedup_vs_scalar\": {:.3}}}{comma}\n",
+            r.kernel, r.n, r.ns_per_iter, r.speedup_vs_scalar
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_is_valid_json_with_required_fields() {
+        let records = vec![
+            BenchRecord {
+                kernel: "all_pairs_bfs".into(),
+                n: 60,
+                ns_per_iter: 1234.5,
+                speedup_vs_scalar: 2.5,
+            },
+            BenchRecord {
+                kernel: "kl_bisection".into(),
+                n: 60,
+                ns_per_iter: 99.0,
+                speedup_vs_scalar: 3.0,
+            },
+        ];
+        let report = render_report(Scale::Tiny, 7, &records);
+        assert!(report.contains("\"scale\": \"tiny\""));
+        assert!(report.contains("\"kernel\": \"all_pairs_bfs\""));
+        assert!(report.contains("\"speedup_vs_scalar\": 2.500"));
+        assert!(report.contains("\"ns_per_iter\": 99.0"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(report.matches('{').count(), report.matches('}').count());
+        assert_eq!(report.matches('[').count(), report.matches(']').count());
+    }
+
+    #[test]
+    fn time_ns_returns_positive() {
+        let ns = time_ns(
+            || {
+                std::hint::black_box(42);
+            },
+            Duration::from_millis(1),
+            100,
+        );
+        assert!(ns > 0.0);
+    }
+}

@@ -15,6 +15,7 @@
 //!                              [--timeout-secs N]
 //!                              [--scale ...] [--seed N] [--topo <spec>] [--json]
 //! figures merge <file...> [--json]
+//! figures bench [--scale tiny|laptop|paper] [--seed N] [--out <file>]
 //! figures topo list
 //! figures topo show <spec>
 //! figures topo build <spec> [--seed N]
@@ -53,6 +54,7 @@
 
 use jellyfish::experiment::{self, Experiment, RunCtx, Shard, ShardFragment, TimingFile, WorkPlan};
 use jellyfish::figures::Scale;
+use jellyfish_bench::bench_report;
 use jellyfish_bench::launch::{self, LaunchConfig};
 use jellyfish_bench::merge::{experiment_names, merge_fragments, render_merged};
 use jellyfish_bench::{render_run, render_run_json};
@@ -70,6 +72,9 @@ commands:
   run <experiment|all>      evaluate experiments and print their datasets
   launch <experiment|all>   spawn N shard workers, merge their fragments
   merge <file...>           merge `run --shard` fragment files
+  bench                     time the hot kernels against their scalar
+                            baselines and write a BENCH_*.json report
+                            (see PERF.md)
   topo list                 list the registered topology generators/transforms
   topo show <spec>          parse a topology spec and print its structure
   topo build <spec>         build a topology spec and print its properties
@@ -104,6 +109,12 @@ launch options (plus --scale, --seed, --topo, --plan, --json as above):
 
 merge options:
   --json                      print JSON instead of TSV
+
+bench options:
+  --scale tiny|laptop|paper   instance-size preset (default: laptop; the
+                              laptop sizes are the tracked targets)
+  --seed N                    topology seed (default: 2012)
+  --out <file>                report path (default: BENCH_7.json)
 
 topo build options:
   --seed N                    build seed (default: 2012)";
@@ -356,6 +367,60 @@ fn cmd_merge(args: &[String]) -> ExitCode {
         }
         Err(e) => fail(&e),
     }
+}
+
+// ----------------------------------------------------------------- bench
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut scale = Scale::Laptop;
+    let mut seed = 2012u64;
+    let mut out = PathBuf::from("BENCH_7.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = match flag_value(args, i, "--scale")
+                    .and_then(|raw| raw.parse().map_err(|e| format!("{e}")))
+                {
+                    Ok(scale) => scale,
+                    Err(e) => return fail(&e),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                let raw = match flag_value(args, i, "--seed") {
+                    Ok(raw) => raw,
+                    Err(e) => return fail(&e),
+                };
+                seed = match raw.parse() {
+                    Ok(seed) => seed,
+                    Err(_) => {
+                        return fail(&format!(
+                            "unparsable --seed '{raw}': expected an unsigned integer"
+                        ))
+                    }
+                };
+                i += 2;
+            }
+            "--out" => {
+                out = match flag_value(args, i, "--out") {
+                    Ok(path) => PathBuf::from(path),
+                    Err(e) => return fail(&e),
+                };
+                i += 2;
+            }
+            other => return fail(&format!("unknown option '{other}'\n\n{USAGE}")),
+        }
+    }
+    eprintln!("figures: benching hot kernels at scale {scale} (seed {seed})...");
+    let records = bench_report::run_suite(scale, seed);
+    let report = bench_report::render_report(scale, seed, &records);
+    if let Err(e) = std::fs::write(&out, &report) {
+        return fail(&format!("cannot write '{}': {e}", out.display()));
+    }
+    print!("{report}");
+    eprintln!("figures: wrote {}", out.display());
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------- launch
@@ -623,6 +688,7 @@ fn main() -> ExitCode {
         }
         "launch" => cmd_launch(&args[1..]),
         "merge" => cmd_merge(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

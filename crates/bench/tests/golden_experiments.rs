@@ -1,0 +1,63 @@
+//! Golden-output guard for the hot-kernel rewrites (PERF.md): the registry
+//! experiments must render **byte-identical** output before and after any
+//! kernel change, seed for seed, in both the single-process and the
+//! sharded-and-merged paths. The goldens in `testdata/` were captured from
+//! the pre-rewrite binary with
+//! `figures run <experiment> --scale tiny --seed 7`; a diff here means a
+//! kernel changed observable results, not just speed.
+
+use jellyfish::experiment::{self, RunCtx, Shard, ShardFragment, WorkPlan};
+use jellyfish::figures::Scale;
+use jellyfish_bench::merge::{merge_fragments, render_merged};
+use jellyfish_bench::render_run;
+
+const SEED: u64 = 7;
+
+const GOLDENS: &[(&str, &str)] = &[
+    ("throughput_vs_size", include_str!("../testdata/throughput_vs_size_tiny.golden.tsv")),
+    ("bisection", include_str!("../testdata/bisection_tiny.golden.tsv")),
+    ("failure_sweep", include_str!("../testdata/failure_sweep_tiny.golden.tsv")),
+];
+
+/// `figures run <exp> --scale tiny --seed 7` reproduces the committed golden
+/// bytes under the current build (scalar or `--features simd` alike).
+#[test]
+fn tiny_runs_match_goldens_byte_for_byte() {
+    for (name, golden) in GOLDENS {
+        let exp = experiment::find(name).expect("golden experiment is registered");
+        let data = exp.run(&RunCtx::new(Scale::Tiny, SEED));
+        let rendered = render_run(exp.name(), Scale::Tiny, SEED, None, &data);
+        assert_eq!(rendered, *golden, "{name}: output drifted from the pre-rewrite golden");
+    }
+}
+
+/// Splitting the same runs across two shards and merging the fragments
+/// reproduces the identical bytes — the launcher path has no seam for the
+/// kernels to leak nondeterminism through.
+#[test]
+fn sharded_merge_matches_goldens_byte_for_byte() {
+    for (name, golden) in GOLDENS {
+        let exp = experiment::find(name).expect("golden experiment is registered");
+        let ctx = RunCtx::new(Scale::Tiny, SEED);
+        let num_shards = 2;
+        let plan = WorkPlan::plan(exp.work_items(&ctx).len(), num_shards, None);
+        let fragments: Vec<ShardFragment> = (1..=num_shards)
+            .map(|k| {
+                let shard = Shard::new(k, num_shards).expect("valid shard index");
+                let timed = exp.run_selected_timed(&ctx, &|i| plan.owns(shard, i));
+                ShardFragment {
+                    experiment: exp.name().to_string(),
+                    scale: Scale::Tiny,
+                    seed: SEED,
+                    topo: None,
+                    shard,
+                    timings_us: timed.timings_us,
+                    items: timed.items,
+                }
+            })
+            .collect();
+        let merged = merge_fragments(&fragments).expect("complete shard set merges");
+        let rendered = render_merged(&merged, false);
+        assert_eq!(rendered, *golden, "{name}: sharded+merged output drifted from the golden");
+    }
+}

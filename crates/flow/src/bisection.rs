@@ -127,6 +127,27 @@ pub struct BisectionCut {
 /// parallel (each with its own seed derived from `seed`) and the best cut is
 /// kept, ties broken by restart index so the result is deterministic.
 pub fn min_bisection_heuristic(topo: &Topology, restarts: usize, seed: u64) -> BisectionCut {
+    min_bisection_with(topo, restarts, seed, kl_refine)
+}
+
+/// [`min_bisection_heuristic`] driven by [`kl_refine_reference`] — the
+/// pre-optimization pair-scan refinement, kept as the benchmark baseline and
+/// the oracle the equivalence proptests compare against. Produces the exact
+/// same cut as [`min_bisection_heuristic`] for every input.
+pub fn min_bisection_heuristic_reference(
+    topo: &Topology,
+    restarts: usize,
+    seed: u64,
+) -> BisectionCut {
+    min_bisection_with(topo, restarts, seed, kl_refine_reference)
+}
+
+fn min_bisection_with(
+    topo: &Topology,
+    restarts: usize,
+    seed: u64,
+    refine: fn(&CsrGraph, &mut [bool]),
+) -> BisectionCut {
     let csr = topo.csr();
     let n = csr.num_nodes();
     let half = n / 2;
@@ -144,7 +165,7 @@ pub fn min_bisection_heuristic(topo: &Topology, restarts: usize, seed: u64) -> B
             for &v in order.iter().take(half) {
                 in_a[v] = true;
             }
-            kl_refine(&csr, &mut in_a);
+            refine(&csr, &mut in_a);
             (csr.cut_size(&in_a), in_a)
         })
         .collect();
@@ -165,27 +186,87 @@ pub fn min_bisection_heuristic(topo: &Topology, restarts: usize, seed: u64) -> B
 /// pair remains, then commits the prefix of swaps with the largest cumulative
 /// cut reduction. Passes repeat until one fails to improve the cut. All ties
 /// break on the lowest node index, so the result is deterministic.
-fn kl_refine(csr: &CsrGraph, in_a: &mut [bool]) {
+///
+/// Selection avoids the O(|A|·|B|) pair scan of [`kl_refine_reference`]: per
+/// tentative swap the unlocked B side is sorted best-partner-first (D
+/// descending, index ascending), so each A-side candidate finds its best
+/// *non-neighbor* partner by walking at most `deg(a) + 1` sorted entries and
+/// its best *neighbor* partner by one adjacency scan. D-values carry across
+/// passes by updating only the committed swaps' neighborhoods instead of
+/// recomputing [`swap_gain_component`] for all `n` nodes each pass. Gains and
+/// tie-breaking (lowest `a`, then lowest `b`) are bit-for-bit those of the
+/// reference; the equivalence proptests pin the two together.
+pub fn kl_refine(csr: &CsrGraph, in_a: &mut [bool]) {
     let n = in_a.len();
+    // True D-values (external minus internal degree) for the current
+    // partition, maintained incrementally across passes via `apply_move`.
+    let mut d_base: Vec<isize> = (0..n).map(|v| swap_gain_component(csr, in_a, v)).collect();
+    // Working copy mutated by the tentative swaps within one pass.
+    let mut d: Vec<isize> = vec![0; n];
+    let mut locked = vec![false; n];
+    // Epoch-stamped neighbor marks: O(1) adjacency tests without clearing.
+    let mut mark: Vec<u64> = vec![0; n];
+    let mut epoch: u64 = 0;
+    let mut sorted_b: Vec<NodeId> = Vec::with_capacity(n);
     loop {
-        // D-values (external minus internal degree) relative to the partition
-        // at the start of the pass; membership stays fixed until the commit.
-        let mut d: Vec<isize> = (0..n).map(|v| swap_gain_component(csr, in_a, v)).collect();
-        let mut locked = vec![false; n];
+        d.copy_from_slice(&d_base);
+        locked.iter_mut().for_each(|l| *l = false);
         let mut swaps: Vec<(NodeId, NodeId)> = Vec::new();
         let mut gains: Vec<isize> = Vec::new();
         loop {
+            // Unlocked B side, best partner first: max D, ties on low index.
+            sorted_b.clear();
+            sorted_b.extend((0..n).filter(|&b| !locked[b] && !in_a[b]));
+            sorted_b.sort_by_key(|&b| (std::cmp::Reverse(d[b]), b));
+            if sorted_b.is_empty() {
+                break;
+            }
             let mut best: Option<(isize, NodeId, NodeId)> = None;
             for a in 0..n {
                 if locked[a] || !in_a[a] {
                     continue;
                 }
-                for b in 0..n {
+                epoch += 1;
+                for &x in csr.neighbors(a) {
+                    mark[x as usize] = epoch;
+                }
+                // Best non-neighbor partner (gain d[a] + d[b]): the first
+                // unmarked sorted entry. At most deg(a) entries are marked,
+                // so this walk stops within deg(a) + 1 steps.
+                let mut cand: Option<(isize, NodeId)> = None;
+                for &b in &sorted_b {
+                    if mark[b] != epoch {
+                        cand = Some((d[a] + d[b], b));
+                        break;
+                    }
+                }
+                // Best neighbor partner (gain d[a] + d[b] − 2): max D over
+                // the adjacency list, ties on low index.
+                let mut neigh: Option<(isize, NodeId)> = None;
+                for &x in csr.neighbors(a) {
+                    let b = x as usize;
                     if locked[b] || in_a[b] {
                         continue;
                     }
-                    let w = if csr.has_edge(a, b) { 1isize } else { 0 };
-                    let gain = d[a] + d[b] - 2 * w;
+                    let better = match neigh {
+                        None => true,
+                        Some((db, bn)) => d[b] > db || (d[b] == db && b < bn),
+                    };
+                    if better {
+                        neigh = Some((d[b], b));
+                    }
+                }
+                if let Some((db, b)) = neigh {
+                    let gain = d[a] + db - 2;
+                    let better = match cand {
+                        None => true,
+                        Some((g, bc)) => gain > g || (gain == g && b < bc),
+                    };
+                    if better {
+                        cand = Some((gain, b));
+                    }
+                }
+                if let Some((gain, b)) = cand {
                     if best.is_none_or(|(g, _, _)| gain > g) {
                         best = Some((gain, a, b));
                     }
@@ -227,6 +308,89 @@ fn kl_refine(csr: &CsrGraph, in_a: &mut [bool]) {
             return;
         }
         for &(a, b) in &swaps[..best_len] {
+            apply_move(csr, in_a, &mut d_base, a);
+            apply_move(csr, in_a, &mut d_base, b);
+        }
+    }
+}
+
+/// Moves `v` to the other side of the partition, updating the true D-values:
+/// a same-side neighbor's internal edge becomes external (+2), an
+/// opposite-side neighbor's external edge becomes internal (−2), and `v`'s
+/// own D negates. Must run *before* any other committed move is applied with
+/// stale membership, hence one call per moved endpoint in commit order.
+fn apply_move(csr: &CsrGraph, in_a: &mut [bool], d: &mut [isize], v: NodeId) {
+    for &x in csr.neighbors(v) {
+        let x = x as usize;
+        d[x] += if in_a[x] == in_a[v] { 2 } else { -2 };
+    }
+    d[v] = -d[v];
+    in_a[v] = !in_a[v];
+}
+
+/// The pre-optimization [`kl_refine`]: every tentative swap scans all
+/// unlocked (A, B) pairs and every pass recomputes all D-values from
+/// scratch. Kept as the equivalence oracle and benchmark baseline; produces
+/// bit-for-bit the same partitions as [`kl_refine`].
+pub fn kl_refine_reference(csr: &CsrGraph, in_a: &mut [bool]) {
+    let n = in_a.len();
+    loop {
+        // D-values (external minus internal degree) relative to the partition
+        // at the start of the pass; membership stays fixed until the commit.
+        let mut d: Vec<isize> = (0..n).map(|v| swap_gain_component(csr, in_a, v)).collect();
+        let mut locked = vec![false; n];
+        let mut swaps: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut gains: Vec<isize> = Vec::new();
+        loop {
+            let mut best: Option<(isize, NodeId, NodeId)> = None;
+            for a in 0..n {
+                if locked[a] || !in_a[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if locked[b] || in_a[b] {
+                        continue;
+                    }
+                    let w = if csr.has_edge(a, b) { 1isize } else { 0 };
+                    let gain = d[a] + d[b] - 2 * w;
+                    if best.is_none_or(|(g, _, _)| gain > g) {
+                        best = Some((gain, a, b));
+                    }
+                }
+            }
+            let Some((gain, a, b)) = best else { break };
+            locked[a] = true;
+            locked[b] = true;
+            swaps.push((a, b));
+            gains.push(gain);
+            for &x in csr.neighbors(a) {
+                let x = x as usize;
+                if !locked[x] {
+                    d[x] += if in_a[x] { 2 } else { -2 };
+                }
+            }
+            for &x in csr.neighbors(b) {
+                let x = x as usize;
+                if !locked[x] {
+                    d[x] += if in_a[x] { -2 } else { 2 };
+                }
+            }
+        }
+        // Commit the best prefix of tentative swaps (smallest prefix on ties).
+        let mut best_sum = 0isize;
+        let mut best_len = 0usize;
+        let mut running = 0isize;
+        for (i, &g) in gains.iter().enumerate() {
+            running += g;
+            if running > best_sum {
+                best_sum = running;
+                best_len = i + 1;
+            }
+        }
+        if best_len == 0 {
+            return;
+        }
+        for &(a, b) in &swaps[..best_len] {
             in_a[a] = false;
             in_a[b] = true;
         }
@@ -234,7 +398,7 @@ fn kl_refine(csr: &CsrGraph, in_a: &mut [bool]) {
 }
 
 /// D-value of the Kernighan–Lin gain: external minus internal degree.
-fn swap_gain_component(csr: &CsrGraph, in_a: &[bool], v: NodeId) -> isize {
+pub fn swap_gain_component(csr: &CsrGraph, in_a: &[bool], v: NodeId) -> isize {
     let mut external = 0isize;
     let mut internal = 0isize;
     for &u in csr.neighbors(v) {
@@ -372,6 +536,48 @@ mod tests {
         // at least the Bollobás bound minus its slack — sanity check against
         // an obviously-too-good value.
         assert!(cut.crossing_links >= 10);
+    }
+
+    #[test]
+    fn kl_refine_matches_reference_exactly() {
+        // The optimized selection must reproduce the reference pair scan
+        // bit-for-bit, including every tie-break, on an irregular graph.
+        for (n_switches, ports, degree, seed) in
+            [(12usize, 6usize, 3usize, 0u64), (25, 8, 5, 1), (30, 10, 7, 2)]
+        {
+            let topo = JellyfishBuilder::new(n_switches, ports, degree).seed(seed).build().unwrap();
+            let csr = topo.csr();
+            let n = csr.num_nodes();
+            let in_a: Vec<bool> =
+                (0..n).map(|v| (v.wrapping_mul(2654435761) >> 4) % 2 == 0).collect();
+            // Balance the start the same way for both.
+            let excess = in_a.iter().filter(|&&x| x).count() as isize - (n / 2) as isize;
+            let mut fixed = in_a.clone();
+            let mut left = excess;
+            for slot in fixed.iter_mut() {
+                if left > 0 && *slot {
+                    *slot = false;
+                    left -= 1;
+                } else if left < 0 && !*slot {
+                    *slot = true;
+                    left += 1;
+                }
+            }
+            let mut fast = fixed.clone();
+            let mut reference = fixed;
+            kl_refine(&csr, &mut fast);
+            kl_refine_reference(&csr, &mut reference);
+            assert_eq!(fast, reference, "n={n_switches} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn min_bisection_reference_variant_agrees() {
+        let topo = JellyfishBuilder::new(20, 8, 5).seed(9).build().unwrap();
+        let fast = min_bisection_heuristic(&topo, 4, 3);
+        let reference = min_bisection_heuristic_reference(&topo, 4, 3);
+        assert_eq!(fast.partition, reference.partition);
+        assert_eq!(fast.crossing_links, reference.crossing_links);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Hot flat-slice kernels for the flow solvers, mirroring
+//! `jellyfish_topology::kernels`: every kernel ships a scalar fallback and a
+//! chunked variant written so the autovectorizer can keep [`LANES`] elements
+//! in flight, dispatched on the `simd` feature. The two variants are
+//! bit-identical by construction — every floating-point addition that feeds a
+//! running accumulator happens in the same order in both — which the
+//! equivalence proptests in `tests/proptest_kernels.rs` pin down.
+
+use jellyfish_topology::ArcId;
+
+/// Chunk width for the vectorizable loops (two 4-wide f64 vector registers
+/// on AVX2, one on NEON — enough for the compiler to unroll either way).
+pub const LANES: usize = 8;
+
+/// Whether the chunked variants are dispatched (`--features simd`).
+#[inline]
+pub fn simd_enabled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// One Garg–Könemann multiplicative-weights update along a path.
+///
+/// For each arc in `arcs`, in order: `flow[a] += amount`,
+/// `length[a] *= factor`, and `*total_weighted_length += Δlength · capacity`.
+/// The caller precomputes `factor = 1 + ε·amount/capacity` once per call
+/// instead of once per arc; the accumulator update order is the contract —
+/// both variants add the per-arc deltas to `total_weighted_length`
+/// sequentially in arc order, so λ comes out bit-identical under either
+/// dispatch.
+pub fn gk_apply(
+    length: &mut [f64],
+    flow: &mut [f64],
+    arcs: &[ArcId],
+    amount: f64,
+    factor: f64,
+    capacity: f64,
+    total_weighted_length: &mut f64,
+) {
+    if simd_enabled() {
+        gk_apply_chunked(length, flow, arcs, amount, factor, capacity, total_weighted_length)
+    } else {
+        gk_apply_scalar(length, flow, arcs, amount, factor, capacity, total_weighted_length)
+    }
+}
+
+/// Scalar fallback for [`gk_apply`].
+pub fn gk_apply_scalar(
+    length: &mut [f64],
+    flow: &mut [f64],
+    arcs: &[ArcId],
+    amount: f64,
+    factor: f64,
+    capacity: f64,
+    total_weighted_length: &mut f64,
+) {
+    for &arc in arcs {
+        flow[arc] += amount;
+        let old = length[arc];
+        let new = old * factor;
+        length[arc] = new;
+        *total_weighted_length += (new - old) * capacity;
+    }
+}
+
+/// Chunked variant of [`gk_apply`]: the gather/scale/scatter work runs
+/// [`LANES`] arcs at a time through a stack buffer; the accumulator drains
+/// the buffer sequentially so the sum order matches the scalar kernel.
+pub fn gk_apply_chunked(
+    length: &mut [f64],
+    flow: &mut [f64],
+    arcs: &[ArcId],
+    amount: f64,
+    factor: f64,
+    capacity: f64,
+    total_weighted_length: &mut f64,
+) {
+    let mut chunks = arcs.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let mut deltas = [0.0f64; LANES];
+        for (delta, &arc) in deltas.iter_mut().zip(chunk) {
+            flow[arc] += amount;
+            let old = length[arc];
+            let new = old * factor;
+            length[arc] = new;
+            *delta = (new - old) * capacity;
+        }
+        for delta in deltas {
+            *total_weighted_length += delta;
+        }
+    }
+    for &arc in chunks.remainder() {
+        flow[arc] += amount;
+        let old = length[arc];
+        let new = old * factor;
+        length[arc] = new;
+        *total_weighted_length += (new - old) * capacity;
+    }
+}
+
+/// Sum of `length[a]` over the arcs of one candidate path (the score the
+/// path-restricted solver minimizes). Sequential left-to-right sum in both
+/// variants, so path selection ties break identically under either dispatch.
+pub fn path_cost(length: &[f64], arcs: &[ArcId]) -> f64 {
+    if simd_enabled() {
+        path_cost_chunked(length, arcs)
+    } else {
+        path_cost_scalar(length, arcs)
+    }
+}
+
+/// Scalar fallback for [`path_cost`].
+pub fn path_cost_scalar(length: &[f64], arcs: &[ArcId]) -> f64 {
+    let mut total = 0.0f64;
+    for &arc in arcs {
+        total += length[arc];
+    }
+    total
+}
+
+/// Chunked variant of [`path_cost`]: gathers [`LANES`] lengths into a stack
+/// buffer (the vectorizable part) and drains it left to right.
+pub fn path_cost_chunked(length: &[f64], arcs: &[ArcId]) -> f64 {
+    let mut total = 0.0f64;
+    let mut chunks = arcs.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let mut gathered = [0.0f64; LANES];
+        for (slot, &arc) in gathered.iter_mut().zip(chunk) {
+            *slot = length[arc];
+        }
+        for value in gathered {
+            total += value;
+        }
+    }
+    for &arc in chunks.remainder() {
+        total += length[arc];
+    }
+    total
+}
+
+/// Elementwise accumulated-flow → utilization conversion over the whole arc
+/// array: `min((flow[a] / phases) · scale / capacity, 1.0)`. The operation
+/// order matches the historical per-arc loop exactly (divide by phases first,
+/// then scale, then capacity) so utilization bits never move. Purely
+/// elementwise, so the chunked variant is trivially bit-identical.
+pub fn scale_clamp(flow: &[f64], phases: f64, scale: f64, capacity: f64) -> Vec<f64> {
+    if simd_enabled() {
+        scale_clamp_chunked(flow, phases, scale, capacity)
+    } else {
+        scale_clamp_scalar(flow, phases, scale, capacity)
+    }
+}
+
+#[inline]
+fn utilization_of(flow: f64, phases: f64, scale: f64, capacity: f64) -> f64 {
+    (flow / phases * scale / capacity).min(1.0)
+}
+
+/// Scalar fallback for [`scale_clamp`].
+pub fn scale_clamp_scalar(flow: &[f64], phases: f64, scale: f64, capacity: f64) -> Vec<f64> {
+    flow.iter().map(|&f| utilization_of(f, phases, scale, capacity)).collect()
+}
+
+/// Chunked variant of [`scale_clamp`].
+pub fn scale_clamp_chunked(flow: &[f64], phases: f64, scale: f64, capacity: f64) -> Vec<f64> {
+    let mut out = vec![0.0f64; flow.len()];
+    let mut in_chunks = flow.chunks_exact(LANES);
+    let mut out_chunks = out.chunks_exact_mut(LANES);
+    for (src, dst) in (&mut in_chunks).zip(&mut out_chunks) {
+        for (d, &f) in dst.iter_mut().zip(src) {
+            *d = utilization_of(f, phases, scale, capacity);
+        }
+    }
+    for (d, &f) in out_chunks.into_remainder().iter_mut().zip(in_chunks.remainder()) {
+        *d = utilization_of(f, phases, scale, capacity);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_setup(
+        seed: u64,
+        num_arcs: usize,
+        path_len: usize,
+    ) -> (Vec<f64>, Vec<f64>, Vec<ArcId>) {
+        let mut s = seed;
+        let length: Vec<f64> =
+            (0..num_arcs).map(|_| (xorshift(&mut s) % 1000) as f64 / 1000.0 + 1e-6).collect();
+        let flow: Vec<f64> =
+            (0..num_arcs).map(|_| (xorshift(&mut s) % 100) as f64 / 10.0).collect();
+        let arcs: Vec<ArcId> =
+            (0..path_len).map(|_| (xorshift(&mut s) as usize) % num_arcs).collect();
+        (length, flow, arcs)
+    }
+
+    #[test]
+    fn gk_apply_variants_bit_identical() {
+        for seed in [1u64, 99, 12345] {
+            for path_len in [0usize, 1, 7, 8, 9, 31] {
+                let (length, flow, mut arcs) = random_setup(seed, 64, path_len);
+                arcs.sort_unstable();
+                arcs.dedup();
+                let (mut l1, mut f1, mut tw1) = (length.clone(), flow.clone(), 3.5f64);
+                let (mut l2, mut f2, mut tw2) = (length.clone(), flow.clone(), 3.5f64);
+                gk_apply_scalar(&mut l1, &mut f1, &arcs, 0.25, 1.0125, 2.0, &mut tw1);
+                gk_apply_chunked(&mut l2, &mut f2, &arcs, 0.25, 1.0125, 2.0, &mut tw2);
+                assert_eq!(l1, l2);
+                assert_eq!(f1, f2);
+                assert_eq!(tw1.to_bits(), tw2.to_bits(), "seed {seed} len {path_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_cost_variants_bit_identical() {
+        for seed in [2u64, 77] {
+            for path_len in [0usize, 1, 8, 13, 40] {
+                let (length, _, arcs) = random_setup(seed, 48, path_len);
+                let a = path_cost_scalar(&length, &arcs);
+                let b = path_cost_chunked(&length, &arcs);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scale_clamp_variants_bit_identical_and_clamped() {
+        for n in [0usize, 1, 8, 17, 100] {
+            let (_, flow, _) = random_setup(5, n.max(1), 1);
+            let flow = &flow[..n];
+            let a = scale_clamp_scalar(flow, 3.0, 1.0, 2.0);
+            let b = scale_clamp_chunked(flow, 3.0, 1.0, 2.0);
+            assert_eq!(a, b);
+            assert!(a.iter().all(|&u| u <= 1.0));
+        }
+    }
+}

@@ -65,25 +65,47 @@ pub struct McfSolution {
     /// The achieved concurrent-flow fraction λ (possibly truncated at
     /// `lambda_cap`).
     pub lambda: f64,
-    /// Scaled utilization of every directed arc `(u, v)` in `[0, 1]`.
-    pub link_utilization: HashMap<(NodeId, NodeId), f64>,
+    /// Scaled utilization in `[0, 1]` of every directed arc, indexed by the
+    /// snapshot's dense [`ArcId`] (empty when the solve short-circuited
+    /// before touching any arc). Use [`McfSolution::link_utilization`] for
+    /// the endpoint-keyed view.
+    pub arc_utilization: Vec<f64>,
     /// Number of shortest-path computations performed (profiling aid).
     pub path_computations: usize,
 }
 
 impl McfSolution {
+    /// The utilization map keyed by arc endpoints `(u, v)` — a compatibility
+    /// view materialized from [`McfSolution::arc_utilization`] on demand.
+    /// `csr` must be the snapshot the solve ran on.
+    pub fn link_utilization(&self, csr: &CsrGraph) -> HashMap<(NodeId, NodeId), f64> {
+        let mut out = HashMap::with_capacity(self.arc_utilization.len());
+        for u in csr.nodes() {
+            for arc in csr.arc_range(u) {
+                let util = self.arc_utilization.get(arc).copied().unwrap_or(0.0);
+                out.insert((u, csr.arc_target(arc)), util);
+            }
+        }
+        out
+    }
+
     /// Maximum arc utilization (1.0 means some arc is saturated).
     pub fn max_utilization(&self) -> f64 {
-        self.link_utilization.values().cloned().fold(0.0, f64::max)
+        self.arc_utilization.iter().fold(0.0, |acc, &u| f64::max(acc, u))
     }
 
     /// Mean arc utilization across all arcs that carry any flow.
     pub fn mean_utilization(&self) -> f64 {
-        let used: Vec<f64> = self.link_utilization.values().cloned().filter(|&u| u > 0.0).collect();
-        if used.is_empty() {
-            return 0.0;
+        let (count, sum) = self
+            .arc_utilization
+            .iter()
+            .filter(|&&u| u > 0.0)
+            .fold((0usize, 0.0f64), |(count, sum), &u| (count + 1, sum + u));
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
         }
-        used.iter().sum::<f64>() / used.len() as f64
     }
 }
 
@@ -121,13 +143,19 @@ impl ArcState {
     }
 
     fn send_on_arcs(&mut self, arcs: &[ArcId], amount: f64, epsilon: f64) {
-        for &arc in arcs {
-            self.flow[arc] += amount;
-            let old = self.length[arc];
-            let new = old * (1.0 + epsilon * amount / self.capacity);
-            self.length[arc] = new;
-            self.total_weighted_length += (new - old) * self.capacity;
-        }
+        // The multiplicative factor is the same for every arc on the path;
+        // hoisting it out leaves the per-arc work branch-free and lets the
+        // chunked kernel keep several arcs in flight.
+        let factor = 1.0 + epsilon * amount / self.capacity;
+        crate::kernels::gk_apply(
+            &mut self.length,
+            &mut self.flow,
+            arcs,
+            amount,
+            factor,
+            self.capacity,
+            &mut self.total_weighted_length,
+        );
     }
 
     #[inline]
@@ -175,7 +203,7 @@ pub fn max_concurrent_flow(
     if commodities.is_empty() || csr.num_edges() == 0 {
         return McfSolution {
             lambda: if commodities.is_empty() { f64::INFINITY } else { 0.0 },
-            link_utilization: HashMap::new(),
+            arc_utilization: Vec::new(),
             path_computations: 0,
         };
     }
@@ -202,7 +230,7 @@ pub fn max_concurrent_flow(
                     // Unreachable destination: λ is zero.
                     return McfSolution {
                         lambda: 0.0,
-                        link_utilization: HashMap::new(),
+                        arc_utilization: Vec::new(),
                         path_computations,
                     };
                 };
@@ -226,8 +254,8 @@ pub fn max_concurrent_flow(
         Some(cap) => lambda_raw.min(cap),
         None => lambda_raw,
     };
-    let utilization = scaled_utilization(csr, &arcs, lambda_raw, phases);
-    McfSolution { lambda, link_utilization: utilization, path_computations }
+    let utilization = scaled_utilization(&arcs, lambda_raw, phases);
+    McfSolution { lambda, arc_utilization: utilization, path_computations }
 }
 
 /// Max-concurrent flow restricted to the provided paths: `paths[j]` is the
@@ -250,7 +278,7 @@ pub fn max_concurrent_flow_on_paths(
     if keep.is_empty() || csr.num_edges() == 0 {
         return McfSolution {
             lambda: if keep.is_empty() { f64::INFINITY } else { 0.0 },
-            link_utilization: HashMap::new(),
+            arc_utilization: Vec::new(),
             path_computations: 0,
         };
     }
@@ -285,8 +313,8 @@ pub fn max_concurrent_flow_on_paths(
                 let best = arc_paths[j]
                     .iter()
                     .min_by(|a, b| {
-                        let ca: f64 = a.iter().map(|&arc| arcs.arc_length(arc)).sum();
-                        let cb: f64 = b.iter().map(|&arc| arcs.arc_length(arc)).sum();
+                        let ca = crate::kernels::path_cost(&arcs.length, a);
+                        let cb = crate::kernels::path_cost(&arcs.length, b);
                         ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("non-empty path set");
@@ -308,33 +336,21 @@ pub fn max_concurrent_flow_on_paths(
         Some(cap) => lambda_raw.min(cap),
         None => lambda_raw,
     };
-    let utilization = scaled_utilization(csr, &arcs, lambda_raw, phases);
-    McfSolution { lambda, link_utilization: utilization, path_computations: 0 }
+    let utilization = scaled_utilization(&arcs, lambda_raw, phases);
+    McfSolution { lambda, arc_utilization: utilization, path_computations: 0 }
 }
 
 /// Converts raw accumulated flow into per-arc utilization consistent with the
 /// returned λ: the algorithm routes every demand once per phase, so the true
 /// (feasible) flow is the accumulated flow divided by the number of phases,
-/// then multiplied by λ to express the concurrently-routable fraction.
-fn scaled_utilization(
-    csr: &CsrGraph,
-    arcs: &ArcState,
-    lambda_raw: f64,
-    phases: f64,
-) -> HashMap<(NodeId, NodeId), f64> {
-    let mut out = HashMap::new();
+/// then multiplied by λ to express the concurrently-routable fraction. One
+/// elementwise pass over the flat flow array.
+fn scaled_utilization(arcs: &ArcState, lambda_raw: f64, phases: f64) -> Vec<f64> {
     if phases <= 0.0 {
-        return out;
+        return Vec::new();
     }
     let scale = if lambda_raw > 0.0 { 1.0 } else { 0.0 };
-    for u in csr.nodes() {
-        for arc in csr.arc_range(u) {
-            // Flow per phase, scaled to the feasible λ fraction of a phase.
-            let per_phase = arcs.flow[arc] / phases;
-            out.insert((u, csr.arc_target(arc)), (per_phase * scale / arcs.capacity).min(1.0));
-        }
-    }
-    out
+    crate::kernels::scale_clamp(&arcs.flow, phases, scale, arcs.capacity)
 }
 
 #[cfg(test)]
@@ -539,10 +555,14 @@ mod tests {
         let g = topo.csr();
         let commodities = [Commodity { src: 0, dst: 5, demand: 1.0 }];
         let sol = max_concurrent_flow(&g, &commodities, McfOptions::default());
-        assert_eq!(sol.link_utilization.len(), g.num_arcs());
-        for (&(u, v), &util) in &sol.link_utilization {
+        assert_eq!(sol.arc_utilization.len(), g.num_arcs());
+        let by_link = sol.link_utilization(&g);
+        assert_eq!(by_link.len(), g.num_arcs());
+        for (&(u, v), &util) in &by_link {
             assert!(g.has_edge(u, v));
             assert!((0.0..=1.0).contains(&util));
+            let arc = g.arc_index(u, v).unwrap();
+            assert_eq!(util.to_bits(), sol.arc_utilization[arc].to_bits());
         }
     }
 }

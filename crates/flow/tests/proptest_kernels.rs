@@ -1,0 +1,166 @@
+//! Equivalence proptests for the flow-crate hot kernels (PERF.md): the
+//! chunked Garg–Könemann update, path-cost, and utilization kernels must be
+//! **bit-identical** to their scalar fallbacks on random inputs — the
+//! property that makes λ and every utilization value independent of the
+//! `simd` feature — and the fast Kernighan–Lin refinement must reproduce the
+//! reference pair-scan's partition (hence its cut weight) exactly on random
+//! topologies and random balanced starts.
+
+use jellyfish_flow::bisection::{
+    kl_refine, kl_refine_reference, min_bisection_heuristic, min_bisection_heuristic_reference,
+};
+use jellyfish_flow::kernels::{
+    gk_apply_chunked, gk_apply_scalar, path_cost_chunked, path_cost_scalar, scale_clamp_chunked,
+    scale_clamp_scalar,
+};
+use jellyfish_flow::mcf::{max_concurrent_flow, Commodity, McfOptions};
+use jellyfish_topology::{JellyfishBuilder, Topology};
+use proptest::prelude::*;
+
+fn jellyfish(n: usize, seed: u64) -> Topology {
+    JellyfishBuilder::new(n, 8, 4).seed(seed).build().unwrap()
+}
+
+/// A deterministic pseudo-random balanced partition: nodes ordered by a
+/// keyed multiplicative hash, first half in A.
+fn balanced_start(n: usize, seed: u64) -> Vec<bool> {
+    let key = seed | 1;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (v as u64 ^ seed).wrapping_mul(key).rotate_left(17));
+    let mut in_a = vec![false; n];
+    for &v in order.iter().take(n / 2) {
+        in_a[v] = true;
+    }
+    in_a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The chunked GK multiplicative-weights update leaves every length,
+    /// flow, and the total-weighted-length accumulator bit-identical to the
+    /// scalar kernel — the invariant that keeps λ independent of dispatch.
+    #[test]
+    fn gk_apply_chunked_bit_identical(
+        lengths in proptest::collection::vec(1e-6f64..2.0, 1..96),
+        raw_arcs in proptest::collection::vec(any::<u32>(), 0..48),
+        amount in 1e-6f64..1.0,
+        eps in 1e-3f64..0.5,
+        capacity in 0.5f64..4.0,
+        tw0 in 0.0f64..2.0,
+    ) {
+        let num_arcs = lengths.len();
+        let arcs: Vec<usize> = raw_arcs.iter().map(|&a| a as usize % num_arcs).collect();
+        let factor = 1.0 + eps * amount / capacity;
+        let (mut l1, mut f1, mut tw1) = (lengths.clone(), vec![0.0f64; num_arcs], tw0);
+        let (mut l2, mut f2, mut tw2) = (lengths.clone(), vec![0.0f64; num_arcs], tw0);
+        gk_apply_scalar(&mut l1, &mut f1, &arcs, amount, factor, capacity, &mut tw1);
+        gk_apply_chunked(&mut l2, &mut f2, &arcs, amount, factor, capacity, &mut tw2);
+        prop_assert_eq!(tw1.to_bits(), tw2.to_bits());
+        for a in 0..num_arcs {
+            prop_assert_eq!(l1[a].to_bits(), l2[a].to_bits(), "length[{}]", a);
+            prop_assert_eq!(f1[a].to_bits(), f2[a].to_bits(), "flow[{}]", a);
+        }
+    }
+
+    /// Path scoring is bit-identical under either dispatch, so the
+    /// path-restricted solver picks the same path every time.
+    #[test]
+    fn path_cost_chunked_bit_identical(
+        lengths in proptest::collection::vec(1e-9f64..10.0, 1..80),
+        raw_arcs in proptest::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let arcs: Vec<usize> = raw_arcs.iter().map(|&a| a as usize % lengths.len()).collect();
+        let a = path_cost_scalar(&lengths, &arcs);
+        let b = path_cost_chunked(&lengths, &arcs);
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    /// The flow → utilization conversion is bit-identical elementwise and
+    /// clamped to [0, 1].
+    #[test]
+    fn scale_clamp_chunked_bit_identical(
+        flow in proptest::collection::vec(0.0f64..50.0, 0..100),
+        phases in 1.0f64..20.0,
+        scale in 0.1f64..5.0,
+        capacity in 0.5f64..4.0,
+    ) {
+        let a = scale_clamp_scalar(&flow, phases, scale, capacity);
+        let b = scale_clamp_chunked(&flow, phases, scale, capacity);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+            prop_assert!(*x <= 1.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The GK solver — whose inner loops run through the dispatched kernels —
+    /// is a pure function of its inputs: two runs agree to the bit on λ and
+    /// on every arc utilization, and the utilization summaries stay
+    /// consistent with the flat array.
+    #[test]
+    fn gk_lambda_deterministic_and_consistent(
+        n in 8usize..24,
+        seed in any::<u64>(),
+        pairs in 1usize..6,
+    ) {
+        let topo = jellyfish(n, seed);
+        let csr = topo.csr();
+        let commodities: Vec<Commodity> = (0..pairs)
+            .map(|i| Commodity {
+                src: (seed.wrapping_add(i as u64) % n as u64) as usize,
+                dst: (seed.wrapping_add(i as u64).wrapping_mul(31) % n as u64) as usize,
+                demand: 1.0,
+            })
+            .collect();
+        let opts = McfOptions { epsilon: 0.25, link_capacity: 1.0, lambda_cap: None };
+        let a = max_concurrent_flow(&csr, &commodities, opts);
+        let b = max_concurrent_flow(&csr, &commodities, opts);
+        prop_assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+        prop_assert_eq!(a.arc_utilization.len(), b.arc_utilization.len());
+        for (x, y) in a.arc_utilization.iter().zip(&b.arc_utilization) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let max = a.max_utilization();
+        prop_assert!(a.arc_utilization.iter().all(|&u| u <= max));
+        if a.arc_utilization.iter().any(|&u| u > 0.0) {
+            prop_assert!(a.mean_utilization() <= max + 1e-12);
+        }
+    }
+
+    /// The fast sorted-partner Kernighan–Lin refinement lands on exactly the
+    /// reference pair-scan's partition from any balanced start — same bits in
+    /// `in_a`, hence the same cut weight.
+    #[test]
+    fn kl_refine_matches_reference(n in 8usize..40, seed in any::<u64>()) {
+        let topo = jellyfish(n, seed);
+        let csr = topo.csr();
+        let start = balanced_start(n, seed);
+        let mut fast = start.clone();
+        kl_refine(&csr, &mut fast);
+        let mut reference = start;
+        kl_refine_reference(&csr, &mut reference);
+        prop_assert_eq!(&fast, &reference, "n {} seed {}", n, seed);
+        prop_assert_eq!(csr.cut_size(&fast), csr.cut_size(&reference));
+    }
+
+    /// The full restart search agrees with its reference-driven twin on the
+    /// partition, the crossing-link count, and the normalized bandwidth bits.
+    #[test]
+    fn min_bisection_matches_reference(
+        n in 8usize..32,
+        restarts in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let topo = jellyfish(n, seed);
+        let fast = min_bisection_heuristic(&topo, restarts, seed);
+        let reference = min_bisection_heuristic_reference(&topo, restarts, seed);
+        prop_assert_eq!(fast.partition, reference.partition);
+        prop_assert_eq!(fast.crossing_links, reference.crossing_links);
+        prop_assert_eq!(fast.normalized.to_bits(), reference.normalized.to_bits());
+    }
+}

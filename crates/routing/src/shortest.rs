@@ -8,10 +8,13 @@
 //! source order).
 
 use crate::Path;
+use jellyfish_topology::bfs::{ms_bfs_into, MsBfsScratch};
 use jellyfish_topology::{ArcId, CsrGraph, NodeId};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+pub use jellyfish_topology::bfs::{DistanceMatrix, UNREACHED};
 
 /// Result of a single-source BFS: distances and parent pointers.
 #[derive(Debug, Clone)]
@@ -71,17 +74,66 @@ pub fn shortest_path(csr: &CsrGraph, src: NodeId, dst: NodeId) -> Option<Path> {
     bfs(csr, src).path_to(dst)
 }
 
-/// All-pairs shortest-path distances (hop counts), `usize::MAX` when
-/// unreachable. One rayon task per BFS source; results are identical to
+/// Sources per parallel task in [`all_pairs_distances`]: one multi-source
+/// bit-parallel BFS batch (64 `u64` lanes), so a task sweeps the edge list
+/// once per BFS level for its whole block. Blocks are concatenated in source
+/// order, so the fan-out never changes the result.
+const ALL_PAIRS_BLOCK: usize = 64;
+
+/// All-pairs shortest-path distances (hop counts) as a flat row-major
+/// [`DistanceMatrix`] (`row(src)[dst]`, [`UNREACHED`] when unreachable).
+/// One rayon task per 64-source batch; results are identical to
 /// [`all_pairs_distances_serial`].
-pub fn all_pairs_distances(csr: &CsrGraph) -> Vec<Vec<usize>> {
-    csr.nodes().collect::<Vec<_>>().into_par_iter().map(|s| csr.bfs_distances(s)).collect()
+pub fn all_pairs_distances(csr: &CsrGraph) -> DistanceMatrix {
+    let n = csr.num_nodes();
+    let num_blocks = n.div_ceil(ALL_PAIRS_BLOCK);
+    let blocks: Vec<Vec<u32>> = (0..num_blocks)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|b| {
+            let start = b * ALL_PAIRS_BLOCK;
+            let end = (start + ALL_PAIRS_BLOCK).min(n);
+            let sources: Vec<NodeId> = (start..end).collect();
+            let mut data = vec![UNREACHED; (end - start) * n];
+            let mut scratch = MsBfsScratch::new(n);
+            ms_bfs_into(csr, &sources, &mut data, &mut scratch);
+            data
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n * n);
+    for block in blocks {
+        data.extend_from_slice(&block);
+    }
+    DistanceMatrix::from_flat(n, data)
 }
 
 /// Serial reference implementation of [`all_pairs_distances`]; used by the
-/// determinism tests and as the benchmark baseline.
-pub fn all_pairs_distances_serial(csr: &CsrGraph) -> Vec<Vec<usize>> {
-    csr.nodes().map(|s| csr.bfs_distances(s)).collect()
+/// determinism tests and as the benchmark comparison point.
+pub fn all_pairs_distances_serial(csr: &CsrGraph) -> DistanceMatrix {
+    let n = csr.num_nodes();
+    let mut data = vec![UNREACHED; n * n];
+    let mut scratch = MsBfsScratch::new(n);
+    let sources: Vec<NodeId> = csr.nodes().collect();
+    for (b, batch) in sources.chunks(ALL_PAIRS_BLOCK).enumerate() {
+        let start = b * ALL_PAIRS_BLOCK * n;
+        ms_bfs_into(csr, batch, &mut data[start..start + batch.len() * n], &mut scratch);
+    }
+    DistanceMatrix::from_flat(n, data)
+}
+
+/// The pre-rewrite all-pairs sweep — one queue-driven scalar BFS per source,
+/// each allocating its own `Vec<usize>` row (`usize::MAX` when unreachable),
+/// the whole result one heap cell per source — kept as the `BENCH_*.json`
+/// baseline the `speedup_vs_scalar` trajectory is measured against.
+pub fn all_pairs_distances_reference(csr: &CsrGraph) -> Vec<Vec<usize>> {
+    let n = csr.num_nodes();
+    csr.nodes()
+        .map(|src| {
+            let mut row = vec![UNREACHED; n];
+            jellyfish_topology::bfs::bfs_scalar_into(csr, src, &mut row);
+            row.into_iter().map(|d| if d == UNREACHED { usize::MAX } else { d as usize }).collect()
+        })
+        .collect()
 }
 
 /// Dijkstra over per-link weights supplied by `weight(u, v)`.
@@ -265,20 +317,29 @@ mod tests {
     fn all_pairs_symmetric() {
         let g = grid3x3();
         let d = all_pairs_distances(&g);
-        for (u, row) in d.iter().enumerate() {
+        for (u, row) in d.rows().enumerate() {
             for (v, &duv) in row.iter().enumerate() {
-                assert_eq!(duv, d[v][u]);
+                assert_eq!(duv, d.get(v, u));
             }
         }
-        assert_eq!(d[0][8], 4);
-        assert_eq!(d[2][6], 4);
+        assert_eq!(d.get(0, 8), 4);
+        assert_eq!(d.get(2, 6), 4);
     }
 
     #[test]
     fn parallel_all_pairs_matches_serial() {
         let topo = JellyfishBuilder::new(60, 10, 6).seed(11).build().unwrap();
         let csr = topo.csr();
-        assert_eq!(all_pairs_distances(&csr), all_pairs_distances_serial(&csr));
+        let parallel = all_pairs_distances(&csr);
+        assert_eq!(parallel, all_pairs_distances_serial(&csr));
+        let reference = all_pairs_distances_reference(&csr);
+        for (src, row) in reference.iter().enumerate() {
+            for (dst, &d) in row.iter().enumerate() {
+                let got = parallel.get(src, dst);
+                let want = if d == usize::MAX { UNREACHED } else { d as u32 };
+                assert_eq!(got, want, "{src}->{dst}");
+            }
+        }
     }
 
     #[test]

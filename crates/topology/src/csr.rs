@@ -209,25 +209,16 @@ impl CsrGraph {
 
     /// Single-source BFS hop distances; `usize::MAX` when unreachable.
     ///
-    /// This is the flat-scan kernel every all-pairs sweep in the workspace
-    /// runs; see `jellyfish-routing` for the parent-tracking variant.
+    /// Convenience wrapper over the direction-optimizing kernel in
+    /// [`crate::bfs`] — the one BFS implementation in the workspace. Hot
+    /// all-pairs sweeps should call [`crate::bfs::bfs_into`] directly with a
+    /// reused row buffer and [`crate::bfs::BfsScratch`] instead of paying
+    /// this allocation per source.
     pub fn bfs_distances(&self, source: NodeId) -> Vec<usize> {
-        let n = self.num_nodes();
-        let mut dist = vec![usize::MAX; n];
-        let mut queue = std::collections::VecDeque::with_capacity(n);
-        dist[source] = 0;
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u];
-            for &v in self.neighbors(u) {
-                let v = v as usize;
-                if dist[v] == usize::MAX {
-                    dist[v] = du + 1;
-                    queue.push_back(v);
-                }
-            }
-        }
-        dist
+        crate::bfs::bfs_distances_u32(self, source)
+            .into_iter()
+            .map(|d| if d == crate::bfs::UNREACHED { usize::MAX } else { d as usize })
+            .collect()
     }
 
     /// Whether every node can reach every other node (empty and single-node
@@ -241,10 +232,12 @@ impl CsrGraph {
     }
 
     /// Number of undirected edges crossing the cut `(set, complement)`;
-    /// `in_set[v]` must be `true` exactly for nodes in the set.
+    /// `in_set[v]` must be `true` exactly for nodes in the set. Dispatches
+    /// to the branch-free chunked scan in [`crate::kernels`] under the
+    /// `simd` feature.
     pub fn cut_size(&self, in_set: &[bool]) -> usize {
         assert_eq!(in_set.len(), self.num_nodes());
-        self.edges.iter().filter(|&&(a, b)| in_set[a as usize] != in_set[b as usize]).count()
+        crate::kernels::cut_size(&self.edges, in_set)
     }
 }
 

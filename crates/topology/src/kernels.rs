@@ -1,0 +1,247 @@
+//! Flat-slice kernels shared by the hot loops of the workspace: bitset word
+//! operations for the BFS frontier machinery and the branch-free cut-size
+//! scan behind the Kernighan–Lin bisection heuristic.
+//!
+//! Every kernel ships in two variants that produce **bit-identical**
+//! results:
+//!
+//! * a `*_scalar` fallback — the plain one-element-at-a-time loop, always
+//!   compiled, used as the equivalence-test reference and the benchmark
+//!   baseline;
+//! * a `*_chunked` variant — the same operations restructured into
+//!   [`LANES`]-wide chunks with independent accumulators so the compiler can
+//!   autovectorize them (the operations are integer/bit ops, so reassociation
+//!   does not change results).
+//!
+//! The undecorated entry points (`count_ones`, `or_assign`, `cut_size`)
+//! dispatch to the chunked variant when the crate is built with the `simd`
+//! feature and to the scalar fallback otherwise; see PERF.md at the
+//! repository root for the feature-flag matrix and measured speedups.
+
+/// Chunk width used by the `*_chunked` kernels. Eight 64-bit lanes span two
+/// AVX2 registers (or one AVX-512 register); on narrower targets the
+/// compiler simply unrolls, which still hides the loop-carried dependency.
+pub const LANES: usize = 8;
+
+/// Whether this build dispatches to the chunked kernels by default.
+#[inline]
+pub const fn simd_enabled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Total number of set bits across `words` — scalar reference.
+pub fn count_ones_scalar(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Total number of set bits across `words` — chunked with [`LANES`]
+/// independent accumulators.
+pub fn count_ones_chunked(words: &[u64]) -> usize {
+    let mut lanes = [0usize; LANES];
+    let mut chunks = words.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (lane, &w) in lanes.iter_mut().zip(chunk) {
+            *lane += w.count_ones() as usize;
+        }
+    }
+    let mut total: usize = lanes.iter().sum();
+    for &w in chunks.remainder() {
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+/// Total number of set bits across `words` (feature-dispatched).
+#[inline]
+pub fn count_ones(words: &[u64]) -> usize {
+    if simd_enabled() {
+        count_ones_chunked(words)
+    } else {
+        count_ones_scalar(words)
+    }
+}
+
+/// `dst[i] |= src[i]` for every word — scalar reference.
+pub fn or_assign_scalar(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// `dst[i] |= src[i]` for every word — chunked.
+pub fn or_assign_chunked(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len());
+    let mut d_chunks = dst.chunks_exact_mut(LANES);
+    let mut s_chunks = src.chunks_exact(LANES);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        for (dw, &sw) in d.iter_mut().zip(s) {
+            *dw |= sw;
+        }
+    }
+    for (d, &s) in d_chunks.into_remainder().iter_mut().zip(s_chunks.remainder()) {
+        *d |= s;
+    }
+}
+
+/// `dst[i] |= src[i]` for every word (feature-dispatched).
+#[inline]
+pub fn or_assign(dst: &mut [u64], src: &[u64]) {
+    if simd_enabled() {
+        or_assign_chunked(dst, src)
+    } else {
+        or_assign_scalar(dst, src)
+    }
+}
+
+/// OR of `masks[i]` over the indices in `idx` — scalar reference. This is
+/// the per-node gather at the heart of the multi-source bit-parallel BFS:
+/// `idx` is a CSR neighbor row and `masks` holds one source-bitmask per node.
+pub fn or_gather_scalar(masks: &[u64], idx: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for &i in idx {
+        acc |= masks[i as usize];
+    }
+    acc
+}
+
+/// OR-gather with [`LANES`] independent accumulators (OR is associative and
+/// commutative on integers, so reassociation is exact).
+pub fn or_gather_chunked(masks: &[u64], idx: &[u32]) -> u64 {
+    let mut lanes = [0u64; LANES];
+    let mut chunks = idx.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (lane, &i) in lanes.iter_mut().zip(chunk) {
+            *lane |= masks[i as usize];
+        }
+    }
+    let mut acc = lanes.iter().fold(0u64, |a, &l| a | l);
+    for &i in chunks.remainder() {
+        acc |= masks[i as usize];
+    }
+    acc
+}
+
+/// OR of `masks[i]` over the indices in `idx` (feature-dispatched).
+#[inline]
+pub fn or_gather(masks: &[u64], idx: &[u32]) -> u64 {
+    if simd_enabled() {
+        or_gather_chunked(masks, idx)
+    } else {
+        or_gather_scalar(masks, idx)
+    }
+}
+
+/// Number of edges `(a, b)` with `in_set[a] != in_set[b]` — scalar reference
+/// (the pre-rewrite `CsrGraph::cut_size` scan).
+pub fn cut_size_scalar(edges: &[(u32, u32)], in_set: &[bool]) -> usize {
+    edges.iter().filter(|&&(a, b)| in_set[a as usize] != in_set[b as usize]).count()
+}
+
+/// Number of edges crossing the cut — branch-free chunked scan: each edge
+/// contributes `(in_set[a] ^ in_set[b]) as usize` to one of [`LANES`]
+/// accumulators, so there is no data-dependent branch for the predictor to
+/// miss on random partitions.
+pub fn cut_size_chunked(edges: &[(u32, u32)], in_set: &[bool]) -> usize {
+    let mut lanes = [0usize; LANES];
+    let mut chunks = edges.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (lane, &(a, b)) in lanes.iter_mut().zip(chunk) {
+            *lane += (in_set[a as usize] != in_set[b as usize]) as usize;
+        }
+    }
+    let mut total: usize = lanes.iter().sum();
+    for &(a, b) in chunks.remainder() {
+        total += (in_set[a as usize] != in_set[b as usize]) as usize;
+    }
+    total
+}
+
+/// Number of edges crossing the cut (feature-dispatched).
+#[inline]
+pub fn cut_size(edges: &[(u32, u32)], in_set: &[bool]) -> usize {
+    if simd_enabled() {
+        cut_size_chunked(edges, in_set)
+    } else {
+        cut_size_scalar(edges, in_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seed: u64, len: usize) -> Vec<u64> {
+        // Simple xorshift stream; no external RNG needed for bit patterns.
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn count_ones_variants_agree() {
+        for len in [0usize, 1, 7, 8, 9, 64, 100] {
+            let w = words(42 + len as u64, len);
+            let expected = count_ones_scalar(&w);
+            assert_eq!(count_ones_chunked(&w), expected, "len {len}");
+            assert_eq!(count_ones(&w), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn or_assign_variants_agree() {
+        for len in [0usize, 1, 7, 8, 17, 100] {
+            let src = words(7 + len as u64, len);
+            let base = words(99 + len as u64, len);
+            let mut scalar = base.clone();
+            or_assign_scalar(&mut scalar, &src);
+            let mut chunked = base.clone();
+            or_assign_chunked(&mut chunked, &src);
+            assert_eq!(scalar, chunked, "len {len}");
+            let mut dispatched = base.clone();
+            or_assign(&mut dispatched, &src);
+            assert_eq!(scalar, dispatched, "len {len}");
+        }
+    }
+
+    #[test]
+    fn or_gather_variants_agree() {
+        for len in [0usize, 1, 7, 8, 9, 40] {
+            let masks = words(3 + len as u64, 64);
+            let idx: Vec<u32> =
+                words(11 + len as u64, len).iter().map(|w| (w % 64) as u32).collect();
+            let expected = or_gather_scalar(&masks, &idx);
+            assert_eq!(or_gather_chunked(&masks, &idx), expected, "len {len}");
+            assert_eq!(or_gather(&masks, &idx), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn cut_size_variants_agree() {
+        let n = 50u32;
+        let edges: Vec<(u32, u32)> =
+            (0..n).flat_map(|a| (a + 1..n).step_by(3).map(move |b| (a, b))).collect();
+        for seed in 0..4u64 {
+            let bits = words(seed + 1, 1);
+            let in_set: Vec<bool> =
+                (0..n as usize).map(|i| (bits[0] >> (i % 64)) & 1 == 1).collect();
+            let expected = cut_size_scalar(&edges, &in_set);
+            assert_eq!(cut_size_chunked(&edges, &in_set), expected, "seed {seed}");
+            assert_eq!(cut_size(&edges, &in_set), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(count_ones(&[]), 0);
+        assert_eq!(cut_size(&[], &[]), 0);
+        let mut empty: [u64; 0] = [];
+        or_assign(&mut empty, &[]);
+    }
+}

@@ -31,6 +31,10 @@
 //! * [`failures`] — random link / switch failure injection.
 //! * [`properties`] — path-length distributions, diameter, reachability
 //!   profiles (Figure 1(c) and Figure 5 machinery).
+//! * [`bfs`] / [`kernels`] — the direction-optimizing BFS distance kernel
+//!   (with its always-compiled scalar fallback), the flat [`DistanceMatrix`]
+//!   all-pairs result, and the chunked bitset/cut-size slice kernels behind
+//!   the `simd` feature; see PERF.md at the repository root.
 //!
 //! # Quick example
 //!
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bfs;
 pub mod clos;
 pub mod csr;
 pub mod degree_diameter;
@@ -55,12 +60,14 @@ pub mod expansion;
 pub mod failures;
 pub mod fattree;
 pub mod graph;
+pub mod kernels;
 pub mod properties;
 pub mod rrg;
 pub mod spec;
 pub mod swdc;
 pub mod topology;
 
+pub use bfs::{BfsScratch, DistanceMatrix, MsBfsScratch, UNREACHED};
 pub use csr::{ArcId, CsrGraph, EdgeId};
 pub use graph::{Graph, NodeId};
 pub use rrg::JellyfishBuilder;

@@ -9,11 +9,11 @@
 //! sources with rayon. All accumulation is per-source and merged in source
 //! order, so results are bit-identical to a serial sweep.
 
+use crate::bfs::{bfs_into, BfsScratch, UNREACHED};
 use crate::csr::CsrGraph;
 use crate::graph::{Graph, NodeId};
 use crate::topology::Topology;
 use rayon::prelude::*;
-use std::collections::VecDeque;
 
 /// Summary statistics of the all-pairs shortest-path-length distribution
 /// between switches.
@@ -61,22 +61,12 @@ impl PathLengthStats {
 
 /// Breadth-first distances from `source` to every node (usize::MAX when
 /// unreachable).
+///
+/// Thin wrapper: snapshots the graph and runs the one BFS kernel of the
+/// workspace ([`CsrGraph::bfs_distances`], backed by [`crate::bfs`]). Tight
+/// loops should snapshot once and call the kernel directly.
 pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<usize> {
-    let n = graph.num_nodes();
-    let mut dist = vec![usize::MAX; n];
-    let mut queue = VecDeque::new();
-    dist[source] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u];
-        for &v in graph.neighbors(u) {
-            if dist[v] == usize::MAX {
-                dist[v] = du + 1;
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
+    CsrGraph::from_graph(graph).bfs_distances(source)
 }
 
 /// Computes the switch-to-switch path-length statistics via repeated BFS.
@@ -96,17 +86,24 @@ struct SourcePartial {
     unreachable: usize,
 }
 
-fn source_partial(csr: &CsrGraph, src: NodeId) -> SourcePartial {
+fn source_partial(
+    csr: &CsrGraph,
+    src: NodeId,
+    row: &mut [u32],
+    scratch: &mut BfsScratch,
+) -> SourcePartial {
     let mut partial =
         SourcePartial { histogram: Vec::new(), sum: 0, count: 0, diameter: 0, unreachable: 0 };
-    for (dst, &d) in csr.bfs_distances(src).iter().enumerate() {
+    bfs_into(csr, src, row, scratch);
+    for (dst, &d) in row.iter().enumerate() {
         if dst == src {
             continue;
         }
-        if d == usize::MAX {
+        if d == UNREACHED {
             partial.unreachable += 1;
             continue;
         }
+        let d = d as usize;
         if d >= partial.histogram.len() {
             partial.histogram.resize(d + 1, 0);
         }
@@ -127,13 +124,22 @@ const PARALLEL_SWEEP_MIN_NODES: usize = 128;
 /// BFS source, with deterministic (source-ordered) merging. Small graphs run
 /// serially — the merge order makes both paths bit-identical.
 pub fn path_length_stats_csr(csr: &CsrGraph) -> PathLengthStats {
-    let partials: Vec<SourcePartial> = if csr.num_nodes() < PARALLEL_SWEEP_MIN_NODES {
-        csr.nodes().map(|src| source_partial(csr, src)).collect()
+    let n = csr.num_nodes();
+    let partials: Vec<SourcePartial> = if n < PARALLEL_SWEEP_MIN_NODES {
+        // Serial sweep: one distance row and one scratch reused across all
+        // sources — the per-source allocations of the old kernel are gone.
+        let mut row = vec![UNREACHED; n];
+        let mut scratch = BfsScratch::new(n);
+        csr.nodes().map(|src| source_partial(csr, src, &mut row, &mut scratch)).collect()
     } else {
         csr.nodes()
             .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|src| source_partial(csr, src))
+            .map(|src| {
+                let mut row = vec![UNREACHED; n];
+                let mut scratch = BfsScratch::new(n);
+                source_partial(csr, src, &mut row, &mut scratch)
+            })
             .collect()
     };
     let mut histogram: Vec<usize> = Vec::new();
@@ -183,6 +189,7 @@ pub fn server_pair_histogram_csr(topo: &Topology, csr: &CsrGraph) -> Vec<u64> {
         }
         hist[h] += pairs;
     };
+    let n = csr.num_nodes();
     let sources: Vec<NodeId> = csr.nodes().filter(|&v| topo.servers(v) > 0).collect();
     let partials: Vec<Vec<u64>> = sources
         .into_par_iter()
@@ -191,11 +198,14 @@ pub fn server_pair_histogram_csr(topo: &Topology, csr: &CsrGraph) -> Vec<u64> {
             let mut hist: Vec<u64> = Vec::new();
             // Same-switch pairs: distance 2, ordered pairs s*(s-1).
             bump(2, s_src * (s_src.saturating_sub(1)), &mut hist);
-            for (dst, &d) in csr.bfs_distances(src).iter().enumerate() {
-                if dst == src || d == usize::MAX {
+            let mut row = vec![UNREACHED; n];
+            let mut scratch = BfsScratch::new(n);
+            bfs_into(csr, src, &mut row, &mut scratch);
+            for (dst, &d) in row.iter().enumerate() {
+                if dst == src || d == UNREACHED {
                     continue;
                 }
-                bump(d + 2, s_src * topo.servers(dst) as u64, &mut hist);
+                bump(d as usize + 2, s_src * topo.servers(dst) as u64, &mut hist);
             }
             hist
         })
