@@ -170,6 +170,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mu
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $config;
             $($target(&mut criterion);)+
@@ -203,7 +204,7 @@ mod tests {
         group.sample_size(3);
         group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         group.finish();
     }

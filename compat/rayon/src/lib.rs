@@ -33,7 +33,7 @@ pub mod prelude {
 
 /// Number of worker threads used for parallel batches.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn run_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
@@ -227,7 +227,7 @@ mod tests {
             .into_par_iter()
             .map(|i| {
                 if i % 7 == 0 {
-                    (0..(i * 1000)).fold(0usize, |a, b| a.wrapping_add(b)) % 2 + i
+                    (0..(i * 1000)).fold(0usize, usize::wrapping_add) % 2 + i
                 } else {
                     i
                 }

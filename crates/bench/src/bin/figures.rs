@@ -16,6 +16,7 @@
 //!                              [--scale ...] [--seed N] [--topo <spec>] [--json]
 //! figures merge <file...> [--json]
 //! figures bench [--scale tiny|laptop|paper] [--seed N] [--out <file>]
+//! figures lint [--json] [paths...]
 //! figures topo list
 //! figures topo show <spec>
 //! figures topo build <spec> [--seed N]
@@ -43,6 +44,12 @@
 //! still running after N seconds is killed and counts as failed), merges,
 //! and writes the run's own `timings.json` — see the "Distributed runs"
 //! section of EXPERIMENTS.md.
+//!
+//! `figures lint` runs the workspace determinism linter (the `detlint`
+//! crate — see LINTS.md) over the given paths (default `crates/`): static
+//! enforcement of the byte-identical-output contract behind every
+//! shard/launch/merge equality above. Exit 1 on findings, with exact
+//! `file:line:col` diagnostics.
 //!
 //! `--topo <spec>` redirects the topology-generic experiments
 //! (`throughput_vs_size`, `path_length`, `bisection`, `failure_sweep`) at
@@ -75,6 +82,9 @@ commands:
   bench                     time the hot kernels against their scalar
                             baselines and write a BENCH_*.json report
                             (see PERF.md)
+  lint [paths...]           run the determinism linter (detlint) over the
+                            given files/directories (default: crates/);
+                            see LINTS.md for the rules and pragma grammar
   topo list                 list the registered topology generators/transforms
   topo show <spec>          parse a topology spec and print its structure
   topo build <spec>         build a topology spec and print its properties
@@ -110,6 +120,10 @@ launch options (plus --scale, --seed, --topo, --plan, --json as above):
 merge options:
   --json                      print JSON instead of TSV
 
+lint options:
+  --json                      print one machine-readable JSON object
+  --list-rules                print the rule registry and exit
+
 bench options:
   --scale tiny|laptop|paper   instance-size preset (default: laptop; the
                               laptop sizes are the tracked targets)
@@ -144,7 +158,7 @@ impl RunOptions {
     }
 
     fn topo_string(&self) -> Option<String> {
-        self.topo.as_ref().map(|s| s.to_string())
+        self.topo.as_ref().map(std::string::ToString::to_string)
     }
 }
 
@@ -423,6 +437,49 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ------------------------------------------------------------------ lint
+
+/// `figures lint [--json] [--list-rules] [paths...]` — the determinism
+/// linter, wired through the same `detlint` library the standalone binary
+/// uses (`cargo run -p detlint`). Exit 0 clean, 1 findings, 2 errors.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in detlint::rules::registry() {
+                    println!("{}\t{}", rule.id, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown option '{flag}'\n\n{USAGE}"))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("crates"));
+    }
+    match detlint::lint_paths(&paths) {
+        Ok(report) => {
+            if json {
+                print!("{}", detlint::render_json(&report));
+            } else {
+                print!("{}", detlint::render_text(&report));
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&e),
+    }
+}
+
 // ---------------------------------------------------------------- launch
 
 fn cmd_launch(args: &[String]) -> ExitCode {
@@ -689,6 +746,7 @@ fn main() -> ExitCode {
         "launch" => cmd_launch(&args[1..]),
         "merge" => cmd_merge(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -86,7 +86,7 @@ pub fn cable_report(topo: &Topology, plan: FloorPlan) -> CableReport {
     let switch_cables = lengths.len();
     let mean =
         if lengths.is_empty() { 0.0 } else { lengths.iter().sum::<f64>() / lengths.len() as f64 };
-    let max = lengths.iter().cloned().fold(0.0, f64::max);
+    let max = lengths.iter().copied().fold(0.0, f64::max);
     let optical = if lengths.is_empty() {
         0.0
     } else {

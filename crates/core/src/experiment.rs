@@ -142,7 +142,7 @@ impl Dataset {
 
     /// Sets the table column headers (`columns[0]` heads the label column).
     pub fn set_columns(&mut self, columns: &[&str]) {
-        self.columns = columns.iter().map(|c| c.to_string()).collect();
+        self.columns = columns.iter().map(std::string::ToString::to_string).collect();
     }
 
     /// Appends a table row.
@@ -172,7 +172,7 @@ impl Dataset {
             for (k, v) in frag.meta {
                 match out.meta.iter().find(|(ek, _)| *ek == k) {
                     Some((_, ev)) => {
-                        assert_eq!(*ev, v, "dataset fragments disagree on metadata '{k}'")
+                        assert_eq!(*ev, v, "dataset fragments disagree on metadata '{k}'");
                     }
                     None => out.meta.push((k, v)),
                 }

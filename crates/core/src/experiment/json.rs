@@ -449,7 +449,7 @@ fn dataset_from_value(v: &Value) -> Result<Dataset, String> {
     for r in v.get("rows")?.as_arr()? {
         let label = r.get("label")?.as_str()?.to_string();
         let values =
-            r.get("values")?.as_arr()?.iter().map(|v| v.as_f64()).collect::<Result<_, _>>()?;
+            r.get("values")?.as_arr()?.iter().map(Value::as_f64).collect::<Result<_, _>>()?;
         ds.rows.push(Row { label, values });
     }
     for c in v.get("cells")?.as_arr()? {
@@ -482,7 +482,7 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
     // `timings_us` is optional so fragments written before it existed still
     // parse; when present it must pair up with the items exactly.
     let timings_us: Vec<u64> = match v.get("timings_us") {
-        Ok(arr) => arr.as_arr()?.iter().map(|t| t.as_u64()).collect::<Result<_, _>>()?,
+        Ok(arr) => arr.as_arr()?.iter().map(Value::as_u64).collect::<Result<_, _>>()?,
         Err(_) => Vec::new(),
     };
     let mut items = Vec::new();
@@ -517,8 +517,7 @@ pub(super) fn timing_file_from_json(text: &str) -> Result<TimingFile, String> {
         if pair.len() != 2 {
             return Err("timing entry is not a [name, timings] pair".to_string());
         }
-        let timings =
-            pair[1].as_arr()?.iter().map(|t| t.as_u64()).collect::<Result<Vec<_>, _>>()?;
+        let timings = pair[1].as_arr()?.iter().map(Value::as_u64).collect::<Result<Vec<_>, _>>()?;
         tf.record(pair[0].as_str()?.to_string(), timings);
     }
     Ok(tf)

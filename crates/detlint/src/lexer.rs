@@ -1,0 +1,347 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this crate pattern-match token sequences, so the lexer only
+//! has to be faithful about the things that would otherwise corrupt a match:
+//! comments (line, nested block, doc), string literals (plain, raw with any
+//! number of `#`, byte, byte-raw), char literals vs. lifetimes, and exact
+//! `line:col` positions for every token. It does not classify keywords or
+//! parse numbers precisely — rules compare identifier text directly.
+
+/// Token classification. Comments are kept in the stream (the pragma layer
+/// reads them); rules work over the comment-free view built by
+/// [`crate::FileCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#mod`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal, lexed loosely (digits, `_`, `.`, suffix letters).
+    Num,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* ... */` comment (nesting handled), including `/** ... */`.
+    BlockComment,
+    /// Any other single character of punctuation (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text (for comments, includes the delimiters).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not bytes: only advance the column on a
+            // UTF-8 leading byte so multi-byte characters count once.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream, comments included. The lexer never
+/// fails: unterminated literals or comments simply consume to end of file,
+/// which is the most useful behavior for a linter (the parse error itself is
+/// rustc's to report).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut toks = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                while let Some(nb) = c.peek(0) {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                push(&mut toks, TokKind::LineComment, src, start, c.pos, line, col);
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(&mut toks, TokKind::BlockComment, src, start, c.pos, line, col);
+            }
+            b'r' | b'b' if raw_string_hashes(&c).is_some() => {
+                let hashes = raw_string_hashes(&c).unwrap();
+                // Consume the prefix (`r`, `br`, `rb`), hashes, and quote.
+                while c.peek(0) != Some(b'"') {
+                    c.bump();
+                }
+                c.bump();
+                let closer: Vec<u8> =
+                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                'raw: while c.peek(0).is_some() {
+                    if (0..closer.len()).all(|k| c.peek(k) == Some(closer[k])) {
+                        for _ in 0..closer.len() {
+                            c.bump();
+                        }
+                        break 'raw;
+                    }
+                    c.bump();
+                }
+                push(&mut toks, TokKind::Str, src, start, c.pos, line, col);
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump();
+                lex_char(&mut c);
+                push(&mut toks, TokKind::Char, src, start, c.pos, line, col);
+            }
+            b'b' if c.peek(1) == Some(b'"') => {
+                c.bump();
+                lex_string(&mut c);
+                push(&mut toks, TokKind::Str, src, start, c.pos, line, col);
+            }
+            b'"' => {
+                lex_string(&mut c);
+                push(&mut toks, TokKind::Str, src, start, c.pos, line, col);
+            }
+            b'\'' => {
+                // Disambiguate lifetime from char literal: `'` + ident-start
+                // not immediately closed by `'` is a lifetime.
+                let is_lifetime = match (c.peek(1), c.peek(2)) {
+                    (Some(n1), n2) if is_ident_start(n1) && n1 != b'\\' => n2 != Some(b'\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    c.bump();
+                    while c.peek(0).is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    push(&mut toks, TokKind::Lifetime, src, start, c.pos, line, col);
+                } else {
+                    lex_char(&mut c);
+                    push(&mut toks, TokKind::Char, src, start, c.pos, line, col);
+                }
+            }
+            b if is_ident_start(b) => {
+                // Raw identifiers (`r#mod`) reach here via the `r` branch
+                // only when not a raw string; handle the `r#` prefix.
+                if b == b'r' && c.peek(1) == Some(b'#') && c.peek(2).is_some_and(is_ident_start) {
+                    c.bump();
+                    c.bump();
+                }
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                push(&mut toks, TokKind::Ident, src, start, c.pos, line, col);
+            }
+            b if b.is_ascii_digit() => {
+                while c
+                    .peek(0)
+                    .is_some_and(|nb| nb.is_ascii_alphanumeric() || nb == b'_' || nb == b'.')
+                {
+                    // Stop before `..` (range) and before a method call on a
+                    // literal (`1.max(2)`).
+                    if c.peek(0) == Some(b'.')
+                        && (c.peek(1) == Some(b'.') || c.peek(1).is_some_and(is_ident_start))
+                    {
+                        break;
+                    }
+                    c.bump();
+                }
+                push(&mut toks, TokKind::Num, src, start, c.pos, line, col);
+            }
+            _ => {
+                c.bump();
+                push(&mut toks, TokKind::Punct, src, start, c.pos, line, col);
+            }
+        }
+    }
+    toks
+}
+
+/// If the cursor sits on a raw-string opener (`r"`, `r#"`, `br#"`, `rb"`,
+/// ...), returns the number of `#`s; otherwise `None`.
+fn raw_string_hashes(c: &Cursor<'_>) -> Option<usize> {
+    let mut k = 1; // past the leading `r` or `b`
+    if c.peek(0) == Some(b'b') || c.peek(0) == Some(b'r') {
+        // Allow the two-letter prefixes `br` / `rb`.
+        if (c.peek(0) == Some(b'b') && c.peek(1) == Some(b'r'))
+            || (c.peek(0) == Some(b'r') && c.peek(1) == Some(b'b'))
+        {
+            k = 2;
+        }
+    }
+    if c.peek(0) == Some(b'b') && k == 1 {
+        return None; // bare `b` prefix is a byte string/char, not raw
+    }
+    let mut hashes = 0;
+    while c.peek(k) == Some(b'#') {
+        k += 1;
+        hashes += 1;
+    }
+    (c.peek(k) == Some(b'"')).then_some(hashes)
+}
+
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            b'\n' => break, // never span lines: protects against `'` typos
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+fn push(
+    toks: &mut Vec<Tok>,
+    kind: TokKind,
+    src: &str,
+    start: usize,
+    end: usize,
+    line: u32,
+    col: u32,
+) {
+    toks.push(Tok { kind, text: src[start..end].to_string(), line, col });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("for x in &map {}");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["for", "x", "in", "&", "map", "{", "}"]);
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let toks = lex("a // hello\nb /* nested /* deep */ still */ c");
+        let comments: Vec<&str> =
+            toks.iter().filter(|t| t.is_comment()).map(|t| t.text.as_str()).collect();
+        assert_eq!(comments, ["// hello", "/* nested /* deep */ still */"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers() {
+        let toks = lex(r####"let s = r#"// not a comment"#;"####);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("&'a str 'x' '\\n'");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'".to_string())));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn strings_swallow_escapes() {
+        let toks = lex(r#"let s = "quote \" slash // end";"#);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+    }
+}

@@ -1,0 +1,246 @@
+//! The inline pragma grammar.
+//!
+//! A finding is suppressed by a comment pragma that names the rule **and
+//! gives a human-readable reason** — an allow without a reason is itself a
+//! diagnostic (`P01`), so the annotation debt stays self-documenting:
+//!
+//! ```text
+//! // detlint: allow(D01, reason = "sum of per-pair counts is order-independent")
+//! // detlint: allow(D01, D04, reason = "...")   (several rules, one reason)
+//! ```
+//!
+//! A pragma written on its own line applies to the next line that holds
+//! code; written at the end of a code line it applies to that line.
+//! Fixture files may also carry a `// detlint-fixture: path = <virtual
+//! path>` directive, which makes the linter classify the file as if it
+//! lived at that workspace path (crate, result-path status, allowlists).
+
+use crate::lexer::Tok;
+
+/// One parsed `allow` pragma: the rules it waives and where it applies.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule ids named by the pragma (`D01`...).
+    pub rules: Vec<String>,
+    /// The mandatory justification string (non-empty by construction).
+    pub reason: String,
+    /// The source line the pragma waives findings on.
+    pub applies_to_line: u32,
+}
+
+/// A malformed pragma, reported as a `P01` finding by the engine.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Column of the offending comment.
+    pub col: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// Everything the pragma scan extracts from one file's token stream.
+#[derive(Debug, Default)]
+pub struct PragmaScan {
+    /// Well-formed allows, anchored to the lines they waive.
+    pub allows: Vec<Allow>,
+    /// Malformed pragmas (missing reason, unknown rule, bad syntax).
+    pub errors: Vec<PragmaError>,
+    /// Virtual path from a `detlint-fixture:` directive, if present.
+    pub fixture_path: Option<String>,
+}
+
+const MARKER: &str = "detlint:";
+const FIXTURE_MARKER: &str = "detlint-fixture:";
+
+/// Scans the full token stream (comments included) for pragmas.
+/// `known_rules` validates the rule ids an `allow` may name.
+pub fn scan(toks: &[Tok], known_rules: &[&str]) -> PragmaScan {
+    let mut out = PragmaScan::default();
+    for (i, tok) in toks.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        let body = comment_body(&tok.text);
+        if let Some(rest) = body.strip_prefix(FIXTURE_MARKER) {
+            match parse_fixture_path(rest) {
+                Ok(path) => out.fixture_path = Some(path),
+                Err(message) => {
+                    out.errors.push(PragmaError { line: tok.line, col: tok.col, message });
+                }
+            }
+            continue;
+        }
+        let Some(rest) = body.strip_prefix(MARKER) else { continue };
+        match parse_allow(rest, known_rules) {
+            Ok((rules, reason)) => {
+                let applies_to_line = anchor_line(toks, i);
+                out.allows.push(Allow { rules, reason, applies_to_line });
+            }
+            Err(message) => {
+                out.errors.push(PragmaError { line: tok.line, col: tok.col, message });
+            }
+        }
+    }
+    out
+}
+
+/// Strips the comment delimiters and leading doc-comment sigils.
+fn comment_body(text: &str) -> &str {
+    let body = if let Some(rest) = text.strip_prefix("//") {
+        rest.trim_start_matches(['/', '!'])
+    } else {
+        text.trim_start_matches("/*").trim_end_matches("*/")
+    };
+    body.trim()
+}
+
+/// The line a pragma at token index `i` waives: the comment's own line when
+/// code precedes it there (trailing pragma), otherwise the line of the next
+/// code token after it.
+fn anchor_line(toks: &[Tok], i: usize) -> u32 {
+    let line = toks[i].line;
+    let code_before_on_line =
+        toks[..i].iter().rev().take_while(|t| t.line == line).any(|t| !t.is_comment());
+    if code_before_on_line {
+        return line;
+    }
+    toks[i + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| t.line)
+        // A pragma at end of file anchors to the (nonexistent) next line,
+        // so it can never waive anything — harmless.
+        .unwrap_or(line + 1)
+}
+
+/// Parses `allow(RULE[, RULE...], reason = "...")` after the marker.
+fn parse_allow(rest: &str, known_rules: &[&str]) -> Result<(Vec<String>, String), String> {
+    const GRAMMAR: &str = "expected `detlint: allow(RULE, reason = \"...\")`";
+    let rest = rest.trim();
+    let Some(args) = rest.strip_prefix("allow") else {
+        return Err(format!("malformed detlint pragma: {GRAMMAR}"));
+    };
+    let args = args.trim();
+    let Some(args) = args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) else {
+        return Err(format!("malformed detlint pragma: {GRAMMAR}"));
+    };
+    // Split at the `reason =` key; everything before is the rule list.
+    let Some(reason_at) = args.find("reason") else {
+        return Err("detlint pragma needs a reason: allow(RULE, reason = \"...\")".to_string());
+    };
+    let (rule_part, reason_part) = args.split_at(reason_at);
+    let reason_part = reason_part["reason".len()..].trim_start();
+    let Some(reason_expr) = reason_part.strip_prefix('=') else {
+        return Err(format!("malformed detlint pragma: {GRAMMAR}"));
+    };
+    let reason_expr = reason_expr.trim();
+    let Some(reason) =
+        reason_expr.strip_prefix('"').and_then(|r| r.strip_suffix('"')).map(str::trim)
+    else {
+        return Err(format!("malformed detlint pragma: reason must be a quoted string; {GRAMMAR}"));
+    };
+    if reason.is_empty() {
+        return Err("detlint pragma reason must not be empty: say *why* the \
+                    finding is acceptable"
+            .to_string());
+    }
+    let rules: Vec<String> =
+        rule_part.split(',').map(str::trim).filter(|r| !r.is_empty()).map(str::to_string).collect();
+    if rules.is_empty() {
+        return Err(format!("detlint pragma names no rule: {GRAMMAR}"));
+    }
+    for rule in &rules {
+        if !known_rules.contains(&rule.as_str()) {
+            return Err(format!(
+                "detlint pragma allows unknown rule '{rule}' (known rules: {})",
+                known_rules.join(", ")
+            ));
+        }
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// Parses `path = <workspace-relative path>` after the fixture marker.
+fn parse_fixture_path(rest: &str) -> Result<String, String> {
+    let rest = rest.trim();
+    let Some(path) = rest.strip_prefix("path") else {
+        return Err(
+            "malformed detlint-fixture directive: expected `path = <virtual path>`".to_string()
+        );
+    };
+    let Some(path) = path.trim_start().strip_prefix('=') else {
+        return Err(
+            "malformed detlint-fixture directive: expected `path = <virtual path>`".to_string()
+        );
+    };
+    let path = path.trim().trim_matches('"').trim();
+    if path.is_empty() {
+        return Err("detlint-fixture directive has an empty path".to_string());
+    }
+    Ok(path.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["D01", "D02"];
+
+    #[test]
+    fn trailing_pragma_anchors_to_its_own_line() {
+        let toks = lex("let x = 1; // detlint: allow(D01, reason = \"why\")\nlet y = 2;");
+        let scan = scan(&toks, RULES);
+        assert!(scan.errors.is_empty());
+        assert_eq!(scan.allows.len(), 1);
+        assert_eq!(scan.allows[0].applies_to_line, 1);
+        assert_eq!(scan.allows[0].rules, ["D01"]);
+    }
+
+    #[test]
+    fn standalone_pragma_anchors_to_next_code_line() {
+        let toks = lex("// detlint: allow(D02, reason = \"why\")\n\n// other comment\nf();");
+        let scan = scan(&toks, RULES);
+        assert_eq!(scan.allows[0].applies_to_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let toks = lex("// detlint: allow(D01)\nf();");
+        let scan = scan(&toks, RULES);
+        assert!(scan.allows.is_empty());
+        assert_eq!(scan.errors.len(), 1);
+        assert!(scan.errors[0].message.contains("reason"), "{}", scan.errors[0].message);
+    }
+
+    #[test]
+    fn empty_reason_is_an_error() {
+        let toks = lex("// detlint: allow(D01, reason = \"\")\nf();");
+        let scan = scan(&toks, RULES);
+        assert_eq!(scan.errors.len(), 1);
+        assert!(scan.errors[0].message.contains("empty"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let toks = lex("// detlint: allow(D99, reason = \"why\")\nf();");
+        let scan = scan(&toks, RULES);
+        assert_eq!(scan.errors.len(), 1);
+        assert!(scan.errors[0].message.contains("unknown rule 'D99'"));
+    }
+
+    #[test]
+    fn multiple_rules_one_reason() {
+        let toks = lex("// detlint: allow(D01, D02, reason = \"shared why\")\nf();");
+        let scan = scan(&toks, RULES);
+        assert_eq!(scan.allows[0].rules, ["D01", "D02"]);
+    }
+
+    #[test]
+    fn fixture_directive() {
+        let toks = lex("// detlint-fixture: path = crates/routing/src/x.rs\nf();");
+        let scan = scan(&toks, RULES);
+        assert_eq!(scan.fixture_path.as_deref(), Some("crates/routing/src/x.rs"));
+    }
+}

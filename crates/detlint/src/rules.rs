@@ -1,0 +1,112 @@
+//! The rule registry.
+//!
+//! Each rule is a pure function from a [`FileCtx`] (lexed file + workspace
+//! classification) to raw findings. Rules are registered in [`registry`];
+//! adding a rule means adding a module here, an entry in the registry, a
+//! violating + compliant fixture pair under `testdata/`, and a row in
+//! LINTS.md — the fixture integration test enforces the first three.
+
+use crate::{FileCtx, FileKind};
+
+mod d01_unordered_iteration;
+mod d02_wall_clock;
+mod d03_entropy_rng;
+mod d04_par_float_reduction;
+mod d05_crate_root_policy;
+mod d06_env_read;
+
+/// A finding before file attribution: position + message only.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl RawFinding {
+    pub(crate) fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        RawFinding { line, col, message: message.into() }
+    }
+}
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable id (`D01`...), the name pragmas and diagnostics use.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and the JSON report.
+    pub summary: &'static str,
+    /// The checker. Receives every scanned file; rules that only apply to a
+    /// subset of the tree (result-path crates, `src/lib.rs`, ...) return no
+    /// findings elsewhere.
+    pub check: fn(&FileCtx) -> Vec<RawFinding>,
+}
+
+/// Every rule, in diagnostic order. The determinism contract each rule
+/// protects is spelled out in LINTS.md.
+pub fn registry() -> &'static [Rule] {
+    &[
+        Rule {
+            id: "D01",
+            summary: "unordered-container iteration (HashMap/HashSet) in a result-path crate",
+            check: d01_unordered_iteration::check,
+        },
+        Rule {
+            id: "D02",
+            summary: "wall-clock read (Instant::now / SystemTime) outside the timing allowlist",
+            check: d02_wall_clock::check,
+        },
+        Rule {
+            id: "D03",
+            summary: "entropy-seeded RNG (thread_rng / from_entropy / OsRng / random())",
+            check: d03_entropy_rng::check,
+        },
+        Rule {
+            id: "D04",
+            summary: "float reduction inside a par_iter chain (accumulation order not fixed)",
+            check: d04_par_float_reduction::check,
+        },
+        Rule {
+            id: "D05",
+            summary: "crate root missing #![forbid(unsafe_code)] / #![warn(missing_docs)]",
+            check: d05_crate_root_policy::check,
+        },
+        Rule {
+            id: "D06",
+            summary: "environment-dependent read (std::env::var) in a result-path crate",
+            check: d06_env_read::check,
+        },
+    ]
+}
+
+/// The rule ids, for pragma validation.
+pub fn rule_ids() -> Vec<&'static str> {
+    registry().iter().map(|r| r.id).collect()
+}
+
+/// Crates whose output feeds rendered experiment datasets: nondeterminism
+/// here changes shipped bytes, so D01/D06 apply.
+pub const RESULT_PATH_CRATES: &[&str] = &["topology", "routing", "flow", "sim", "core", "traffic"];
+
+/// Whether `ctx` is a `src/` file of a result-path crate (tests, benches
+/// and examples assert on results rather than producing them).
+pub(crate) fn in_result_path_src(ctx: &FileCtx) -> bool {
+    ctx.kind == FileKind::Src
+        && ctx.crate_name.as_deref().is_some_and(|c| RESULT_PATH_CRATES.contains(&c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let ids = rule_ids();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "rule ids must be unique and registered in order");
+    }
+}

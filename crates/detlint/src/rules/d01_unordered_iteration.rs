@@ -1,0 +1,221 @@
+//! **D01** — iteration over an unordered container (`HashMap` / `HashSet`)
+//! in a result-path crate.
+//!
+//! Hash iteration order is unspecified and can differ across `std`
+//! versions, hosts, and (with hashers that randomize) even runs. Any value
+//! that flows from such an iteration into a dataset breaks the
+//! byte-identical-output contract. The fix is a `BTreeMap`/sorted `Vec`, a
+//! sort before use, or — when the consumption is provably order-independent
+//! (a sum of counts, say) — a reasoned `allow` pragma.
+//!
+//! Detection is lexical, per file: an identifier is *known unordered* when
+//! it is declared with an outermost `HashMap`/`HashSet` type (let binding,
+//! struct field, or fn parameter) or initialized from `HashMap::…` /
+//! `HashSet::…`. Flagged uses are `x.iter()`, `.iter_mut()`, `.keys()`,
+//! `.values()`, `.values_mut()`, `.into_iter()`, `.into_keys()`,
+//! `.into_values()`, `.drain()` and `for … in [&[mut]] x` on a known
+//! identifier (including `self.field`). Lookups (`get`, `contains`,
+//! `insert`, `entry`, `remove`, `len`) are order-free and never flagged.
+
+use super::{in_result_path_src, RawFinding};
+use crate::lexer::{Tok, TokKind};
+use crate::FileCtx;
+use std::collections::BTreeSet;
+
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+/// Path segments skipped when looking for the outermost type constructor.
+const PATH_PREFIX: &[&str] = &["std", "collections", "alloc"];
+
+pub(super) fn check(ctx: &FileCtx) -> Vec<RawFinding> {
+    if !in_result_path_src(ctx) {
+        return Vec::new();
+    }
+    let names = collect_unordered_names(&ctx.code);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    flag_method_iteration(ctx, &names, &mut findings);
+    flag_for_loops(ctx, &names, &mut findings);
+    findings
+}
+
+fn text(code: &[Tok], i: usize) -> &str {
+    code.get(i).map_or("", |t| t.text.as_str())
+}
+
+fn is_ident(code: &[Tok], i: usize) -> bool {
+    code.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+}
+
+/// `::` is two adjacent `:` tokens; a type annotation's `:` is a single one.
+fn is_single_colon(code: &[Tok], i: usize) -> bool {
+    text(code, i) == ":" && text(code, i + 1) != ":" && (i == 0 || text(code, i - 1) != ":")
+}
+
+/// Names declared (anywhere in the file) with an unordered outermost type.
+fn collect_unordered_names(code: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..code.len() {
+        // `NAME : <type>` — let annotations, struct fields, fn params, and
+        // struct-literal field inits (`Foo { paths: HashMap::new() }`) all
+        // share this shape.
+        if is_ident(code, i) && is_single_colon(code, i + 1) {
+            if let Some(head) = outermost_type_head(code, i + 2) {
+                if UNORDERED_TYPES.contains(&head) {
+                    names.insert(code[i].text.clone());
+                }
+            }
+        }
+        // `let [mut] NAME = HashMap::new()` — inferred-type bindings.
+        if text(code, i) == "let" {
+            let mut j = i + 1;
+            if text(code, j) == "mut" {
+                j += 1;
+            }
+            if is_ident(code, j) && text(code, j + 1) == "=" {
+                if let Some(head) = outermost_type_head(code, j + 2) {
+                    if UNORDERED_TYPES.contains(&head) && text(code, j + 3) == ":" {
+                        names.insert(code[j].text.clone());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The first meaningful identifier of a type expression, skipping
+/// references, `mut`, lifetimes, and `std::collections::`-style prefixes.
+/// Returns `None` when the next token is not an identifier at all. A
+/// `Vec<HashMap<...>>` therefore resolves to `Vec` — iterating the outer
+/// vector is ordered and must not be flagged.
+fn outermost_type_head(code: &[Tok], mut i: usize) -> Option<&str> {
+    loop {
+        match code.get(i) {
+            Some(t) if t.text == "&" || t.text == "mut" || t.kind == TokKind::Lifetime => i += 1,
+            _ => break,
+        }
+    }
+    while is_ident(code, i)
+        && PATH_PREFIX.contains(&text(code, i))
+        && text(code, i + 1) == ":"
+        && text(code, i + 2) == ":"
+    {
+        i += 3;
+    }
+    is_ident(code, i).then(|| text(code, i))
+}
+
+/// Flags `X.iter()` / `self.X.keys()` / ... where `X` is known unordered.
+fn flag_method_iteration(ctx: &FileCtx, names: &BTreeSet<String>, out: &mut Vec<RawFinding>) {
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if !is_ident(code, i) || !names.contains(&code[i].text) {
+            continue;
+        }
+        if text(code, i + 1) != "." {
+            continue;
+        }
+        let method = &code[i + 2];
+        if method.kind != TokKind::Ident
+            || !ITER_METHODS.contains(&method.text.as_str())
+            || text(code, i + 3) != "("
+        {
+            continue;
+        }
+        if ctx.in_test_region(method.line) {
+            continue;
+        }
+        out.push(RawFinding::new(
+            method.line,
+            method.col,
+            format!(
+                "iteration over unordered container '{}' via .{}(): hash order is \
+                 unspecified and can differ across hosts/runs; use a BTreeMap, sort \
+                 before use, or add `// detlint: allow(D01, reason = \"...\")` if the \
+                 consumption is order-independent",
+                code[i].text, method.text
+            ),
+        ));
+    }
+}
+
+/// Flags `for P in [&[mut]] X` / `for P in [&[mut]] self.X` where `X` is
+/// known unordered. Method-call iterators (`for v in x.values()`) are the
+/// method pattern's to flag.
+fn flag_for_loops(ctx: &FileCtx, names: &BTreeSet<String>, out: &mut Vec<RawFinding>) {
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if text(code, i) != "for" {
+            continue;
+        }
+        // Find the pattern's `in` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let in_at = loop {
+            match code.get(j) {
+                None => break None,
+                Some(t) if t.text == "(" || t.text == "[" => depth += 1,
+                Some(t) if t.text == ")" || t.text == "]" => depth -= 1,
+                Some(t) if t.text == "in" && depth == 0 => break Some(j),
+                Some(t) if t.text == "{" || t.text == ";" => break None,
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(in_at) = in_at else { continue };
+        // Collect the iterated expression up to the loop body's `{`.
+        let mut expr = Vec::new();
+        let mut k = in_at + 1;
+        while k < code.len() && text(code, k) != "{" {
+            expr.push(k);
+            k += 1;
+        }
+        // Strip leading `&` / `mut`.
+        let mut e = 0;
+        while e < expr.len() && (text(code, expr[e]) == "&" || text(code, expr[e]) == "mut") {
+            e += 1;
+        }
+        let path = &expr[e..];
+        // A pure field/ident path: idents separated by single `.`s.
+        let is_path = !path.is_empty()
+            && path.iter().enumerate().all(|(n, &idx)| {
+                if n % 2 == 0 {
+                    is_ident(code, idx)
+                } else {
+                    text(code, idx) == "."
+                }
+            })
+            && path.len() % 2 == 1;
+        if !is_path {
+            continue;
+        }
+        let last = *path.last().unwrap();
+        if !names.contains(&code[last].text) || ctx.in_test_region(code[last].line) {
+            continue;
+        }
+        out.push(RawFinding::new(
+            code[last].line,
+            code[last].col,
+            format!(
+                "for-loop over unordered container '{}': hash order is unspecified \
+                 and can differ across hosts/runs; use a BTreeMap, sort before use, \
+                 or add `// detlint: allow(D01, reason = \"...\")` if the loop body \
+                 is order-independent",
+                code[last].text
+            ),
+        ));
+    }
+}

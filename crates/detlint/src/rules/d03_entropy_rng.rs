@@ -1,0 +1,46 @@
+//! **D03** — entropy-seeded randomness anywhere in the workspace.
+//!
+//! `thread_rng()`, `SeedableRng::from_entropy()`, `OsRng` and the free
+//! function `rand::random()` all pull seeds from the operating system, so
+//! two runs can never agree. Every RNG in this workspace must be seeded
+//! from the experiment's `(seed, stable key)` derivation chain
+//! (`StdRng::seed_from_u64`). This rule applies to **all** file kinds —
+//! tests and benches included — because a flaky seed in a test hides real
+//! nondeterminism behind retries.
+
+use super::RawFinding;
+use crate::lexer::TokKind;
+use crate::FileCtx;
+
+pub(super) fn check(ctx: &FileCtx) -> Vec<RawFinding> {
+    let code = &ctx.code;
+    let mut findings = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match tok.text.as_str() {
+            "thread_rng" | "from_entropy" | "OsRng" => true,
+            // The free function `random()` / `rand::random()`. A method call
+            // `.random(...)` is a seeded-RNG draw and stays legal.
+            "random" => {
+                code.get(i + 1).is_some_and(|t| t.text == "(")
+                    && (i == 0 || code[i - 1].text != ".")
+            }
+            _ => false,
+        };
+        if flagged {
+            findings.push(RawFinding::new(
+                tok.line,
+                tok.col,
+                format!(
+                    "entropy-seeded RNG '{}': operating-system entropy makes runs \
+                     unreproducible; derive every RNG from the experiment seed \
+                     (StdRng::seed_from_u64) instead",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    findings
+}

@@ -1,0 +1,80 @@
+//! **D04** — reduction inside a `par_iter` chain.
+//!
+//! Floating-point addition is not associative, so a parallel reduction whose
+//! combination order depends on scheduling produces different low bits run
+//! to run — exactly the λ drift the PR 7 kernels eliminated by hoisting
+//! every accumulation into fixed-order serial folds (collect the parallel
+//! results, then reduce serially). The compat rayon shim happens to be
+//! order-preserving today, which is precisely why this must be a *static*
+//! rule: code that silently relies on it breaks the day real rayon is
+//! swapped back in (DESIGN.md, substitution 5).
+//!
+//! Flagged: `.sum(…)`, `.product(…)`, `.fold(…)`, `.reduce(…)` reached at
+//! method-chain depth from a `par_iter`-family adapter without an
+//! intervening `collect()`. A chain that collects first re-establishes a
+//! deterministic order, so reductions after `collect()` are fine.
+
+use super::RawFinding;
+use crate::lexer::TokKind;
+use crate::{FileCtx, FileKind};
+
+const PAR_ADAPTERS: &[&str] =
+    &["par_iter", "into_par_iter", "par_iter_mut", "par_bridge", "par_chunks", "par_chunks_mut"];
+const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+pub(super) fn check(ctx: &FileCtx) -> Vec<RawFinding> {
+    if ctx.kind != FileKind::Src {
+        return Vec::new();
+    }
+    let code = &ctx.code;
+    let mut findings = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident
+            || !PAR_ADAPTERS.contains(&tok.text.as_str())
+            || ctx.in_test_region(tok.line)
+        {
+            continue;
+        }
+        // Walk the rest of the method chain at relative depth 0. Anything
+        // inside the parens/braces of an adapter argument (closure bodies)
+        // is at depth > 0 and ignored; `;`, `,`, or a dedent below the
+        // chain's own depth ends it.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while let Some(t) = code.get(j) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" | "," if depth == 0 => break,
+                "collect" if depth == 0 && code[j - 1].text == "." => break,
+                m if depth == 0
+                    && REDUCERS.contains(&m)
+                    && t.kind == TokKind::Ident
+                    && code[j - 1].text == "." =>
+                {
+                    findings.push(RawFinding::new(
+                        t.line,
+                        t.col,
+                        format!(
+                            ".{m}() directly on a parallel iterator: the combination \
+                             order is scheduler-dependent, so float accumulation \
+                             drifts run to run; collect() the parallel results and \
+                             reduce serially in a fixed order (see PERF.md), or add \
+                             `// detlint: allow(D04, reason = \"...\")` for integer \
+                             or otherwise order-independent reductions"
+                        ),
+                    ));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    findings
+}

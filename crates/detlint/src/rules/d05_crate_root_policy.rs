@@ -1,0 +1,52 @@
+//! **D05** — crate-root policy headers.
+//!
+//! Every `crates/*/src/lib.rs` must carry `#![forbid(unsafe_code)]` and
+//! `#![warn(missing_docs)]`. The same policy is enforced at build level by
+//! the root `[workspace.lints]` table (every member sets `[lints]
+//! workspace = true`), but the headers keep the contract *visible* at the
+//! top of each crate root — and this rule keeps header and table from
+//! drifting apart.
+
+use super::RawFinding;
+use crate::FileCtx;
+
+pub(super) fn check(ctx: &FileCtx) -> Vec<RawFinding> {
+    // Exactly .../crates/<name>/src/lib.rs (robust to absolute path
+    // prefixes), not some nested src/ dir.
+    let is_crate_root = ctx.path.rsplit_once("crates/").is_some_and(|(_, tail)| {
+        let segs: Vec<&str> = tail.split('/').collect();
+        segs.len() == 3 && segs[1] == "src" && segs[2] == "lib.rs"
+    });
+    if !is_crate_root {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (attr, arg) in [("forbid", "unsafe_code"), ("warn", "missing_docs")] {
+        if !has_inner_attr(ctx, attr, arg) {
+            findings.push(RawFinding::new(
+                1,
+                1,
+                format!(
+                    "crate root is missing `#![{attr}({arg})]`: every crates/*/src/lib.rs \
+                     carries the workspace policy headers (see LINTS.md, D05)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Looks for the token sequence `# ! [ <name> ( <arg> ) ]`.
+fn has_inner_attr(ctx: &FileCtx, name: &str, arg: &str) -> bool {
+    let code = &ctx.code;
+    (0..code.len().saturating_sub(7)).any(|i| {
+        code[i].text == "#"
+            && code[i + 1].text == "!"
+            && code[i + 2].text == "["
+            && code[i + 3].text == name
+            && code[i + 4].text == "("
+            && code[i + 5].text == arg
+            && code[i + 6].text == ")"
+            && code[i + 7].text == "]"
+    })
+}

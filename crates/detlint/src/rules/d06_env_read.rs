@@ -1,0 +1,43 @@
+//! **D06** — environment-dependent reads in result-path crates.
+//!
+//! `std::env::var` makes an experiment's output a function of the invoking
+//! shell, which shard/launch/merge can never reproduce: two workers on
+//! different hosts (or the same host with a different profile) silently
+//! compute different bytes. Configuration must arrive through explicit CLI
+//! flags or spec strings, which are recorded in dataset provenance.
+//! `env::args` is fine — the CLI parses it into validated options.
+
+use super::{in_result_path_src, RawFinding};
+use crate::lexer::TokKind;
+use crate::FileCtx;
+
+pub(super) fn check(ctx: &FileCtx) -> Vec<RawFinding> {
+    if !in_result_path_src(ctx) {
+        return Vec::new();
+    }
+    let code = &ctx.code;
+    let mut findings = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "env" || ctx.in_test_region(tok.line) {
+            continue;
+        }
+        let is_var_read = code.get(i + 1).is_some_and(|t| t.text == ":")
+            && code.get(i + 2).is_some_and(|t| t.text == ":")
+            && code.get(i + 3).is_some_and(|t| t.text == "var" || t.text == "var_os");
+        if is_var_read {
+            let var = &code[i + 3];
+            findings.push(RawFinding::new(
+                var.line,
+                var.col,
+                format!(
+                    "environment read env::{} in a result-path crate: output would \
+                     depend on the invoking shell and break shard/launch/merge \
+                     reproducibility; take the value as an explicit CLI flag or \
+                     spec parameter instead",
+                    var.text
+                ),
+            ));
+        }
+    }
+    findings
+}

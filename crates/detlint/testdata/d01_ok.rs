@@ -1,0 +1,22 @@
+// detlint-fixture: path = crates/routing/src/fixture.rs
+// Compliant: ordered containers iterate freely; unordered ones are only
+// used for order-free lookups, and a Vec<HashMap> is ordered at the level
+// being iterated.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sorted_keys(table: &BTreeMap<u32, f64>) -> Vec<u32> {
+    table.keys().copied().collect()
+}
+
+pub fn lookups_only(index: &HashMap<u32, f64>, probe: &[u32]) -> f64 {
+    let mut total = 0.0;
+    for k in probe {
+        total += index.get(k).copied().unwrap_or(0.0);
+    }
+    total
+}
+
+pub fn outer_vec_is_ordered(maps: &[HashMap<u32, f64>], key: u32) -> Vec<f64> {
+    let rows: Vec<HashMap<u32, f64>> = maps.to_vec();
+    rows.iter().map(|m| m.get(&key).copied().unwrap_or(0.0)).collect()
+}

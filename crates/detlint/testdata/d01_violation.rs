@@ -1,0 +1,24 @@
+// detlint-fixture: path = crates/routing/src/fixture.rs
+// D01: iteration over unordered containers in a result-path crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn keys_of(table: &HashMap<u32, f64>) -> Vec<u32> {
+    table.keys().copied().collect()
+}
+
+pub fn first_seen(seen: &HashSet<u32>) -> Option<u32> {
+    for v in seen {
+        return Some(*v);
+    }
+    None
+}
+
+pub struct Holder {
+    slots: HashMap<u32, u32>,
+}
+
+impl Holder {
+    pub fn drain_all(&mut self) -> Vec<(u32, u32)> {
+        self.slots.drain().collect()
+    }
+}

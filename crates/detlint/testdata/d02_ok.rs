@@ -1,0 +1,10 @@
+// detlint-fixture: path = crates/bench/src/launch.rs
+// Compliant: this virtual path is on the D02 timing allowlist — the
+// launcher measures wall-clock *about* runs, never *into* them.
+use std::time::Instant;
+
+pub fn elapsed_us(run: impl FnOnce()) -> u128 {
+    let start = Instant::now();
+    run();
+    start.elapsed().as_micros()
+}

@@ -1,0 +1,9 @@
+// detlint-fixture: path = crates/sim/src/fixture.rs
+// D02: wall-clock reads outside the timing allowlist.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let started = Instant::now();
+    let _ = started;
+    SystemTime::now().elapsed().unwrap().as_nanos()
+}

@@ -1,0 +1,10 @@
+// detlint-fixture: path = crates/topology/src/fixture.rs
+// Compliant: every RNG is derived from the experiment seed chain.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn shuffled(mut items: Vec<u32>, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    items.sort_by_key(|&v| rng.gen_range(0..v.max(1)));
+    items
+}

@@ -1,0 +1,12 @@
+// detlint-fixture: path = crates/topology/src/fixture.rs
+// D03: entropy-seeded RNG anywhere in the workspace.
+use rand::rngs::OsRng;
+use rand::{thread_rng, Rng, SeedableRng};
+
+pub fn shuffled(mut items: Vec<u32>) -> Vec<u32> {
+    let mut rng = thread_rng();
+    let extra: u64 = rand::random();
+    let _ = (rand::rngs::StdRng::from_entropy(), extra);
+    items.sort_by_key(|&v| rng.gen_range(0..v.max(1)));
+    items
+}

@@ -1,0 +1,9 @@
+// detlint-fixture: path = crates/flow/src/fixture.rs
+// Compliant: the λ-bit-preservation discipline — fan out in parallel,
+// collect, then accumulate serially in a fixed order.
+use rayon::prelude::*;
+
+pub fn total_cost(lengths: &[f64]) -> f64 {
+    let scaled: Vec<f64> = lengths.par_iter().map(|&l| l * 1.5).collect();
+    scaled.iter().fold(0.0, |acc, &l| acc + l)
+}

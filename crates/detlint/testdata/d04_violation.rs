@@ -1,0 +1,11 @@
+// detlint-fixture: path = crates/flow/src/fixture.rs
+// D04: float reduction directly on a parallel iterator.
+use rayon::prelude::*;
+
+pub fn total_cost(lengths: &[f64]) -> f64 {
+    lengths.par_iter().map(|&l| l * 1.5).sum()
+}
+
+pub fn folded(lengths: Vec<f64>) -> f64 {
+    lengths.into_par_iter().fold(|| 0.0, |acc, l| acc + l).sum()
+}

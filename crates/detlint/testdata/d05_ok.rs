@@ -1,0 +1,7 @@
+// detlint-fixture: path = crates/fixture/src/lib.rs
+//! A compliant crate root: both policy headers present.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Documented, as missing_docs demands.
+pub fn present() {}

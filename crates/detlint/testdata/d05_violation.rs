@@ -1,0 +1,5 @@
+// detlint-fixture: path = crates/fixture/src/lib.rs
+//! A crate root carrying only half the policy header set.
+#![forbid(unsafe_code)]
+
+pub fn present() {}

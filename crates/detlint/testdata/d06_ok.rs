@@ -1,0 +1,11 @@
+// detlint-fixture: path = crates/bench/src/fixture.rs
+// Compliant: the bench CLI is not a result-path crate — it may read the
+// environment (and env::args is always fine; it feeds validated flags).
+
+pub fn ci() -> bool {
+    std::env::var("CI").is_ok()
+}
+
+pub fn argv() -> Vec<String> {
+    std::env::args().collect()
+}

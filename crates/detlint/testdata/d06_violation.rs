@@ -1,0 +1,10 @@
+// detlint-fixture: path = crates/core/src/fixture.rs
+// D06: environment-dependent reads in a result-path crate.
+
+pub fn scale_override() -> Option<String> {
+    std::env::var("FIGURES_SCALE").ok()
+}
+
+pub fn threads() -> Option<std::ffi::OsString> {
+    std::env::var_os("RAYON_NUM_THREADS")
+}

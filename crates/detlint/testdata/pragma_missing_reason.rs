@@ -1,0 +1,8 @@
+// detlint-fixture: path = crates/flow/src/fixture.rs
+// A pragma without a reason is itself a finding (P01) and waives nothing.
+use std::collections::HashMap;
+
+pub fn count_all(table: &HashMap<u32, Vec<u32>>) -> usize {
+    // detlint: allow(D01)
+    table.values().map(Vec::len).sum()
+}

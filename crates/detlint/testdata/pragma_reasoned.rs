@@ -1,0 +1,12 @@
+// detlint-fixture: path = crates/flow/src/fixture.rs
+// A violation waived by a well-formed pragma: clean, one suppression.
+use std::collections::HashMap;
+
+pub fn count_all(table: &HashMap<u32, Vec<u32>>) -> usize {
+    // detlint: allow(D01, reason = "sum of per-key lengths is order-independent")
+    table.values().map(Vec::len).sum()
+}
+
+pub fn trailing_form(table: &HashMap<u32, Vec<u32>>) -> usize {
+    table.values().count() // detlint: allow(D01, reason = "count ignores order")
+}

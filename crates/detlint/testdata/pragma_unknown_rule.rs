@@ -1,0 +1,7 @@
+// detlint-fixture: path = crates/flow/src/fixture.rs
+// A pragma naming an unregistered rule is a finding (P01).
+
+pub fn fine() -> u32 {
+    // detlint: allow(D99, reason = "no such rule")
+    42
+}

@@ -1,0 +1,152 @@
+//! The fixture corpus: one violating + one compliant file per rule, plus
+//! the pragma grammar's error cases, driven against exact expected
+//! diagnostics. A rule change that moves, drops, or adds a finding fails
+//! here with the precise `rule@line:col` delta.
+
+use std::path::Path;
+
+fn lint_fixture(name: &str) -> (Vec<detlint::Finding>, usize) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    detlint::lint_source(&path.to_string_lossy(), &src)
+}
+
+/// Asserts the fixture yields exactly `expected` `(rule, line, col)`
+/// findings, in order.
+fn assert_findings(name: &str, expected: &[(&str, u32, u32)]) {
+    let (findings, _) = lint_fixture(name);
+    let got: Vec<(String, u32, u32)> =
+        findings.iter().map(|f| (f.rule.clone(), f.line, f.col)).collect();
+    let want: Vec<(String, u32, u32)> =
+        expected.iter().map(|&(r, l, c)| (r.to_string(), l, c)).collect();
+    assert_eq!(got, want, "fixture {name}: findings {findings:#?}");
+}
+
+fn assert_clean(name: &str, expected_suppressed: usize) {
+    let (findings, suppressed) = lint_fixture(name);
+    assert!(findings.is_empty(), "fixture {name} should be clean, got {findings:#?}");
+    assert_eq!(suppressed, expected_suppressed, "fixture {name}: suppression count");
+}
+
+#[test]
+fn d01_unordered_iteration() {
+    assert_findings("d01_violation.rs", &[("D01", 6, 11), ("D01", 10, 14), ("D01", 22, 20)]);
+    assert_clean("d01_ok.rs", 0);
+}
+
+#[test]
+fn d01_messages_name_the_container() {
+    let (findings, _) = lint_fixture("d01_violation.rs");
+    assert!(findings[0].message.contains("'table' via .keys()"), "{}", findings[0].message);
+    assert!(findings[1].message.contains("for-loop over unordered container 'seen'"));
+    assert!(findings[2].message.contains("'slots' via .drain()"));
+}
+
+#[test]
+fn d02_wall_clock() {
+    assert_findings("d02_violation.rs", &[("D02", 3, 26), ("D02", 6, 19), ("D02", 8, 5)]);
+    // Same calls, but under an allowlisted virtual path: clean.
+    assert_clean("d02_ok.rs", 0);
+}
+
+#[test]
+fn d03_entropy_rng() {
+    assert_findings(
+        "d03_violation.rs",
+        &[
+            ("D03", 3, 17), // use ...::OsRng
+            ("D03", 4, 12), // use ...::thread_rng
+            ("D03", 7, 19), // thread_rng()
+            ("D03", 8, 28), // rand::random()
+            ("D03", 9, 34), // StdRng::from_entropy()
+        ],
+    );
+    // seed_from_u64 and seeded `.gen_range` draws are fine.
+    assert_clean("d03_ok.rs", 0);
+}
+
+#[test]
+fn d04_par_float_reduction() {
+    assert_findings("d04_violation.rs", &[("D04", 6, 42), ("D04", 10, 29)]);
+    // collect() then serial fold re-establishes a fixed order.
+    assert_clean("d04_ok.rs", 0);
+}
+
+#[test]
+fn d05_crate_root_policy() {
+    // forbid(unsafe_code) is present, warn(missing_docs) is not: exactly
+    // one finding, anchored to the top of the file.
+    assert_findings("d05_violation.rs", &[("D05", 1, 1)]);
+    let (findings, _) = lint_fixture("d05_violation.rs");
+    assert!(findings[0].message.contains("#![warn(missing_docs)]"));
+    assert_clean("d05_ok.rs", 0);
+}
+
+#[test]
+fn d06_env_read() {
+    assert_findings("d06_violation.rs", &[("D06", 5, 15), ("D06", 9, 15)]);
+    // Same reads in a non-result-path crate: clean.
+    assert_clean("d06_ok.rs", 0);
+}
+
+#[test]
+fn pragma_with_reason_suppresses() {
+    // Standalone and trailing pragma forms each waive one finding.
+    assert_clean("pragma_reasoned.rs", 2);
+}
+
+#[test]
+fn pragma_without_reason_is_p01_and_waives_nothing() {
+    assert_findings("pragma_missing_reason.rs", &[("P01", 6, 5), ("D01", 7, 11)]);
+    let (findings, _) = lint_fixture("pragma_missing_reason.rs");
+    assert!(findings[0].message.contains("reason"), "{}", findings[0].message);
+}
+
+#[test]
+fn pragma_unknown_rule_is_p01() {
+    assert_findings("pragma_unknown_rule.rs", &[("P01", 5, 5)]);
+    let (findings, _) = lint_fixture("pragma_unknown_rule.rs");
+    assert!(findings[0].message.contains("unknown rule 'D99'"), "{}", findings[0].message);
+}
+
+#[test]
+fn violating_fixtures_exit_nonzero_through_the_report() {
+    // The CLI's exit decision is Report::is_clean(); check it end to end
+    // through lint_paths for one violating and one compliant fixture.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata");
+    let bad = detlint::lint_paths(&[dir.join("d01_violation.rs")]).unwrap();
+    assert!(!bad.is_clean());
+    let good = detlint::lint_paths(&[dir.join("d01_ok.rs")]).unwrap();
+    assert!(good.is_clean());
+}
+
+#[test]
+fn walker_skips_testdata_but_explicit_files_lint() {
+    // Walking the detlint crate directory must not pick up the fixture
+    // corpus (it violates on purpose); it finds the crate's own sources.
+    let crate_dir = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+    let report = detlint::lint_paths(&[crate_dir]).unwrap();
+    assert!(report.is_clean(), "detlint's own sources must lint clean: {:#?}", report.findings);
+    assert!(report.files >= 9, "expected the crate's own .rs files, got {}", report.files);
+}
+
+#[test]
+fn json_report_shape() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata");
+    let report = detlint::lint_paths(&[dir.join("d06_violation.rs")]).unwrap();
+    let json = detlint::render_json(&report);
+    // Dependency-free shape check: stable keys present, findings inline.
+    for key in
+        ["\"tool\":\"detlint\"", "\"rules\":[", "\"files\":1", "\"findings\":[", "\"rule\":\"D06\""]
+    {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+    assert!(json.ends_with("]}\n"));
+}
+
+#[test]
+fn unknown_path_is_an_error_not_a_finding() {
+    let err = detlint::lint_paths(&[Path::new("no/such/path.rs").to_path_buf()]).unwrap_err();
+    assert!(err.contains("no such file"), "{err}");
+}

@@ -37,9 +37,9 @@ pub fn gk_apply(
     total_weighted_length: &mut f64,
 ) {
     if simd_enabled() {
-        gk_apply_chunked(length, flow, arcs, amount, factor, capacity, total_weighted_length)
+        gk_apply_chunked(length, flow, arcs, amount, factor, capacity, total_weighted_length);
     } else {
-        gk_apply_scalar(length, flow, arcs, amount, factor, capacity, total_weighted_length)
+        gk_apply_scalar(length, flow, arcs, amount, factor, capacity, total_weighted_length);
     }
 }
 

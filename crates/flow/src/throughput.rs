@@ -133,8 +133,8 @@ pub fn permutation_throughput_stats(
         values.push(result.normalized);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     (mean, min, max)
 }
 

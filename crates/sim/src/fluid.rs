@@ -44,7 +44,7 @@ impl FluidReport {
 
     /// Minimum normalized throughput across connections.
     pub fn min_throughput(&self) -> f64 {
-        self.throughputs.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.throughputs.iter().copied().fold(f64::INFINITY, f64::min)
     }
 }
 

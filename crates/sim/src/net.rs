@@ -160,7 +160,7 @@ impl Network {
 
     /// The attached impairment config, if any.
     pub fn impairment(&self) -> Option<&ImpairConfig> {
-        self.impair.as_ref().map(|i| i.cfg())
+        self.impair.as_ref().map(super::impair::Impairments::cfg)
     }
 
     /// The stable impairment-stream key of a resolved link slot: switch

@@ -88,9 +88,9 @@ pub fn or_assign_chunked(dst: &mut [u64], src: &[u64]) {
 #[inline]
 pub fn or_assign(dst: &mut [u64], src: &[u64]) {
     if simd_enabled() {
-        or_assign_chunked(dst, src)
+        or_assign_chunked(dst, src);
     } else {
-        or_assign_scalar(dst, src)
+        or_assign_scalar(dst, src);
     }
 }
 

@@ -208,8 +208,12 @@ impl TrafficMatrix {
     /// servers on the same switch are excluded (they never cross the
     /// interconnect).
     pub fn switch_demands(&self, servers: &ServerMap) -> Vec<(NodeId, NodeId, f64)> {
-        use std::collections::HashMap;
-        let mut agg: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        use std::collections::BTreeMap;
+        // A BTreeMap keeps the aggregation deterministic end to end: the
+        // per-pair accumulation order is the (fixed) flow order, and the
+        // output order is ascending (src, dst) by construction — no sort,
+        // no hash-order dependence (detlint D01).
+        let mut agg: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
         for f in &self.flows {
             let s = servers.switch_of(f.src);
             let d = servers.switch_of(f.dst);
@@ -217,10 +221,7 @@ impl TrafficMatrix {
                 *agg.entry((s, d)).or_insert(0.0) += f.demand;
             }
         }
-        let mut out: Vec<(NodeId, NodeId, f64)> =
-            agg.into_iter().map(|((s, d), v)| (s, d, v)).collect();
-        out.sort_by_key(|a| (a.0, a.1));
-        out
+        agg.into_iter().map(|((s, d), v)| (s, d, v)).collect()
     }
 
     /// Per-server egress load (sum of demands sent by each server).
