@@ -16,6 +16,7 @@ use jellyfish_flow::kernels as flow_kernels;
 use jellyfish_routing::shortest::{all_pairs_distances_reference, all_pairs_distances_serial};
 use jellyfish_topology::kernels as topo_kernels;
 use jellyfish_topology::{CsrGraph, JellyfishBuilder, Topology};
+use jellyfish_traffic::{ServerMap, TrafficSpec};
 use std::time::{Duration, Instant};
 
 /// One measured kernel: the optimized path's per-iteration time and its
@@ -41,6 +42,16 @@ fn sizes(scale: Scale) -> ((usize, usize, usize), (usize, usize, usize), usize) 
         Scale::Tiny => ((60, 10, 6), (60, 10, 6), 2),
         Scale::Laptop => ((245, 14, 11), (500, 24, 12), 2),
         Scale::Paper => ((686, 24, 19), (1000, 24, 12), 2),
+    }
+}
+
+/// Server-map size for the `traffic_stream_*` kernels, as a
+/// `ServerMap::uniform` argument pair (racks × servers-per-rack).
+fn traffic_sizes(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (16, 8),    // 128 servers
+        Scale::Laptop => (64, 16), // 1024 servers
+        Scale::Paper => (128, 32), // 4096 servers
     }
 }
 
@@ -168,6 +179,36 @@ pub fn run_suite(scale: Scale, seed: u64) -> Vec<BenchRecord> {
             }
         },
     ));
+
+    // 5–7. Traffic streaming: the lazy spec-built FlowStream aggregated to
+    //    switch demands on the fly, against the eager baseline that first
+    //    materializes the full TrafficMatrix and then aggregates. Same flows,
+    //    same demands — the streamed path just never holds the flow Vec.
+    let (racks, per_rack) = traffic_sizes(scale);
+    let servers = ServerMap::uniform(racks, per_rack);
+    let n_servers = racks * per_rack;
+    for name in ["permutation", "zipf:s=1.2,hot_racks=4", "all2all"] {
+        let spec: TrafficSpec = name.parse().expect("bench traffic spec parses");
+        let kernel = format!("traffic_stream_{}", spec.generator());
+        let streamed_spec = spec.clone();
+        let eager_spec = spec;
+        records.push(record(
+            &kernel,
+            n_servers,
+            || {
+                let stream = streamed_spec
+                    .stream(&servers, seed)
+                    .expect("bench workload builds on the uniform map");
+                std::hint::black_box(stream.switch_demands(&servers));
+            },
+            || {
+                let tm = eager_spec
+                    .matrix(&servers, seed)
+                    .expect("bench workload builds on the uniform map");
+                std::hint::black_box(tm.switch_demands(&servers));
+            },
+        ));
+    }
 
     records
 }

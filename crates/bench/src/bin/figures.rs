@@ -7,19 +7,22 @@
 //! ```text
 //! figures list
 //! figures run <experiment|all> [--scale tiny|laptop|paper] [--seed N]
-//!                              [--topo <spec>] [--json]
+//!                              [--topo <spec>] [--traffic <spec>] [--json]
 //! figures run <experiment|all> --shard K/N [--plan <timings.json>]
 //!                              [--scale ...] [--seed N] [--topo <spec>]
+//!                              [--traffic <spec>]
 //! figures launch <experiment|all> --jobs N [--plan <timings.json>]
 //!                              [--hosts <file>] [--run-dir <dir>]
-//!                              [--timeout-secs N]
-//!                              [--scale ...] [--seed N] [--topo <spec>] [--json]
+//!                              [--timeout-secs N] [--scale ...] [--seed N]
+//!                              [--topo <spec>] [--traffic <spec>] [--json]
 //! figures merge <file...> [--json]
 //! figures bench [--scale tiny|laptop|paper] [--seed N] [--out <file>]
 //! figures lint [--json] [paths...]
 //! figures topo list
 //! figures topo show <spec>
 //! figures topo build <spec> [--seed N]
+//! figures traffic list
+//! figures traffic show <spec>
 //! figures <experiment|all> [...]      # shorthand for `figures run`
 //! ```
 //!
@@ -54,7 +57,11 @@
 //! `--topo <spec>` redirects the topology-generic experiments
 //! (`throughput_vs_size`, `path_length`, `bisection`, `failure_sweep`) at
 //! any registered topology spec; `figures topo list` names the generators
-//! and transforms and TOPOLOGIES.md documents the grammar.
+//! and transforms and TOPOLOGIES.md documents the grammar. `--traffic <spec>`
+//! does the same for the workload axis of the traffic-capable experiments
+//! (`throughput_vs_size`, `failure_sweep`, `throughput_vs_workload`,
+//! `fairness_under_skew`, `incast_degradation`); `figures traffic list`
+//! names the workload generators and TRAFFIC.md documents the grammar.
 //!
 //! Unknown experiment names, scales, seeds, specs and shard specs are hard
 //! errors (exit code 2) listing the valid choices — never silent fallbacks.
@@ -68,6 +75,7 @@ use jellyfish_bench::{render_run, render_run_json};
 use jellyfish_sim::net::LinkParams;
 use jellyfish_topology::properties::path_length_stats;
 use jellyfish_topology::spec::{self, TopoSpec};
+use jellyfish_traffic::{ServerMap, TrafficSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -88,6 +96,8 @@ commands:
   topo list                 list the registered topology generators/transforms
   topo show <spec>          parse a topology spec and print its structure
   topo build <spec>         build a topology spec and print its properties
+  traffic list              list the registered workload generators/transforms
+  traffic show <spec>       parse a traffic spec and print its structure
 
 run options:
   --scale tiny|laptop|paper   instance-size preset (default: laptop)
@@ -95,6 +105,10 @@ run options:
   --topo <spec>               topology override for the generic experiments
                               (throughput_vs_size, path_length, bisection,
                               failure_sweep); see TOPOLOGIES.md
+  --traffic <spec>            workload override for the traffic-capable
+                              experiments (throughput_vs_size, failure_sweep,
+                              throughput_vs_workload, fairness_under_skew,
+                              incast_degradation); see TRAFFIC.md
   --shard K/N                 run only the K-th of N slices of the work
                               items and print mergeable JSON fragments
   --plan <timings.json>       with --shard: partition by a prior run's
@@ -103,7 +117,8 @@ run options:
                               has no matching timings
   --json                      print JSON instead of TSV (non-shard runs)
 
-launch options (plus --scale, --seed, --topo, --plan, --json as above):
+launch options (plus --scale, --seed, --topo, --traffic, --plan, --json as
+above):
   --jobs N                    number of worker processes / shards (required)
   --hosts <file>              worker command templates, one per line
                               ('{}' is replaced by the quoted worker
@@ -128,7 +143,7 @@ bench options:
   --scale tiny|laptop|paper   instance-size preset (default: laptop; the
                               laptop sizes are the tracked targets)
   --seed N                    topology seed (default: 2012)
-  --out <file>                report path (default: BENCH_7.json)
+  --out <file>                report path (default: BENCH_9.json)
 
 topo build options:
   --seed N                    build seed (default: 2012)";
@@ -143,6 +158,7 @@ struct RunOptions {
     scale: Scale,
     seed: u64,
     topo: Option<TopoSpec>,
+    traffic: Option<TrafficSpec>,
     shard: Option<Shard>,
     plan: Option<String>,
     json: bool,
@@ -150,15 +166,22 @@ struct RunOptions {
 
 impl RunOptions {
     fn ctx(&self) -> RunCtx {
-        let ctx = RunCtx::new(self.scale, self.seed);
-        match &self.topo {
-            Some(spec) => ctx.with_topo(spec.clone()),
-            None => ctx,
+        let mut ctx = RunCtx::new(self.scale, self.seed);
+        if let Some(spec) = &self.topo {
+            ctx = ctx.with_topo(spec.clone());
         }
+        if let Some(spec) = &self.traffic {
+            ctx = ctx.with_traffic(spec.clone());
+        }
+        ctx
     }
 
     fn topo_string(&self) -> Option<String> {
         self.topo.as_ref().map(std::string::ToString::to_string)
+    }
+
+    fn traffic_string(&self) -> Option<String> {
+        self.traffic.as_ref().map(std::string::ToString::to_string)
     }
 }
 
@@ -171,6 +194,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         scale: Scale::Laptop,
         seed: 2012,
         topo: None,
+        traffic: None,
         shard: None,
         plan: None,
         json: false,
@@ -192,6 +216,11 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             "--topo" => {
                 let raw = flag_value(args, i, "--topo")?;
                 opts.topo = Some(raw.parse().map_err(|e| format!("unparsable --topo: {e}"))?);
+                i += 2;
+            }
+            "--traffic" => {
+                let raw = flag_value(args, i, "--traffic")?;
+                opts.traffic = Some(raw.parse().map_err(|e| format!("unparsable --traffic: {e}"))?);
                 i += 2;
             }
             "--shard" => {
@@ -225,14 +254,19 @@ fn load_plan(opts: &RunOptions) -> Result<Option<TimingFile>, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read --plan '{path}': {e}"))?;
     let tf = TimingFile::from_json(&text)
         .map_err(|e| format!("--plan '{path}' is not a timing file: {e}"))?;
-    if tf.scale != opts.scale || tf.topo != opts.topo_string() {
+    if tf.scale != opts.scale
+        || tf.topo != opts.topo_string()
+        || tf.traffic != opts.traffic_string()
+    {
         eprintln!(
-            "figures: note: --plan '{path}' measured scale {} topo {}; this run is scale {} \
-             topo {}, so shards fall back to striping",
+            "figures: note: --plan '{path}' measured scale {} topo {} traffic {}; this run is \
+             scale {} topo {} traffic {}, so shards fall back to striping",
             tf.scale,
             tf.topo.as_deref().unwrap_or("<none>"),
+            tf.traffic.as_deref().unwrap_or("<none>"),
             opts.scale,
-            opts.topo_string().as_deref().unwrap_or("<none>")
+            opts.topo_string().as_deref().unwrap_or("<none>"),
+            opts.traffic_string().as_deref().unwrap_or("<none>")
         );
         return Ok(None);
     }
@@ -261,9 +295,53 @@ fn cmd_list(args: &[String]) -> ExitCode {
     }
     for exp in experiment::registry() {
         let topo = if exp.supports_topo_override() { " [--topo]" } else { "" };
-        println!("{}\t{}{topo}", exp.name(), exp.describe());
+        let traffic = if exp.supports_traffic_override() { " [--traffic]" } else { "" };
+        println!("{}\t{}{topo}{traffic}", exp.name(), exp.describe());
     }
     ExitCode::SUCCESS
+}
+
+/// The names of the experiments that take `--traffic`, for error messages.
+fn traffic_capable_names() -> String {
+    let names: Vec<&str> = experiment::registry()
+        .iter()
+        .filter(|e| e.supports_traffic_override())
+        .map(|e| e.name())
+        .collect();
+    names.join(", ")
+}
+
+/// Checks a `--traffic` override against the selected experiments: every one
+/// must take the override, and the spec must actually generate on the first
+/// work item's topology (a parse-clean spec can still fail on a given server
+/// count — incast fanin bounds, zipf needing two racks). Probing here turns
+/// worker panics into a clean exit-2 error, matching the `--topo` probe.
+fn check_traffic_override(
+    tspec: &TrafficSpec,
+    experiments: &[&'static dyn Experiment],
+    opts: &RunOptions,
+) -> Result<(), String> {
+    if let Some(fixed) = experiments.iter().find(|e| !e.supports_traffic_override()) {
+        return Err(format!(
+            "'{}' does not take --traffic (its workload is the experiment); \
+             --traffic works with {}",
+            fixed.name(),
+            traffic_capable_names()
+        ));
+    }
+    let ctx = opts.ctx();
+    if let Some(exp) = experiments.first() {
+        if let Some(item) = exp.work_items(&ctx).first() {
+            let snap = ctx
+                .spec_snapshot(item.spec(), opts.seed)
+                .map_err(|e| format!("cannot build '{}': {e}", item.spec()))?;
+            let servers = ServerMap::new(&snap.topology);
+            tspec
+                .stream(&servers, opts.seed)
+                .map_err(|e| format!("--traffic '{tspec}' does not build: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_run(name: &str, args: &[String]) -> ExitCode {
@@ -301,6 +379,11 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
             return fail(&format!("--topo '{spec}' does not build: {e}"));
         }
     }
+    if let Some(tspec) = &opts.traffic {
+        if let Err(e) = check_traffic_override(tspec, &experiments, &opts) {
+            return fail(&e);
+        }
+    }
     let plan = match load_plan(&opts) {
         Ok(plan) => plan,
         Err(e) => return fail(&e),
@@ -318,6 +401,7 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
                     scale: opts.scale,
                     seed: opts.seed,
                     topo: opts.topo_string(),
+                    traffic: opts.traffic_string(),
                     shard,
                     timings_us: timed.timings_us,
                     items: timed.items,
@@ -327,10 +411,25 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
             None => {
                 let data = exp.run(&ctx);
                 let topo = opts.topo_string();
+                let traffic = opts.traffic_string();
                 let rendered = if opts.json {
-                    render_run_json(exp.name(), opts.scale, opts.seed, topo.as_deref(), &data)
+                    render_run_json(
+                        exp.name(),
+                        opts.scale,
+                        opts.seed,
+                        topo.as_deref(),
+                        traffic.as_deref(),
+                        &data,
+                    )
                 } else {
-                    render_run(exp.name(), opts.scale, opts.seed, topo.as_deref(), &data)
+                    render_run(
+                        exp.name(),
+                        opts.scale,
+                        opts.seed,
+                        topo.as_deref(),
+                        traffic.as_deref(),
+                        &data,
+                    )
                 };
                 print!("{rendered}");
             }
@@ -388,7 +487,7 @@ fn cmd_merge(args: &[String]) -> ExitCode {
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut scale = Scale::Laptop;
     let mut seed = 2012u64;
-    let mut out = PathBuf::from("BENCH_7.json");
+    let mut out = PathBuf::from("BENCH_9.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -511,6 +610,11 @@ fn cmd_launch(args: &[String]) -> ExitCode {
             return fail(&format!("--topo '{spec}' does not build: {e}"));
         }
     }
+    if let Some(tspec) = &opts.traffic {
+        if let Err(e) = check_traffic_override(tspec, &experiments, &opts) {
+            return fail(&e);
+        }
+    }
     // Surface an unreadable/unparsable --plan here, before any worker spawns
     // (the workers re-validate it themselves).
     if let Err(e) = load_plan(&opts) {
@@ -538,6 +642,7 @@ fn cmd_launch(args: &[String]) -> ExitCode {
         scale: opts.scale,
         seed: opts.seed,
         topo: opts.topo_string(),
+        traffic: opts.traffic_string(),
         plan: opts.plan.as_ref().map(PathBuf::from),
         hosts,
         run_dir,
@@ -603,7 +708,7 @@ fn parse_launch_options(
                     "launch assigns the shards itself; use --jobs N instead of --shard".to_string()
                 );
             }
-            "--scale" | "--seed" | "--topo" | "--plan" => {
+            "--scale" | "--seed" | "--topo" | "--traffic" | "--plan" => {
                 run_flags.push(args[i].clone());
                 run_flags.push(flag_value(args, i, &args[i])?.to_string());
                 i += 2;
@@ -715,6 +820,61 @@ fn cmd_topo_build(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// --------------------------------------------------------------- traffic
+
+fn cmd_traffic_list(args: &[String]) -> ExitCode {
+    if let Some(extra) = args.first() {
+        return fail(&format!("traffic list takes no arguments (got '{extra}')\n\n{USAGE}"));
+    }
+    println!("generators:");
+    for g in jellyfish_traffic::generators() {
+        println!("  {}\t{}\te.g. {}", g.name(), g.describe(), g.example());
+    }
+    println!("transforms (chain with '+'):");
+    println!("  {}", jellyfish_traffic::transform_grammar());
+    ExitCode::SUCCESS
+}
+
+fn cmd_traffic_show(args: &[String]) -> ExitCode {
+    let Some(raw) = args.first() else {
+        return fail("expected a traffic spec (try `figures traffic list`)");
+    };
+    if let Some(extra) = args.get(1) {
+        return fail(&format!("traffic show takes one spec (got '{extra}')\n\n{USAGE}"));
+    }
+    let spec: TrafficSpec = match raw.parse() {
+        Ok(spec) => spec,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    if let Err(e) = spec.validate() {
+        return fail(&format!("{e}"));
+    }
+    let generator = jellyfish_traffic::find_generator(spec.generator())
+        .expect("a parsed spec names a registered generator");
+    println!("spec\t{spec}");
+    println!("generator\t{}\t{}", generator.name(), generator.describe());
+    for (k, v) in spec.params().pairs() {
+        println!("param\t{k}\t{v}");
+    }
+    for t in spec.transforms() {
+        println!("transform\t{t}");
+    }
+    println!("epochs\t{}", spec.epochs());
+    println!("demand_scale\t{}", spec.demand_scale());
+    ExitCode::SUCCESS
+}
+
+fn cmd_traffic(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first() else {
+        return fail(&format!("traffic needs a subcommand: list, show\n\n{USAGE}"));
+    };
+    match sub.as_str() {
+        "list" => cmd_traffic_list(&args[1..]),
+        "show" => cmd_traffic_show(&args[1..]),
+        other => fail(&format!("unknown traffic subcommand '{other}': valid are list, show")),
+    }
+}
+
 fn cmd_topo(args: &[String]) -> ExitCode {
     let Some(sub) = args.first() else {
         return fail(&format!("topo needs a subcommand: list, show, build\n\n{USAGE}"));
@@ -748,6 +908,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
+        "traffic" => cmd_traffic(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -67,6 +67,8 @@ pub struct LaunchConfig {
     pub seed: u64,
     /// `--topo` override spec string forwarded to the workers, if any.
     pub topo: Option<String>,
+    /// `--traffic` override spec string forwarded to the workers, if any.
+    pub traffic: Option<String>,
     /// A prior run's `timings.json`, forwarded to the workers as `--plan`
     /// for timing-aware LPT partitioning.
     pub plan: Option<PathBuf>,
@@ -145,6 +147,10 @@ fn worker_args(cfg: &LaunchConfig, shard: Shard) -> Vec<String> {
     if let Some(topo) = &cfg.topo {
         args.push("--topo".to_string());
         args.push(topo.clone());
+    }
+    if let Some(traffic) = &cfg.traffic {
+        args.push("--traffic".to_string());
+        args.push(traffic.clone());
     }
     args.push("--shard".to_string());
     args.push(shard.to_string());
@@ -411,7 +417,7 @@ pub fn run_workers(
 /// item — a missing or zero timing means a corrupt fragment or a worker from
 /// a build that predates timing support, and fails the launch.
 fn assemble_timings(cfg: &LaunchConfig, fragments: &[ShardFragment]) -> Result<TimingFile, String> {
-    let mut tf = TimingFile::new(cfg.scale, cfg.seed, cfg.topo.clone());
+    let mut tf = TimingFile::new(cfg.scale, cfg.seed, cfg.topo.clone(), cfg.traffic.clone());
     for exp in experiment::registry() {
         let group: Vec<&ShardFragment> =
             fragments.iter().filter(|f| f.experiment == exp.name()).collect();
@@ -424,6 +430,12 @@ fn assemble_timings(cfg: &LaunchConfig, fragments: &[ShardFragment]) -> Result<T
                 .parse()
                 .map_err(|e| format!("{}: unparsable topo spec '{raw}': {e}", exp.name()))?;
             ctx = ctx.with_topo(spec);
+        }
+        if let Some(raw) = &cfg.traffic {
+            let spec = raw
+                .parse()
+                .map_err(|e| format!("{}: unparsable traffic spec '{raw}': {e}", exp.name()))?;
+            ctx = ctx.with_traffic(spec);
         }
         let mut timings = vec![0u64; exp.work_items(&ctx).len()];
         for f in &group {
@@ -658,6 +670,7 @@ mod tests {
             scale: Scale::Tiny,
             seed: 7,
             topo: Some("fattree:k=4".to_string()),
+            traffic: Some("stride:k=2".to_string()),
             plan: None,
             hosts: vec!["ssh a {}".to_string(), "ssh b {}".to_string()],
             run_dir: PathBuf::from("/tmp/unused"),
@@ -673,6 +686,7 @@ mod tests {
             assert!(line.starts_with(if k % 2 == 0 { "ssh a " } else { "ssh b " }), "{line}");
             assert!(line.contains(&format!("'--shard' '{}/3'", k + 1)), "{line}");
             assert!(line.contains("'--topo' 'fattree:k=4'"), "{line}");
+            assert!(line.contains("'--traffic' 'stride:k=2'"), "{line}");
         }
         // Local mode re-execs this binary directly.
         let local = LaunchConfig { hosts: Vec::new(), ..cfg };

@@ -5,7 +5,7 @@
 //! `figures run` would have produced, byte-for-byte. Before combining
 //! anything it validates the whole set: every fragment must name a
 //! registered experiment, fragments of one experiment must agree on
-//! `(scale, seed, topo)`, per-item timings (when present) must pair up with
+//! `(scale, seed, topo, traffic)`, per-item timings (when present) must pair up with
 //! the items, and the items must cover the experiment's work-item list
 //! exactly — no duplicates, no gaps. Violations are reported with the
 //! experiment name *and* the offending item's debug label, so "item 7 is
@@ -14,6 +14,7 @@
 use jellyfish::experiment::{self, Dataset, Experiment, RunCtx, ShardFragment};
 use jellyfish::figures::Scale;
 use jellyfish_topology::TopoSpec;
+use jellyfish_traffic::TrafficSpec;
 
 /// One merged experiment: the run configuration the fragments agreed on and
 /// the recombined dataset, ready for rendering.
@@ -27,6 +28,8 @@ pub struct MergedRun {
     pub seed: u64,
     /// The `--topo` override all fragments ran with, if any.
     pub topo: Option<String>,
+    /// The `--traffic` override all fragments ran with, if any.
+    pub traffic: Option<String>,
     /// The dataset, identical to an unsharded [`Experiment::run`].
     pub data: Dataset,
 }
@@ -73,6 +76,7 @@ fn merge_group(exp: &dyn Experiment, fragments: &[&ShardFragment]) -> Result<Mer
     let name = exp.name();
     let (scale, seed) = (fragments[0].scale, fragments[0].seed);
     let topo = fragments[0].topo.clone();
+    let traffic = fragments[0].traffic.clone();
     for f in fragments {
         if f.scale != scale || f.seed != seed {
             return Err(format!(
@@ -87,6 +91,14 @@ fn merge_group(exp: &dyn Experiment, fragments: &[&ShardFragment]) -> Result<Mer
                  shards of one sweep must share the topology override",
                 topo.as_deref().unwrap_or("<none>"),
                 f.topo.as_deref().unwrap_or("<none>")
+            ));
+        }
+        if f.traffic != traffic {
+            return Err(format!(
+                "{name}: fragments disagree on --traffic ({} vs {}); \
+                 shards of one sweep must share the workload override",
+                traffic.as_deref().unwrap_or("<none>"),
+                f.traffic.as_deref().unwrap_or("<none>")
             ));
         }
         if !f.timings_us.is_empty() && f.timings_us.len() != f.items.len() {
@@ -108,6 +120,17 @@ fn merge_group(exp: &dyn Experiment, fragments: &[&ShardFragment]) -> Result<Mer
             return Err(format!("{name}: fragment carries --topo but the experiment is fixed"));
         }
         ctx = ctx.with_topo(spec);
+    }
+    if let Some(raw) = &traffic {
+        let spec: TrafficSpec = raw
+            .parse()
+            .map_err(|e| format!("{name}: fragment has an unparsable traffic spec '{raw}': {e}"))?;
+        if !exp.supports_traffic_override() {
+            return Err(format!(
+                "{name}: fragment carries --traffic but the experiment's workload is fixed"
+            ));
+        }
+        ctx = ctx.with_traffic(spec);
     }
     let work_items = exp.work_items(&ctx);
     let expected = work_items.len();
@@ -169,7 +192,7 @@ fn merge_group(exp: &dyn Experiment, fragments: &[&ShardFragment]) -> Result<Mer
             work_items[missing].label
         ));
     }
-    Ok(MergedRun { name, scale, seed, topo, data: exp.merge(items) })
+    Ok(MergedRun { name, scale, seed, topo, traffic, data: exp.merge(items) })
 }
 
 /// Renders merged runs exactly as `figures run` prints them (TSV blocks, or
@@ -178,9 +201,23 @@ pub fn render_merged(runs: &[MergedRun], json: bool) -> String {
     let mut out = String::new();
     for run in runs {
         let rendered = if json {
-            crate::render_run_json(run.name, run.scale, run.seed, run.topo.as_deref(), &run.data)
+            crate::render_run_json(
+                run.name,
+                run.scale,
+                run.seed,
+                run.topo.as_deref(),
+                run.traffic.as_deref(),
+                &run.data,
+            )
         } else {
-            crate::render_run(run.name, run.scale, run.seed, run.topo.as_deref(), &run.data)
+            crate::render_run(
+                run.name,
+                run.scale,
+                run.seed,
+                run.topo.as_deref(),
+                run.traffic.as_deref(),
+                &run.data,
+            )
         };
         out.push_str(&rendered);
     }

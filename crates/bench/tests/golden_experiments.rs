@@ -17,6 +17,7 @@ const GOLDENS: &[(&str, &str)] = &[
     ("throughput_vs_size", include_str!("../testdata/throughput_vs_size_tiny.golden.tsv")),
     ("bisection", include_str!("../testdata/bisection_tiny.golden.tsv")),
     ("failure_sweep", include_str!("../testdata/failure_sweep_tiny.golden.tsv")),
+    ("throughput_vs_workload", include_str!("../testdata/throughput_vs_workload_tiny.golden.tsv")),
 ];
 
 /// `figures run <exp> --scale tiny --seed 7` reproduces the committed golden
@@ -26,7 +27,7 @@ fn tiny_runs_match_goldens_byte_for_byte() {
     for (name, golden) in GOLDENS {
         let exp = experiment::find(name).expect("golden experiment is registered");
         let data = exp.run(&RunCtx::new(Scale::Tiny, SEED));
-        let rendered = render_run(exp.name(), Scale::Tiny, SEED, None, &data);
+        let rendered = render_run(exp.name(), Scale::Tiny, SEED, None, None, &data);
         assert_eq!(rendered, *golden, "{name}: output drifted from the pre-rewrite golden");
     }
 }
@@ -50,6 +51,7 @@ fn sharded_merge_matches_goldens_byte_for_byte() {
                     scale: Scale::Tiny,
                     seed: SEED,
                     topo: None,
+                    traffic: None,
                     shard,
                     timings_us: timed.timings_us,
                     items: timed.items,

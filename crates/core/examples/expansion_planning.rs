@@ -24,7 +24,8 @@ fn main() {
         }
         let stats = path_length_stats(topo.graph());
         let servers = ServerMap::new(&topo);
-        let tm = TrafficMatrix::random_permutation(&servers, stage);
+        let workload: TrafficSpec = "permutation".parse().expect("registered workload spec");
+        let tm = workload.matrix(&servers, stage).expect("permutation builds on any server map");
         let tput = normalized_throughput(&topo, &servers, &tm, ThroughputOptions::default());
         println!(
             "{:>5}  {:>5}  {:>7}  {:>12}  {:>9.3}  {:>8}  {:>6.3}",

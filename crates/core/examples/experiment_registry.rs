@@ -38,6 +38,7 @@ fn main() {
                 scale: Scale::Tiny,
                 seed: 7,
                 topo: None,
+                traffic: None,
                 shard,
                 timings_us: timed.timings_us,
                 items: timed.items,

@@ -29,7 +29,8 @@ fn main() {
             let mut failed = topo.clone();
             fail_random_links(&mut failed, frac, 90 + percent as u64);
             let servers = ServerMap::new(&failed);
-            let tm = TrafficMatrix::random_permutation(&servers, 7);
+            let workload: TrafficSpec = "permutation".parse().expect("registered workload spec");
+            let tm = workload.matrix(&servers, 7).expect("permutation builds on any server map");
             let opts = ThroughputOptions { stop_at_full: false, ..Default::default() };
             let tput = normalized_throughput(&failed, &servers, &tm, opts);
             row.push(format!("{:>20.3}", tput.normalized));

@@ -23,7 +23,10 @@ fn main() {
     // The paper's capacity metric: normalized throughput under a random
     // permutation with ideal (fluid) routing.
     let servers = ServerMap::new(&topo);
-    let tm = TrafficMatrix::random_permutation(&servers, 7);
+    // Workloads are spec strings resolved by the traffic registry (see
+    // TRAFFIC.md); "permutation" reproduces the eager constructor exactly.
+    let workload: TrafficSpec = "permutation".parse().expect("registered workload spec");
+    let tm = workload.matrix(&servers, 7).expect("permutation builds on any server map");
     let result = normalized_throughput(&topo, &servers, &tm, ThroughputOptions::default());
     println!(
         "permutation throughput: {:.3} of NIC rate ({} switch-level commodities)",

@@ -14,7 +14,8 @@ use jellyfish::sim::workload::build_connections;
 fn run(topo: &Topology, path: PathPolicy, transport: TransportPolicy, seed: u64) -> (f64, f64) {
     let csr = topo.csr();
     let servers = ServerMap::new(topo);
-    let tm = TrafficMatrix::random_permutation(&servers, seed);
+    let workload: TrafficSpec = "permutation".parse().expect("registered workload spec");
+    let tm = workload.matrix(&servers, seed).expect("permutation builds on any server map");
     let conns = build_connections(&csr, &servers, &tm, path, transport, seed);
     let net = Network::build(&csr, &servers, LinkParams::default());
     let config = SimConfig { duration: 8.0, warmup: 2.0, seed, ..Default::default() };

@@ -57,6 +57,7 @@
 
 use crate::figures::{Scale, Series};
 use jellyfish_topology::{CsrGraph, SpecError, TopoSpec, Topology};
+use jellyfish_traffic::{ServerMap, TrafficMatrix, TrafficSpec};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +67,7 @@ pub mod catalog;
 pub mod generic;
 pub mod impair;
 mod json;
+pub mod workload;
 
 /// One named row of a [`Dataset`] table.
 #[derive(Debug, Clone, PartialEq)]
@@ -308,17 +310,26 @@ pub struct WorkItem {
     /// The topology this item evaluates, when the experiment's work
     /// decomposes along a topology axis (spec-driven experiments).
     pub spec: Option<TopoSpec>,
+    /// The workload this item evaluates, when the experiment's work
+    /// decomposes along a traffic axis (spec-driven workloads).
+    pub traffic: Option<TrafficSpec>,
 }
 
 impl WorkItem {
     /// Creates a work item with no topology axis.
     pub fn new(index: usize, label: impl Into<String>) -> Self {
-        WorkItem { index, label: label.into(), spec: None }
+        WorkItem { index, label: label.into(), spec: None, traffic: None }
     }
 
     /// Creates a work item that evaluates one topology spec.
     pub fn with_spec(index: usize, label: impl Into<String>, spec: TopoSpec) -> Self {
-        WorkItem { index, label: label.into(), spec: Some(spec) }
+        WorkItem { index, label: label.into(), spec: Some(spec), traffic: None }
+    }
+
+    /// Attaches the workload spec this item evaluates (builder style).
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
+        self
     }
 
     /// The item's topology spec; panics (with the item's label) when the
@@ -327,6 +338,14 @@ impl WorkItem {
         self.spec
             .as_ref()
             .unwrap_or_else(|| panic!("work item '{}' has no topology spec", self.label))
+    }
+
+    /// The item's workload spec; panics (with the item's label) when the
+    /// experiment forgot to attach one.
+    pub fn traffic(&self) -> &TrafficSpec {
+        self.traffic
+            .as_ref()
+            .unwrap_or_else(|| panic!("work item '{}' has no traffic spec", self.label))
     }
 }
 
@@ -393,13 +412,14 @@ pub struct RunCtx {
     /// Base seed; items derive their own sub-seeds from it deterministically.
     pub seed: u64,
     topo: Option<TopoSpec>,
+    traffic: Option<TrafficSpec>,
     cache: Mutex<HashMap<(String, u64), Arc<Snapshot>>>,
 }
 
 impl RunCtx {
     /// Creates a context for one `(scale, seed)` run.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        RunCtx { scale, seed, topo: None, cache: Mutex::new(HashMap::new()) }
+        RunCtx { scale, seed, topo: None, traffic: None, cache: Mutex::new(HashMap::new()) }
     }
 
     /// Sets the `--topo` override: experiments whose
@@ -413,6 +433,33 @@ impl RunCtx {
     /// The run's topology override, if any.
     pub fn topo(&self) -> Option<&TopoSpec> {
         self.topo.as_ref()
+    }
+
+    /// Sets the `--traffic` override: experiments whose
+    /// [`Experiment::supports_traffic_override`] is true evaluate this
+    /// workload instead of their built-in one.
+    pub fn with_traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = Some(spec);
+        self
+    }
+
+    /// The run's workload override, if any.
+    pub fn traffic(&self) -> Option<&TrafficSpec> {
+        self.traffic.as_ref()
+    }
+
+    /// The traffic matrix a traffic-capable experiment should evaluate:
+    /// the `--traffic` override when one is set, the paper's
+    /// random-permutation workload otherwise. `seed` is the experiment's
+    /// item-derived matrix seed, applied identically to both paths so an
+    /// explicit `--traffic permutation` is byte-identical to no override.
+    pub fn traffic_matrix(&self, servers: &ServerMap, seed: u64) -> TrafficMatrix {
+        match &self.traffic {
+            Some(spec) => spec.matrix(servers, seed).unwrap_or_else(|e| {
+                panic!("--traffic '{spec}' does not build for this topology: {e}")
+            }),
+            None => TrafficMatrix::random_permutation(servers, seed),
+        }
     }
 
     /// Returns the memoized snapshot for `key`, building it (outside the
@@ -624,15 +671,17 @@ pub struct TimingFile {
     pub seed: u64,
     /// `--topo` override spec string of the measured run, if any.
     pub topo: Option<String>,
+    /// `--traffic` override spec string of the measured run, if any.
+    pub traffic: Option<String>,
     /// Per-experiment measurements: `timings_us[i]` is the wall-clock of
     /// work item `i` in microseconds.
     pub experiments: Vec<(String, Vec<u64>)>,
 }
 
 impl TimingFile {
-    /// An empty timing file for a `(scale, seed, topo)` run.
-    pub fn new(scale: Scale, seed: u64, topo: Option<String>) -> Self {
-        TimingFile { scale, seed, topo, experiments: Vec::new() }
+    /// An empty timing file for a `(scale, seed, topo, traffic)` run.
+    pub fn new(scale: Scale, seed: u64, topo: Option<String>, traffic: Option<String>) -> Self {
+        TimingFile { scale, seed, topo, traffic, experiments: Vec::new() }
     }
 
     /// Records (or replaces) the per-item timings of one experiment.
@@ -688,6 +737,9 @@ pub struct ShardFragment {
     /// require all fragments of one experiment to agree on it — the work
     /// item decomposition depends on it.
     pub topo: Option<String>,
+    /// The `--traffic` override spec string the shard ran with, if any.
+    /// Merges require agreement exactly as for `topo`.
+    pub traffic: Option<String>,
     /// Which slice of the work items this fragment holds.
     pub shard: Shard,
     /// Measured wall-clock microseconds per entry of `items` (parallel
@@ -732,6 +784,16 @@ pub trait Experiment: Sync {
     /// failures); false for the paper figures, whose topology pairings *are*
     /// the experiment.
     fn supports_topo_override(&self) -> bool {
+        false
+    }
+
+    /// Whether the experiment's workload can be replaced by a
+    /// `--traffic <spec>` override ([`RunCtx::with_traffic`]). True for the
+    /// experiments that evaluate "a workload against a fabric" generically
+    /// (the throughput/failure sweeps and the workload experiments); false
+    /// for the paper figures, whose permutation workload *is* the
+    /// experiment.
+    fn supports_traffic_override(&self) -> bool {
         false
     }
 
@@ -800,6 +862,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
     use catalog::*;
     use generic::*;
     use impair::*;
+    use workload::*;
     static REGISTRY: &[&dyn Experiment] = &[
         &Fig1c,
         &Fig2a,
@@ -825,6 +888,9 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &ThroughputVsLoss,
         &LatencyHistogramExp,
         &ImpairedFailureSweep,
+        &ThroughputVsWorkload,
+        &FairnessUnderSkew,
+        &IncastDegradation,
     ];
     REGISTRY
 }
@@ -844,16 +910,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_24_experiments_with_unique_names() {
+    fn registry_has_the_27_experiments_with_unique_names() {
         let names = names();
-        assert_eq!(names.len(), 24);
+        assert_eq!(names.len(), 27);
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(dedup.len(), 24, "duplicate experiment names");
+        assert_eq!(dedup.len(), 27, "duplicate experiment names");
         assert!(find("fig1c").is_some());
         assert!(find("table1").is_some());
         assert!(find("throughput_vs_size").is_some());
+        assert!(find("throughput_vs_workload").is_some());
         assert!(find("nope").is_none());
         // Exactly the topology-generic sweeps accept --topo.
         let overridable: Vec<&str> =
@@ -867,7 +934,23 @@ mod tests {
                 "failure_sweep",
                 "throughput_vs_loss",
                 "latency_histogram",
-                "impaired_failure_sweep"
+                "impaired_failure_sweep",
+                "throughput_vs_workload",
+                "fairness_under_skew",
+                "incast_degradation"
+            ]
+        );
+        // Exactly the workload-generic experiments accept --traffic.
+        let traffic_capable: Vec<&str> =
+            registry().iter().filter(|e| e.supports_traffic_override()).map(|e| e.name()).collect();
+        assert_eq!(
+            traffic_capable,
+            [
+                "throughput_vs_size",
+                "failure_sweep",
+                "throughput_vs_workload",
+                "fairness_under_skew",
+                "incast_degradation"
             ]
         );
     }
@@ -994,6 +1077,7 @@ mod tests {
             scale: Scale::Tiny,
             seed: u64::MAX,
             topo: None,
+            traffic: None,
             shard: Shard::new(2, 3).unwrap(),
             timings_us: vec![u64::MAX],
             items: vec![ItemResult::new(1, ds)],
@@ -1001,6 +1085,7 @@ mod tests {
         let back = ShardFragment::from_json(&frag.to_json()).unwrap();
         assert_eq!(frag, back);
         frag.topo = Some("leafspine:leaf=6,spine=3,servers=4".to_string());
+        frag.traffic = Some("zipf:s=1.2,hot_racks=4+scale_demand=0.5".to_string());
         let back = ShardFragment::from_json(&frag.to_json()).unwrap();
         assert_eq!(frag, back);
         // Timing-free fragments (older builds) still parse; a fragment whose
@@ -1060,7 +1145,12 @@ mod tests {
 
     #[test]
     fn timing_file_records_and_round_trips() {
-        let mut tf = TimingFile::new(Scale::Tiny, 7, Some("fattree:k=4".to_string()));
+        let mut tf = TimingFile::new(
+            Scale::Tiny,
+            7,
+            Some("fattree:k=4".to_string()),
+            Some("stride:k=3".to_string()),
+        );
         tf.record("fig9", vec![3, 1, 4]);
         tf.record("fig8", vec![2, 7]);
         tf.record("fig9", vec![5, 9, 2]);
@@ -1069,7 +1159,7 @@ mod tests {
         assert_eq!(tf.get("nope"), None);
         let back = TimingFile::from_json(&tf.to_json()).unwrap();
         assert_eq!(tf, back);
-        let no_topo = TimingFile::new(Scale::Laptop, u64::MAX, None);
+        let no_topo = TimingFile::new(Scale::Laptop, u64::MAX, None, None);
         assert_eq!(TimingFile::from_json(&no_topo.to_json()).unwrap(), no_topo);
         assert!(TimingFile::from_json("{}").is_err());
         assert!(TimingFile::from_json("not json").is_err());

@@ -41,13 +41,24 @@ use jellyfish_topology::properties::{
 };
 use jellyfish_topology::spec::ScenarioTransform;
 use jellyfish_topology::{TopoSpec, Topology};
-use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use jellyfish_traffic::{ServerMap, TrafficMatrix, TrafficSpec};
 use rayon::prelude::*;
 use std::sync::Arc;
 
 /// `ThroughputOptions` shared by the "do not stop at full" sweeps.
 pub(crate) fn sweep_opts() -> ThroughputOptions {
     ThroughputOptions { stop_at_full: false, epsilon: 0.06, ..Default::default() }
+}
+
+/// The paper's random-permutation workload, built through the traffic-spec
+/// registry. The `permutation` generator delegates to the eager constructor,
+/// so this is byte-identical to `TrafficMatrix::random_permutation` — the
+/// registry is the single construction path (`crates/bench/tests/`
+/// `golden_experiments.rs` enforces the bytes).
+pub(crate) fn permutation_matrix(servers: &ServerMap, seed: u64) -> TrafficMatrix {
+    TrafficSpec::permutation()
+        .matrix(servers, seed)
+        .expect("the permutation workload builds on any server map")
 }
 
 /// Spec for the paper's homogeneous Jellyfish `RRG(switches, ports, degree)`.
@@ -327,7 +338,7 @@ impl Experiment for Fig3 {
                 .unwrap_or_else(|e| panic!("fig3: cannot build '{spec}': {e}"));
             ds.push_meta(format!("topo:{label} #{i}"), spec.to_string());
             let servers = ServerMap::new(&snap.topology);
-            let tm = TrafficMatrix::random_permutation(&servers, seed ^ i as u64);
+            let tm = permutation_matrix(&servers, seed ^ i as u64);
             let r = normalized_throughput(&snap.topology, &servers, &tm, opts);
             ds.push_point(label, i as f64, r.normalized);
         }
@@ -380,7 +391,7 @@ impl Experiment for Fig4 {
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, seed, &mut ds);
         let servers = ServerMap::new(&snap.topology);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0xF4);
+        let tm = permutation_matrix(&servers, seed ^ 0xF4);
         let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
         ds.push_cell(&item.label, r.normalized);
         ItemResult::new(item.index, ds)
@@ -496,7 +507,7 @@ impl Experiment for Fig6 {
         let stage = &stages[item.index];
         let opts = sweep_opts();
         let servers = ServerMap::new(stage);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ stage.num_switches() as u64);
+        let tm = permutation_matrix(&servers, seed ^ stage.num_switches() as u64);
         let r = normalized_throughput(stage, &servers, &tm, opts);
 
         let fresh_spec = jellyfish_spec(stage.num_switches(), 12, 8);
@@ -504,8 +515,7 @@ impl Experiment for Fig6 {
             .build(seed ^ 0xABC ^ stage.num_switches() as u64)
             .expect("fresh jellyfish spec builds");
         let servers_f = ServerMap::new(&fresh);
-        let tm_f =
-            TrafficMatrix::random_permutation(&servers_f, seed ^ stage.num_switches() as u64);
+        let tm_f = permutation_matrix(&servers_f, seed ^ stage.num_switches() as u64);
         let rf = normalized_throughput(&fresh, &servers_f, &tm_f, opts);
         let mut ds = Dataset::new();
         ds.push_meta(format!("topo:from-scratch stage {}", item.index), fresh_spec.to_string());
@@ -639,7 +649,7 @@ impl Experiment for Fig8 {
             format!("Fat-tree ({} Servers)", snap.topology.total_servers())
         };
         let servers = ServerMap::new(&snap.topology);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x8);
+        let tm = permutation_matrix(&servers, seed ^ 0x8);
         let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
         ds.push_point(&label, f, r.normalized);
         ItemResult::new(item.index, ds)
@@ -677,7 +687,7 @@ impl Experiment for Fig9 {
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, seed, &mut ds);
         let servers = ServerMap::new(&snap.topology);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x9);
+        let tm = permutation_matrix(&servers, seed ^ 0x9);
         let pairs: Vec<(usize, usize)> =
             tm.switch_demands(&servers).into_iter().map(|(s, d, _)| (s, d)).collect();
         let scheme = match item.index {
@@ -802,7 +812,7 @@ impl Experiment for Fig10 {
         let snap = resolve(ctx, item, seed ^ i as u64, &mut ds);
         let topo = &snap.topology;
         let servers = ServerMap::new(topo);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ (i as u64) << 4);
+        let tm = permutation_matrix(&servers, seed ^ (i as u64) << 4);
         let optimal = normalized_throughput(topo, &servers, &tm, sweep_opts()).normalized;
         let conns = build_connections(
             &snap.csr,
@@ -853,7 +863,7 @@ fn fluid_throughput(
     seed: u64,
 ) -> f64 {
     let servers = ServerMap::new(topo);
-    let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x11);
+    let tm = permutation_matrix(&servers, seed ^ 0x11);
     let conns = build_connections(&topo.csr(), &servers, &tm, path_policy, transport, seed);
     max_min_fair_allocation(&conns).mean_throughput()
 }
@@ -1002,7 +1012,7 @@ impl Experiment for Fig13 {
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, seed, &mut ds);
         let servers = ServerMap::new(&snap.topology);
-        let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x13);
+        let tm = permutation_matrix(&servers, seed ^ 0x13);
         let conns = build_connections(
             &snap.csr,
             &servers,
@@ -1066,7 +1076,7 @@ impl Experiment for Fig14 {
         let base = resolve(ctx, item, seed, &mut ds);
         let base = &base.topology;
         let base_servers = ServerMap::new(base);
-        let base_tm = TrafficMatrix::random_permutation(&base_servers, seed ^ 0x14);
+        let base_tm = permutation_matrix(&base_servers, seed ^ 0x14);
         let base_tp = normalized_throughput(base, &base_servers, &base_tm, opts).normalized;
         let points = fractions
             .par_iter()
@@ -1081,7 +1091,7 @@ impl Experiment for Fig14 {
                 )
                 .expect("two-layer construction succeeds");
                 let servers = ServerMap::new(&topo);
-                let tm = TrafficMatrix::random_permutation(&servers, seed ^ 0x14);
+                let tm = permutation_matrix(&servers, seed ^ 0x14);
                 let tp = normalized_throughput(&topo, &servers, &tm, opts).normalized;
                 (f, if base_tp > 0.0 { tp / base_tp } else { 0.0 })
             })

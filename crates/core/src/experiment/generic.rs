@@ -17,8 +17,17 @@ use jellyfish_flow::throughput::normalized_throughput;
 use jellyfish_topology::properties::path_length_stats;
 use jellyfish_topology::spec::ScenarioTransform;
 use jellyfish_topology::TopoSpec;
-use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use jellyfish_traffic::ServerMap;
 use std::sync::Arc;
+
+/// Records the `--traffic` override in the dataset's provenance metadata.
+/// Only overridden runs get the `traffic` key, so default-workload outputs
+/// stay byte-identical to builds that predate the override.
+pub(crate) fn record_traffic_meta(ctx: &RunCtx, ds: &mut Dataset) {
+    if let Some(spec) = ctx.traffic() {
+        ds.push_meta("traffic", spec.to_string());
+    }
+}
 
 /// The default topology axis: Jellyfish instances of increasing size at the
 /// run's scale. Replaced wholesale by the `--topo` override.
@@ -76,6 +85,10 @@ impl Experiment for ThroughputVsSize {
         true
     }
 
+    fn supports_traffic_override(&self) -> bool {
+        true
+    }
+
     fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
         axis_items(ctx)
     }
@@ -83,8 +96,9 @@ impl Experiment for ThroughputVsSize {
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, &mut ds);
+        record_traffic_meta(ctx, &mut ds);
         let servers = ServerMap::new(&snap.topology);
-        let tm = TrafficMatrix::random_permutation(&servers, ctx.seed ^ item.index as u64);
+        let tm = ctx.traffic_matrix(&servers, ctx.seed ^ item.index as u64);
         let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
         ds.push_point("Normalized throughput", snap.topology.total_servers() as f64, r.normalized);
         ItemResult::new(item.index, ds)
@@ -222,6 +236,10 @@ impl Experiment for FailureSweep {
         true
     }
 
+    fn supports_traffic_override(&self) -> bool {
+        true
+    }
+
     fn work_items(&self, ctx: &RunCtx) -> Vec<WorkItem> {
         let base = failure_base(ctx);
         failure_fractions(ctx.scale)
@@ -241,8 +259,9 @@ impl Experiment for FailureSweep {
         let f = failure_fractions(ctx.scale)[item.index];
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, &mut ds);
+        record_traffic_meta(ctx, &mut ds);
         let servers = ServerMap::new(&snap.topology);
-        let tm = TrafficMatrix::random_permutation(&servers, ctx.seed ^ 0xFA11);
+        let tm = ctx.traffic_matrix(&servers, ctx.seed ^ 0xFA11);
         let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
         ds.push_point("Normalized throughput", f, r.normalized);
         ItemResult::new(item.index, ds)

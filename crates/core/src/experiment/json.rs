@@ -124,6 +124,11 @@ pub(super) fn fragment_to_json(frag: &ShardFragment) -> String {
         Some(spec) => escape_into(&mut out, spec),
         None => out.push_str("null"),
     }
+    out.push_str(",\"traffic\":");
+    match &frag.traffic {
+        Some(spec) => escape_into(&mut out, spec),
+        None => out.push_str("null"),
+    }
     out.push_str(&format!(
         ",\"shard\":[{},{}],\"timings_us\":[",
         frag.shard.index, frag.shard.count
@@ -152,6 +157,11 @@ pub(super) fn timing_file_to_json(tf: &TimingFile) -> String {
     let mut out = String::new();
     out.push_str(&format!("{{\"scale\":\"{}\",\"seed\":{},\"topo\":", tf.scale, tf.seed));
     match &tf.topo {
+        Some(spec) => escape_into(&mut out, spec),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"traffic\":");
+    match &tf.traffic {
         Some(spec) => escape_into(&mut out, spec),
         None => out.push_str("null"),
     }
@@ -469,8 +479,13 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
     let experiment = v.get("experiment")?.as_str()?.to_string();
     let scale: Scale = v.get("scale")?.as_str()?.parse().map_err(|e| format!("{e}"))?;
     let seed = v.get("seed")?.as_u64()?;
-    // `topo` is optional so fragments written before it existed still parse.
+    // `topo` and `traffic` are optional so fragments written before they
+    // existed still parse.
     let topo = match v.get("topo") {
+        Ok(Value::Null) | Err(_) => None,
+        Ok(value) => Some(value.as_str()?.to_string()),
+    };
+    let traffic = match v.get("traffic") {
         Ok(Value::Null) | Err(_) => None,
         Ok(value) => Some(value.as_str()?.to_string()),
     };
@@ -499,7 +514,7 @@ pub(super) fn fragment_from_json(text: &str) -> Result<ShardFragment, String> {
             items.len()
         ));
     }
-    Ok(ShardFragment { experiment, scale, seed, topo, shard, timings_us, items })
+    Ok(ShardFragment { experiment, scale, seed, topo, traffic, shard, timings_us, items })
 }
 
 /// Parses [`timing_file_to_json`] output.
@@ -511,7 +526,11 @@ pub(super) fn timing_file_from_json(text: &str) -> Result<TimingFile, String> {
         Ok(Value::Null) | Err(_) => None,
         Ok(value) => Some(value.as_str()?.to_string()),
     };
-    let mut tf = TimingFile::new(scale, seed, topo);
+    let traffic = match v.get("traffic") {
+        Ok(Value::Null) | Err(_) => None,
+        Ok(value) => Some(value.as_str()?.to_string()),
+    };
+    let mut tf = TimingFile::new(scale, seed, topo, traffic);
     for entry in v.get("experiments")?.as_arr()? {
         let pair = entry.as_arr()?;
         if pair.len() != 2 {

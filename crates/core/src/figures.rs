@@ -26,7 +26,7 @@ use jellyfish_sim::engine::{SimConfig, Simulator};
 use jellyfish_sim::net::{LinkParams, Network};
 use jellyfish_sim::routing::{PathPolicy, TransportPolicy};
 use jellyfish_sim::workload::build_connections;
-use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use jellyfish_traffic::ServerMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -223,7 +223,7 @@ pub fn table1_cell(
 ) -> f64 {
     let servers = ServerMap::new(topo);
     let csr = topo.csr();
-    let tm = TrafficMatrix::random_permutation(&servers, seed);
+    let tm = catalog::permutation_matrix(&servers, seed);
     let conns = build_connections(&csr, &servers, &tm, path_policy, transport, seed);
     let net = Network::build(&csr, &servers, LinkParams::default());
     let config = SimConfig { duration, warmup: duration * 0.25, seed, ..Default::default() };

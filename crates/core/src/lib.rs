@@ -61,5 +61,5 @@ pub mod prelude {
     pub use jellyfish_sim::{PathPolicy, SimConfig, Simulator, TransportPolicy};
     pub use jellyfish_topology::fattree::FatTree;
     pub use jellyfish_topology::{JellyfishBuilder, Topology};
-    pub use jellyfish_traffic::{ServerMap, TrafficMatrix};
+    pub use jellyfish_traffic::{FlowStream, ServerMap, TrafficMatrix, TrafficSpec};
 }

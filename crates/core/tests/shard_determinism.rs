@@ -1,6 +1,6 @@
 //! Shard determinism: for every registered experiment at `Scale::Tiny` —
-//! and, for the topology-generic experiments, additionally under a `--topo`
-//! spec override — splitting the work items across N shards and merging the
+//! and, for the override-capable experiments, additionally under `--topo`
+//! and `--traffic` spec overrides — splitting the work items across N shards and merging the
 //! shard outputs reproduces the unsharded [`Dataset`] exactly — same
 //! in-memory value, same rendered TSV bytes — including when the fragments
 //! cross a process boundary as JSON (the `figures run --shard` /
@@ -11,6 +11,7 @@ use jellyfish::experiment::{
 };
 use jellyfish::figures::Scale;
 use jellyfish_topology::TopoSpec;
+use jellyfish_traffic::TrafficSpec;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -30,19 +31,32 @@ const TOPO_OVERRIDES: [(&str, &str); 6] = [
     ("latency_histogram", "fattree:k=4+impair=ge:0.05/0.5,jdist:exp,jitter_ms:3"),
 ];
 
+/// The workload axis: traffic-capable experiments also run under a
+/// `--traffic` override (one exercising the transform chain), so sharding is
+/// validated when the workload — and, for `throughput_vs_workload`, the work
+/// item list itself — is redirected by a spec.
+const TRAFFIC_OVERRIDES: [(&str, &str); 2] = [
+    ("throughput_vs_workload", "zipf:s=1.5,hot_racks=2+scale_demand=0.5"),
+    ("failure_sweep", "stride:k=3+epochs=2"),
+];
+
 struct Baseline {
     name: &'static str,
     topo: Option<&'static str>,
+    traffic: Option<&'static str>,
     items: Vec<ItemResult>,
     dataset: Dataset,
 }
 
-fn ctx_for(topo: Option<&str>) -> RunCtx {
-    let ctx = RunCtx::new(Scale::Tiny, SEED);
-    match topo {
-        Some(raw) => ctx.with_topo(raw.parse::<TopoSpec>().expect("override spec parses")),
-        None => ctx,
+fn ctx_for(topo: Option<&str>, traffic: Option<&str>) -> RunCtx {
+    let mut ctx = RunCtx::new(Scale::Tiny, SEED);
+    if let Some(raw) = topo {
+        ctx = ctx.with_topo(raw.parse::<TopoSpec>().expect("override spec parses"));
     }
+    if let Some(raw) = traffic {
+        ctx = ctx.with_traffic(raw.parse::<TrafficSpec>().expect("override traffic spec parses"));
+    }
+    ctx
 }
 
 /// Every experiment's full item results and merged dataset at `Scale::Tiny`
@@ -52,16 +66,17 @@ fn ctx_for(topo: Option<&str>) -> RunCtx {
 fn baselines() -> &'static [Baseline] {
     static CELL: OnceLock<Vec<Baseline>> = OnceLock::new();
     CELL.get_or_init(|| {
-        let mut cases: Vec<(&'static str, Option<&'static str>)> =
-            registry().iter().map(|exp| (exp.name(), None)).collect();
-        cases.extend(TOPO_OVERRIDES.iter().map(|&(name, spec)| (name, Some(spec))));
+        let mut cases: Vec<(&'static str, Option<&'static str>, Option<&'static str>)> =
+            registry().iter().map(|exp| (exp.name(), None, None)).collect();
+        cases.extend(TOPO_OVERRIDES.iter().map(|&(name, spec)| (name, Some(spec), None)));
+        cases.extend(TRAFFIC_OVERRIDES.iter().map(|&(name, spec)| (name, None, Some(spec))));
         cases
             .into_iter()
-            .map(|(name, topo)| {
+            .map(|(name, topo, traffic)| {
                 let exp = find(name);
-                let items = exp.run_items(&ctx_for(topo), None);
+                let items = exp.run_items(&ctx_for(topo, traffic), None);
                 let dataset = exp.merge(items.clone());
-                Baseline { name, topo, items, dataset }
+                Baseline { name, topo, traffic, items, dataset }
             })
             .collect()
     })
@@ -122,7 +137,8 @@ fn sharded_runs_roundtrip_through_fragment_json() {
         let mut parsed_items = Vec::new();
         for k in 1..=N {
             let shard = Shard::new(k, N).unwrap();
-            let timed = exp.run_selected_timed(&ctx_for(base.topo), &|i| shard.owns(i));
+            let timed =
+                exp.run_selected_timed(&ctx_for(base.topo, base.traffic), &|i| shard.owns(i));
             assert_eq!(
                 timed.items.len(),
                 timed.timings_us.len(),
@@ -135,6 +151,7 @@ fn sharded_runs_roundtrip_through_fragment_json() {
                 scale: Scale::Tiny,
                 seed: SEED,
                 topo: base.topo.map(str::to_string),
+                traffic: base.traffic.map(str::to_string),
                 shard,
                 timings_us: timed.timings_us,
                 items: timed.items,
@@ -161,12 +178,13 @@ fn sharded_runs_roundtrip_through_fragment_json() {
 /// set, and carry the spec on every item.
 #[test]
 fn work_items_are_dense_and_uniquely_owned() {
-    let mut cases: Vec<(&str, Option<&str>)> =
-        registry().iter().map(|exp| (exp.name(), None)).collect();
-    cases.extend(TOPO_OVERRIDES.iter().copied().map(|(n, s)| (n, Some(s))));
-    for (name, topo) in cases {
+    let mut cases: Vec<(&str, Option<&str>, Option<&str>)> =
+        registry().iter().map(|exp| (exp.name(), None, None)).collect();
+    cases.extend(TOPO_OVERRIDES.iter().copied().map(|(n, s)| (n, Some(s), None)));
+    cases.extend(TRAFFIC_OVERRIDES.iter().copied().map(|(n, s)| (n, None, Some(s))));
+    for (name, topo, traffic) in cases {
         let exp = find(name);
-        let items = exp.work_items(&ctx_for(topo));
+        let items = exp.work_items(&ctx_for(topo, traffic));
         assert!(!items.is_empty(), "{name}: no work items");
         for (i, item) in items.iter().enumerate() {
             assert_eq!(item.index, i, "{name}: non-dense item indices");

@@ -9,8 +9,8 @@
 
 use crate::mcf::{max_concurrent_flow, max_concurrent_flow_on_paths, Commodity, McfOptions};
 use jellyfish_routing::yen::k_shortest_paths;
-use jellyfish_topology::Topology;
-use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use jellyfish_topology::{NodeId, Topology};
+use jellyfish_traffic::{FlowStream, ServerMap, TrafficMatrix, TrafficSpec};
 use rayon::prelude::*;
 
 /// How the admissible paths are chosen for the throughput computation.
@@ -72,7 +72,28 @@ pub fn normalized_throughput(
     tm: &TrafficMatrix,
     opts: ThroughputOptions,
 ) -> ThroughputResult {
-    let demands = tm.switch_demands(servers);
+    throughput_from_demands(topo, tm.switch_demands(servers), opts)
+}
+
+/// Computes the normalized throughput of `topo` under a lazy workload
+/// stream. The stream is aggregated to switch demands as it is consumed, so
+/// peak memory is the switch-pair aggregation state, never the flow count —
+/// this is the streaming entry point for spec-built workloads.
+pub fn normalized_throughput_stream(
+    topo: &Topology,
+    servers: &ServerMap,
+    stream: FlowStream,
+    opts: ThroughputOptions,
+) -> ThroughputResult {
+    throughput_from_demands(topo, stream.switch_demands(servers), opts)
+}
+
+/// The shared solver core: switch-level demands in, throughput result out.
+fn throughput_from_demands(
+    topo: &Topology,
+    demands: Vec<(NodeId, NodeId, f64)>,
+    opts: ThroughputOptions,
+) -> ThroughputResult {
     let commodities: Vec<Commodity> =
         demands.iter().map(|&(s, d, demand)| Commodity { src: s, dst: d, demand }).collect();
     if commodities.is_empty() {
@@ -126,9 +147,14 @@ pub fn permutation_throughput_stats(
     seed: u64,
 ) -> (f64, f64, f64) {
     let servers = ServerMap::new(topo);
+    let spec = TrafficSpec::permutation();
     let mut values = Vec::with_capacity(runs.max(1));
     for i in 0..runs.max(1) {
-        let tm = TrafficMatrix::random_permutation(&servers, seed.wrapping_add(i as u64));
+        // Spec-driven but byte-identical to the eager constructor: the
+        // permutation generator delegates to it, seed for seed.
+        let tm = spec
+            .matrix(&servers, seed.wrapping_add(i as u64))
+            .expect("the permutation workload builds on any server map");
         let result = normalized_throughput(topo, &servers, &tm, opts);
         values.push(result.normalized);
     }
@@ -207,6 +233,18 @@ mod tests {
             ksp.normalized,
             optimal.normalized
         );
+    }
+
+    #[test]
+    fn stream_and_matrix_paths_agree_exactly() {
+        let topo = JellyfishBuilder::new(12, 8, 5).seed(2).build().unwrap();
+        let servers = ServerMap::new(&topo);
+        let tm = TrafficMatrix::random_permutation(&servers, 9);
+        let opts = ThroughputOptions { stop_at_full: false, ..Default::default() };
+        let eager = normalized_throughput(&topo, &servers, &tm, opts);
+        let streamed = normalized_throughput_stream(&topo, &servers, tm.into_stream(), opts);
+        assert_eq!(eager.lambda.to_bits(), streamed.lambda.to_bits());
+        assert_eq!(eager.commodities, streamed.commodities);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::net::SimNode;
 use crate::routing::{assign_subflow_paths, PathPolicy, TransportPolicy};
 use jellyfish_topology::CsrGraph;
-use jellyfish_traffic::{ServerMap, TrafficMatrix};
+use jellyfish_traffic::{FlowStream, ServerMap, TrafficMatrix};
 use rayon::prelude::*;
 
 /// One simulated connection (one traffic-matrix entry).
@@ -48,10 +48,27 @@ pub fn build_connections(
     transport: TransportPolicy,
     seed: u64,
 ) -> Vec<Connection> {
+    build_connections_stream(csr, servers, tm.stream(), path_policy, transport, seed)
+}
+
+/// Stream-accepting variant of [`build_connections`]: the flows are drawn
+/// from a lazy [`FlowStream`] (spec-built workloads) instead of an eager
+/// matrix. Per-flow seeds are derived from the flow's position in the
+/// stream, so an eager matrix and its stream produce identical connections.
+/// Connections are materialized (the simulator needs them all), so this is
+/// inherently O(flows) — the streaming win is not copying the flow list
+/// twice.
+pub fn build_connections_stream(
+    csr: &CsrGraph,
+    servers: &ServerMap,
+    flows: FlowStream,
+    path_policy: PathPolicy,
+    transport: TransportPolicy,
+    seed: u64,
+) -> Vec<Connection> {
     let num_switches = csr.num_nodes();
     let host_node = |server: usize| num_switches + server;
-    let flows: Vec<(usize, jellyfish_traffic::Flow)> =
-        tm.flows().iter().copied().enumerate().collect();
+    let flows: Vec<(usize, jellyfish_traffic::Flow)> = flows.enumerate().collect();
     flows
         .into_par_iter()
         .map(|(idx, flow)| {

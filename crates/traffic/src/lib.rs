@@ -24,6 +24,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod spec;
+pub mod stream;
+
+pub use spec::{
+    find_generator, generators, transform_grammar, Epoch, TrafficGenerator, TrafficSpec,
+    TrafficSpecError, TrafficTransform,
+};
+pub use stream::FlowStream;
+
 use jellyfish_topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -55,9 +64,31 @@ impl ServerMap {
         ServerMap { switch_of, first_server }
     }
 
+    /// A synthetic uniform map: `num_switches` switches hosting
+    /// `servers_per_switch` servers each, with no topology behind it. Used
+    /// by tests and benchmarks that exercise workload generation at scales
+    /// where building a full topology would dominate the cost.
+    pub fn uniform(num_switches: usize, servers_per_switch: usize) -> Self {
+        let mut switch_of = Vec::with_capacity(num_switches * servers_per_switch);
+        let mut first_server = Vec::with_capacity(num_switches + 1);
+        for i in 0..num_switches {
+            first_server.push(switch_of.len());
+            for _ in 0..servers_per_switch {
+                switch_of.push(i);
+            }
+        }
+        first_server.push(switch_of.len());
+        ServerMap { switch_of, first_server }
+    }
+
     /// Total number of servers.
     pub fn num_servers(&self) -> usize {
         self.switch_of.len()
+    }
+
+    /// Number of switches in the map (including any hosting no servers).
+    pub fn num_switches(&self) -> usize {
+        self.first_server.len() - 1
     }
 
     /// The switch hosting server `s`.
@@ -208,20 +239,19 @@ impl TrafficMatrix {
     /// servers on the same switch are excluded (they never cross the
     /// interconnect).
     pub fn switch_demands(&self, servers: &ServerMap) -> Vec<(NodeId, NodeId, f64)> {
-        use std::collections::BTreeMap;
-        // A BTreeMap keeps the aggregation deterministic end to end: the
-        // per-pair accumulation order is the (fixed) flow order, and the
-        // output order is ascending (src, dst) by construction — no sort,
-        // no hash-order dependence (detlint D01).
-        let mut agg: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
-        for f in &self.flows {
-            let s = servers.switch_of(f.src);
-            let d = servers.switch_of(f.dst);
-            if s != d {
-                *agg.entry((s, d)).or_insert(0.0) += f.demand;
-            }
-        }
-        agg.into_iter().map(|((s, d), v)| (s, d, v)).collect()
+        aggregate_switch_demands(self.flows.iter().copied(), servers)
+    }
+
+    /// A borrowing stream over this matrix's flows (the flows are cloned
+    /// lazily as the stream is consumed). Lets stream-based consumers accept
+    /// an eager matrix without taking ownership.
+    pub fn stream(&self) -> FlowStream {
+        FlowStream::from_flows(self.name.clone(), self.num_servers, self.flows.clone())
+    }
+
+    /// Converts this matrix into a stream over its flows without copying.
+    pub fn into_stream(self) -> FlowStream {
+        FlowStream::from_flows(self.name, self.num_servers, self.flows)
     }
 
     /// Per-server egress load (sum of demands sent by each server).
@@ -241,6 +271,33 @@ impl TrafficMatrix {
         }
         load
     }
+}
+
+/// Aggregates server-level flows into switch-level demands: one
+/// `(src_switch, dst_switch, demand)` entry per switch pair with non-zero
+/// demand, ascending by `(src, dst)`. Flows between servers on the same
+/// switch are excluded (they never cross the interconnect). Shared by the
+/// eager [`TrafficMatrix::switch_demands`] and the lazy
+/// [`FlowStream::switch_demands`], so peak memory is the map of switch
+/// pairs, not the flow count.
+pub(crate) fn aggregate_switch_demands(
+    flows: impl Iterator<Item = Flow>,
+    servers: &ServerMap,
+) -> Vec<(NodeId, NodeId, f64)> {
+    use std::collections::BTreeMap;
+    // A BTreeMap keeps the aggregation deterministic end to end: the
+    // per-pair accumulation order is the (fixed) flow order, and the
+    // output order is ascending (src, dst) by construction — no sort,
+    // no hash-order dependence (detlint D01).
+    let mut agg: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+    for f in flows {
+        let s = servers.switch_of(f.src);
+        let d = servers.switch_of(f.dst);
+        if s != d {
+            *agg.entry((s, d)).or_insert(0.0) += f.demand;
+        }
+    }
+    agg.into_iter().map(|((s, d), v)| (s, d, v)).collect()
 }
 
 #[cfg(test)]
