@@ -3,7 +3,8 @@
 //! behind Figures 2(a)/2(b)/7, and the throughput figures 3, 4, 6, 8.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jellyfish::figures::{self, Scale};
+use jellyfish::experiment::{find, Dataset, RunCtx};
+use jellyfish::figures::Scale;
 use jellyfish_flow::bisection::{jellyfish_full_bisection_cost, min_bisection_heuristic};
 use jellyfish_flow::throughput::{normalized_throughput, ThroughputOptions};
 use jellyfish_topology::JellyfishBuilder;
@@ -45,26 +46,31 @@ fn bench_bisection(c: &mut Criterion) {
     group.finish();
 }
 
+/// Runs a registered experiment single-process, as `figures run` would.
+fn run_experiment(name: &str, scale: Scale, seed: u64) -> Dataset {
+    find(name).expect("experiment is registered").run(&RunCtx::new(scale, seed))
+}
+
 fn bench_capacity_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("capacity_figures");
     group.sample_size(10);
     group.bench_function("fig1c_tiny", |b| {
-        b.iter(|| figures::fig1c_path_length_cdf(Scale::Tiny, 1));
+        b.iter(|| run_experiment("fig1c", Scale::Tiny, 1));
     });
     group.bench_function("fig2a_bounds", |b| {
-        b.iter(figures::fig2a_bisection_vs_servers);
+        b.iter(|| run_experiment("fig2a", Scale::Laptop, 0));
     });
     group.bench_function("fig4_swdc_tiny", |b| {
-        b.iter(|| figures::fig4_swdc_comparison(Scale::Tiny, 1));
+        b.iter(|| run_experiment("fig4", Scale::Tiny, 1));
     });
     group.bench_function("fig6_incremental_tiny", |b| {
-        b.iter(|| figures::fig6_incremental_vs_scratch(Scale::Tiny, 1));
+        b.iter(|| run_experiment("fig6", Scale::Tiny, 1));
     });
     group.bench_function("fig7_legup_tiny", |b| {
-        b.iter(|| figures::fig7_legup_comparison(Scale::Tiny, 1));
+        b.iter(|| run_experiment("fig7", Scale::Tiny, 1));
     });
     group.bench_function("fig8_resilience_tiny", |b| {
-        b.iter(|| figures::fig8_failure_resilience(Scale::Tiny, 1));
+        b.iter(|| run_experiment("fig8", Scale::Tiny, 1));
     });
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! `figures bench` — the tracked hot-kernel benchmark trajectory.
 //!
 //! Runs each rewritten kernel next to its pre-rewrite scalar baseline at a
-//! fixed per-scale instance size and writes one JSON report (`BENCH_7.json`
+//! fixed per-scale instance size and writes one JSON report (`BENCH_10.json`
 //! by default) with a record per kernel:
 //! `{"kernel", "n", "ns_per_iter", "speedup_vs_scalar"}`. `ns_per_iter` is
 //! the optimized path's wall-clock per iteration; `speedup_vs_scalar` is the
@@ -11,10 +11,13 @@
 //! report as an artifact.
 
 use jellyfish::figures::Scale;
+use jellyfish::service::{ChurnEvent, Session};
 use jellyfish_flow::bisection::{min_bisection_heuristic, min_bisection_heuristic_reference};
 use jellyfish_flow::kernels as flow_kernels;
+use jellyfish_routing::path_table::RoutingScheme;
 use jellyfish_routing::shortest::{all_pairs_distances_reference, all_pairs_distances_serial};
 use jellyfish_topology::kernels as topo_kernels;
+use jellyfish_topology::spec::ScenarioTransform;
 use jellyfish_topology::{CsrGraph, JellyfishBuilder, Topology};
 use jellyfish_traffic::{ServerMap, TrafficSpec};
 use std::time::{Duration, Instant};
@@ -209,6 +212,93 @@ pub fn run_suite(scale: Scale, seed: u64) -> Vec<BenchRecord> {
             },
         ));
     }
+
+    // 8. Live-session distance maintenance: one fail-link + restore churn
+    //    round-trip on a resident session. Optimized = incremental
+    //    all-pairs repair limited to affected sources; scalar = the oracle
+    //    session's full BFS rebuild after every event. Identical matrices
+    //    either way (the churn-equivalence proptest holds them to it).
+    let (fa, fb) = bfs_csr.edges().next().expect("bench topology has links");
+    let mut dist_inc = Session::new(bfs_topo.clone(), seed);
+    let mut dist_full = Session::oracle(bfs_topo.clone(), seed);
+    dist_inc.distances();
+    dist_full.distances();
+    records.push(record(
+        "serve_dist_repair",
+        bn,
+        || {
+            dist_inc.apply(&ChurnEvent::FailLink { a: fa, b: fb }).expect("link churn applies");
+            dist_inc.apply(&ChurnEvent::Restore).expect("restore applies");
+        },
+        || {
+            dist_full.apply(&ChurnEvent::FailLink { a: fa, b: fb }).expect("link churn applies");
+            dist_full.apply(&ChurnEvent::Restore).expect("restore applies");
+        },
+    ));
+
+    // 9. Live-session path maintenance: the same churn round-trip followed
+    //    by ECMP path queries for a fixed pair set. Optimized = the exact
+    //    invalidation keeps provably-unaffected cache entries; scalar = the
+    //    oracle session drops the cache on every event and re-enumerates.
+    let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i % bn, (i + bn / 2) % bn)).collect();
+    let mut path_inc = Session::new(bfs_topo.clone(), seed);
+    let mut path_full = Session::oracle(bfs_topo.clone(), seed);
+    for &(s, d) in &pairs {
+        path_inc.paths_for(RoutingScheme::ecmp8(), s, d);
+        path_full.paths_for(RoutingScheme::ecmp8(), s, d);
+    }
+    records.push(record(
+        "serve_path_repair",
+        bn,
+        || {
+            path_inc.apply(&ChurnEvent::FailLink { a: fa, b: fb }).expect("link churn applies");
+            path_inc.apply(&ChurnEvent::Restore).expect("restore applies");
+            for &(s, d) in &pairs {
+                std::hint::black_box(path_inc.paths_for(RoutingScheme::ecmp8(), s, d));
+            }
+        },
+        || {
+            path_full.apply(&ChurnEvent::FailLink { a: fa, b: fb }).expect("link churn applies");
+            path_full.apply(&ChurnEvent::Restore).expect("restore applies");
+            for &(s, d) in &pairs {
+                std::hint::black_box(path_full.paths_for(RoutingScheme::ecmp8(), s, d));
+            }
+        },
+    ));
+
+    // 10. The failure_sweep inner loop in service mode: a resident session
+    //    replays the fraction axis as restore + fail_links churn on the
+    //    topology it already holds, against the pre-port shape that rebuilt
+    //    each item's topology from its spec (the cost every cold shard
+    //    paid). The flow solve downstream is identical in both, so only the
+    //    topology-preparation loop is timed.
+    let sweep_fractions = [0.0, 0.10, 0.20];
+    let mut sweep_session = Session::new(bfs_topo.clone(), seed);
+    records.push(record(
+        "serve_failure_sweep",
+        bn,
+        || {
+            for &f in &sweep_fractions {
+                sweep_session.apply(&ChurnEvent::Restore).expect("restore applies");
+                sweep_session
+                    .apply(&ChurnEvent::FailLinks { fraction: f })
+                    .expect("fraction churn applies");
+                std::hint::black_box(sweep_session.csr());
+            }
+        },
+        || {
+            for &f in &sweep_fractions {
+                let mut topo: Topology = JellyfishBuilder::new(bn, bp, bd)
+                    .seed(seed)
+                    .build()
+                    .expect("bench topology builds");
+                ScenarioTransform::FailLinks(f)
+                    .apply(&mut topo, seed)
+                    .expect("fraction transform applies");
+                std::hint::black_box(topo.csr());
+            }
+        },
+    ));
 
     records
 }

@@ -17,6 +17,8 @@
 //!                              [--topo <spec>] [--traffic <spec>] [--json]
 //! figures merge <file...> [--json]
 //! figures bench [--scale tiny|laptop|paper] [--seed N] [--out <file>]
+//! figures serve [--topo <spec>] [--seed N] [--traffic <spec>] [--oracle]
+//!               [--tcp ADDR]
 //! figures lint [--json] [paths...]
 //! figures topo list
 //! figures topo show <spec>
@@ -48,6 +50,13 @@
 //! and writes the run's own `timings.json` — see the "Distributed runs"
 //! section of EXPERIMENTS.md.
 //!
+//! `figures serve` is the live-topology daemon (see SERVE.md): it holds a
+//! resident topology, applies churn events and answers dist/path/
+//! throughput/bisection queries over line-delimited JSON on stdin/stdout
+//! (or a TCP socket with `--tcp`), repairing routing state incrementally;
+//! `--oracle` forces the full-rebuild reference mode, whose replies are
+//! byte-identical.
+//!
 //! `figures lint` runs the workspace determinism linter (the `detlint`
 //! crate — see LINTS.md) over the given paths (default `crates/`): static
 //! enforcement of the byte-identical-output contract behind every
@@ -65,10 +74,15 @@
 //!
 //! Unknown experiment names, scales, seeds, specs and shard specs are hard
 //! errors (exit code 2) listing the valid choices — never silent fallbacks.
+//! Every failure is a typed [`CliError`] so all subcommands report them
+//! identically.
 
 use jellyfish::experiment::{self, Experiment, RunCtx, Shard, ShardFragment, TimingFile, WorkPlan};
 use jellyfish::figures::Scale;
+use jellyfish::service::wire::{self, LineOutcome};
+use jellyfish::service::Session;
 use jellyfish_bench::bench_report;
+use jellyfish_bench::cli::CliError;
 use jellyfish_bench::launch::{self, LaunchConfig};
 use jellyfish_bench::merge::{experiment_names, merge_fragments, render_merged};
 use jellyfish_bench::{render_run, render_run_json};
@@ -76,6 +90,7 @@ use jellyfish_sim::net::LinkParams;
 use jellyfish_topology::properties::path_length_stats;
 use jellyfish_topology::spec::{self, TopoSpec};
 use jellyfish_traffic::{ServerMap, TrafficSpec};
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -90,6 +105,9 @@ commands:
   bench                     time the hot kernels against their scalar
                             baselines and write a BENCH_*.json report
                             (see PERF.md)
+  serve                     hold a resident topology, apply churn events and
+                            answer dist/path/throughput/bisection queries
+                            over line-delimited JSON (see SERVE.md)
   lint [paths...]           run the determinism linter (detlint) over the
                             given files/directories (default: crates/);
                             see LINTS.md for the rules and pragma grammar
@@ -143,15 +161,22 @@ bench options:
   --scale tiny|laptop|paper   instance-size preset (default: laptop; the
                               laptop sizes are the tracked targets)
   --seed N                    topology seed (default: 2012)
-  --out <file>                report path (default: BENCH_9.json)
+  --out <file>                report path (default: BENCH_10.json)
+
+serve options:
+  --topo <spec>               resident topology (default:
+                              jellyfish:switches=20,ports=8,degree=5)
+  --seed N                    session seed for churn sampling and the
+                              default traffic matrix (default: 2012)
+  --traffic <spec>            workload for throughput queries (default: a
+                              seeded random permutation)
+  --oracle                    full-rebuild reference mode (byte-identical
+                              replies, no incremental repair)
+  --tcp ADDR                  listen on a TCP address (e.g. 127.0.0.1:9090)
+                              instead of stdin/stdout
 
 topo build options:
   --seed N                    build seed (default: 2012)";
-
-fn fail(message: &str) -> ExitCode {
-    eprintln!("figures: {message}");
-    ExitCode::from(2)
-}
 
 /// Parsed `run` options, every flag validated (no silent fallbacks).
 struct RunOptions {
@@ -185,11 +210,13 @@ impl RunOptions {
     }
 }
 
-fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, String> {
-    args.get(i + 1).map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> Result<&'a str, CliError> {
+    args.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Invalid(format!("{name} needs a value")))
 }
 
-fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+fn parse_run_options(args: &[String]) -> Result<RunOptions, CliError> {
     let mut opts = RunOptions {
         scale: Scale::Laptop,
         seed: 2012,
@@ -203,24 +230,30 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                opts.scale = flag_value(args, i, "--scale")?.parse().map_err(|e| format!("{e}"))?;
+                opts.scale = flag_value(args, i, "--scale")?
+                    .parse()
+                    .map_err(|e| CliError::Invalid(format!("{e}")))?;
                 i += 2;
             }
             "--seed" => {
                 let raw = flag_value(args, i, "--seed")?;
-                opts.seed = raw.parse().map_err(|_| {
-                    format!("unparsable --seed '{raw}': expected an unsigned integer")
-                })?;
+                opts.seed = parse_seed(raw)?;
                 i += 2;
             }
             "--topo" => {
                 let raw = flag_value(args, i, "--topo")?;
-                opts.topo = Some(raw.parse().map_err(|e| format!("unparsable --topo: {e}"))?);
+                opts.topo = Some(
+                    raw.parse()
+                        .map_err(|e| CliError::Invalid(format!("unparsable --topo: {e}")))?,
+                );
                 i += 2;
             }
             "--traffic" => {
                 let raw = flag_value(args, i, "--traffic")?;
-                opts.traffic = Some(raw.parse().map_err(|e| format!("unparsable --traffic: {e}"))?);
+                opts.traffic = Some(
+                    raw.parse()
+                        .map_err(|e| CliError::Invalid(format!("unparsable --traffic: {e}")))?,
+                );
                 i += 2;
             }
             "--shard" => {
@@ -235,25 +268,31 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.json = true;
                 i += 1;
             }
-            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+            other => return Err(CliError::Usage(format!("unknown option '{other}'"))),
         }
     }
     if opts.shard.is_some() && opts.json {
-        return Err("--shard output is always JSON; drop --json".to_string());
+        return Err(CliError::Invalid("--shard output is always JSON; drop --json".to_string()));
     }
     Ok(opts)
+}
+
+fn parse_seed(raw: &str) -> Result<u64, CliError> {
+    raw.parse().map_err(|_| {
+        CliError::Invalid(format!("unparsable --seed '{raw}': expected an unsigned integer"))
+    })
 }
 
 /// Loads a `--plan` timing file and checks it measured the same run
 /// configuration. An unreadable or unparsable file is a hard error (the flag
 /// was explicit); a file from a different `(scale, topo)` run is merely
 /// useless for balancing this one, so workers note it and stripe instead.
-fn load_plan(opts: &RunOptions) -> Result<Option<TimingFile>, String> {
+fn load_plan(opts: &RunOptions) -> Result<Option<TimingFile>, CliError> {
     let Some(path) = &opts.plan else { return Ok(None) };
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read --plan '{path}': {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Invalid(format!("cannot read --plan '{path}': {e}")))?;
     let tf = TimingFile::from_json(&text)
-        .map_err(|e| format!("--plan '{path}' is not a timing file: {e}"))?;
+        .map_err(|e| CliError::Invalid(format!("--plan '{path}' is not a timing file: {e}")))?;
     if tf.scale != opts.scale
         || tf.topo != opts.topo_string()
         || tf.traffic != opts.traffic_string()
@@ -273,7 +312,7 @@ fn load_plan(opts: &RunOptions) -> Result<Option<TimingFile>, String> {
     Ok(Some(tf))
 }
 
-fn resolve_experiments(name: &str) -> Result<Vec<&'static dyn Experiment>, String> {
+fn resolve_experiments(name: &str) -> Result<Vec<&'static dyn Experiment>, CliError> {
     if name == "all" {
         // fig12 reruns fig11's sweep byte-for-byte (the paper presents the
         // same data twice), so `all` evaluates it once under the fig11 name;
@@ -284,21 +323,21 @@ fn resolve_experiments(name: &str) -> Result<Vec<&'static dyn Experiment>, Strin
             .filter(|e| e.name() != "fig12")
             .collect());
     }
-    experiment::find(name).map(|e| vec![e]).ok_or_else(|| {
-        format!("unknown experiment '{name}': valid experiments are {}", experiment_names())
-    })
+    experiment::find(name)
+        .map(|e| vec![e])
+        .ok_or_else(|| CliError::unknown("experiment", name, experiment_names()))
 }
 
-fn cmd_list(args: &[String]) -> ExitCode {
+fn cmd_list(args: &[String]) -> Result<(), CliError> {
     if let Some(extra) = args.first() {
-        return fail(&format!("list takes no arguments (got '{extra}')\n\n{USAGE}"));
+        return Err(CliError::Usage(format!("list takes no arguments (got '{extra}')")));
     }
     for exp in experiment::registry() {
         let topo = if exp.supports_topo_override() { " [--topo]" } else { "" };
         let traffic = if exp.supports_traffic_override() { " [--traffic]" } else { "" };
         println!("{}\t{}{topo}{traffic}", exp.name(), exp.describe());
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// The names of the experiments that take `--traffic`, for error messages.
@@ -320,42 +359,38 @@ fn check_traffic_override(
     tspec: &TrafficSpec,
     experiments: &[&'static dyn Experiment],
     opts: &RunOptions,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     if let Some(fixed) = experiments.iter().find(|e| !e.supports_traffic_override()) {
-        return Err(format!(
+        return Err(CliError::Invalid(format!(
             "'{}' does not take --traffic (its workload is the experiment); \
              --traffic works with {}",
             fixed.name(),
             traffic_capable_names()
-        ));
+        )));
     }
     let ctx = opts.ctx();
     if let Some(exp) = experiments.first() {
         if let Some(item) = exp.work_items(&ctx).first() {
             let snap = ctx
                 .spec_snapshot(item.spec(), opts.seed)
-                .map_err(|e| format!("cannot build '{}': {e}", item.spec()))?;
+                .map_err(|e| CliError::Invalid(format!("cannot build '{}': {e}", item.spec())))?;
             let servers = ServerMap::new(&snap.topology);
-            tspec
-                .stream(&servers, opts.seed)
-                .map_err(|e| format!("--traffic '{tspec}' does not build: {e}"))?;
+            tspec.stream(&servers, opts.seed).map_err(|e| {
+                CliError::Invalid(format!("--traffic '{tspec}' does not build: {e}"))
+            })?;
         }
     }
     Ok(())
 }
 
-fn cmd_run(name: &str, args: &[String]) -> ExitCode {
-    let opts = match parse_run_options(args) {
-        Ok(opts) => opts,
-        Err(e) => return fail(&e),
-    };
+fn cmd_run(name: &str, args: &[String]) -> Result<(), CliError> {
+    let opts = parse_run_options(args)?;
     if opts.plan.is_some() && opts.shard.is_none() {
-        return fail("--plan only affects sharded runs; add --shard K/N (or use launch)");
+        return Err(CliError::Invalid(
+            "--plan only affects sharded runs; add --shard K/N (or use launch)".to_string(),
+        ));
     }
-    let experiments = match resolve_experiments(name) {
-        Ok(exps) => exps,
-        Err(e) => return fail(&e),
-    };
+    let experiments = resolve_experiments(name)?;
     if opts.topo.is_some() {
         if let Some(fixed) = experiments.iter().find(|e| !e.supports_topo_override()) {
             let generic: Vec<&str> = experiment::registry()
@@ -363,31 +398,25 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
                 .filter(|e| e.supports_topo_override())
                 .map(|e| e.name())
                 .collect();
-            return fail(&format!(
+            return Err(CliError::Invalid(format!(
                 "'{}' does not take --topo (its topology pairing is the experiment); \
                  --topo works with {}",
                 fixed.name(),
                 generic.join(", ")
-            ));
+            )));
         }
     }
     // A spec can parse but still be unbuildable (odd fat-tree k, infeasible
     // degree, config index out of range). Probe-build it once here so the
     // user gets a clean exit-2 error instead of a panic from a worker.
     if let Some(spec) = &opts.topo {
-        if let Err(e) = spec.build(opts.seed) {
-            return fail(&format!("--topo '{spec}' does not build: {e}"));
-        }
+        spec.build(opts.seed)
+            .map_err(|e| CliError::Invalid(format!("--topo '{spec}' does not build: {e}")))?;
     }
     if let Some(tspec) = &opts.traffic {
-        if let Err(e) = check_traffic_override(tspec, &experiments, &opts) {
-            return fail(&e);
-        }
+        check_traffic_override(tspec, &experiments, &opts)?;
     }
-    let plan = match load_plan(&opts) {
-        Ok(plan) => plan,
-        Err(e) => return fail(&e),
-    };
+    let plan = load_plan(&opts)?;
     for exp in experiments {
         let ctx = opts.ctx();
         match opts.shard {
@@ -435,105 +464,226 @@ fn cmd_run(name: &str, args: &[String]) -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_merge(args: &[String]) -> ExitCode {
+fn cmd_merge(args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     let mut files = Vec::new();
     for a in args {
         match a.as_str() {
             "--json" => json = true,
             flag if flag.starts_with("--") => {
-                return fail(&format!("unknown option '{flag}'\n\n{USAGE}"))
+                return Err(CliError::Usage(format!("unknown option '{flag}'")))
             }
             file => files.push(file.to_string()),
         }
     }
     if files.is_empty() {
-        return fail("merge needs at least one fragment file");
+        return Err(CliError::Invalid("merge needs at least one fragment file".to_string()));
     }
     let mut fragments: Vec<ShardFragment> = Vec::new();
     for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(text) => text,
-            Err(e) => return fail(&format!("cannot read '{file}': {e}")),
-        };
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Invalid(format!("cannot read '{file}': {e}")))?;
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            match ShardFragment::from_json(line) {
-                Ok(frag) => fragments.push(frag),
-                Err(e) => return fail(&format!("{file}:{}: {e}", lineno + 1)),
-            }
+            let frag = ShardFragment::from_json(line)
+                .map_err(|e| CliError::Invalid(format!("{file}:{}: {e}", lineno + 1)))?;
+            fragments.push(frag);
         }
     }
     // Validate every group before printing anything, then print per
     // experiment in canonical registry order — the same order `figures run
     // all` evaluates in (jellyfish_bench::merge shares this path with the
     // launcher).
-    match merge_fragments(&fragments) {
-        Ok(merged) => {
-            print!("{}", render_merged(&merged, json));
-            ExitCode::SUCCESS
-        }
-        Err(e) => fail(&e),
-    }
+    let merged = merge_fragments(&fragments)?;
+    print!("{}", render_merged(&merged, json));
+    Ok(())
 }
 
 // ----------------------------------------------------------------- bench
 
-fn cmd_bench(args: &[String]) -> ExitCode {
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let mut scale = Scale::Laptop;
     let mut seed = 2012u64;
-    let mut out = PathBuf::from("BENCH_9.json");
+    let mut out = PathBuf::from("BENCH_10.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = match flag_value(args, i, "--scale")
-                    .and_then(|raw| raw.parse().map_err(|e| format!("{e}")))
-                {
-                    Ok(scale) => scale,
-                    Err(e) => return fail(&e),
-                };
+                scale = flag_value(args, i, "--scale")?
+                    .parse()
+                    .map_err(|e| CliError::Invalid(format!("{e}")))?;
                 i += 2;
             }
             "--seed" => {
-                let raw = match flag_value(args, i, "--seed") {
-                    Ok(raw) => raw,
-                    Err(e) => return fail(&e),
-                };
-                seed = match raw.parse() {
-                    Ok(seed) => seed,
-                    Err(_) => {
-                        return fail(&format!(
-                            "unparsable --seed '{raw}': expected an unsigned integer"
-                        ))
-                    }
-                };
+                seed = parse_seed(flag_value(args, i, "--seed")?)?;
                 i += 2;
             }
             "--out" => {
-                out = match flag_value(args, i, "--out") {
-                    Ok(path) => PathBuf::from(path),
-                    Err(e) => return fail(&e),
-                };
+                out = PathBuf::from(flag_value(args, i, "--out")?);
                 i += 2;
             }
-            other => return fail(&format!("unknown option '{other}'\n\n{USAGE}")),
+            other => return Err(CliError::Usage(format!("unknown option '{other}'"))),
         }
     }
     eprintln!("figures: benching hot kernels at scale {scale} (seed {seed})...");
     let records = bench_report::run_suite(scale, seed);
     let report = bench_report::render_report(scale, seed, &records);
-    if let Err(e) = std::fs::write(&out, &report) {
-        return fail(&format!("cannot write '{}': {e}", out.display()));
-    }
+    std::fs::write(&out, &report)
+        .map_err(|e| CliError::Invalid(format!("cannot write '{}': {e}", out.display())))?;
     print!("{report}");
     eprintln!("figures: wrote {}", out.display());
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+// ------------------------------------------------------------------ serve
+
+/// Parsed `serve` options.
+struct ServeOptions {
+    topo: TopoSpec,
+    seed: u64,
+    traffic: Option<TrafficSpec>,
+    oracle: bool,
+    tcp: Option<String>,
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
+    let mut opts = ServeOptions {
+        topo: "jellyfish:switches=20,ports=8,degree=5"
+            .parse()
+            .expect("the default serve spec parses"),
+        seed: 2012,
+        traffic: None,
+        oracle: false,
+        tcp: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--topo" => {
+                let raw = flag_value(args, i, "--topo")?;
+                opts.topo = raw
+                    .parse()
+                    .map_err(|e| CliError::Invalid(format!("unparsable --topo: {e}")))?;
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = parse_seed(flag_value(args, i, "--seed")?)?;
+                i += 2;
+            }
+            "--traffic" => {
+                let raw = flag_value(args, i, "--traffic")?;
+                opts.traffic = Some(
+                    raw.parse()
+                        .map_err(|e| CliError::Invalid(format!("unparsable --traffic: {e}")))?,
+                );
+                i += 2;
+            }
+            "--oracle" => {
+                opts.oracle = true;
+                i += 1;
+            }
+            "--tcp" => {
+                opts.tcp = Some(flag_value(args, i, "--tcp")?.to_string());
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown option '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_serve_options(args)?;
+    let topo = opts
+        .topo
+        .build(opts.seed)
+        .map_err(|e| CliError::Invalid(format!("--topo '{}' does not build: {e}", opts.topo)))?;
+    if let Some(tspec) = &opts.traffic {
+        // Probe the workload once so a spec that cannot generate on this
+        // topology is an exit-2 error, not a panic mid-session.
+        tspec
+            .stream(&ServerMap::new(&topo), opts.seed)
+            .map_err(|e| CliError::Invalid(format!("--traffic '{tspec}' does not build: {e}")))?;
+    }
+    let mut session =
+        if opts.oracle { Session::oracle(topo, opts.seed) } else { Session::new(topo, opts.seed) }
+            .with_traffic(opts.traffic.clone());
+    eprintln!(
+        "figures: serving {} (seed {}, {} switches, {} links{})",
+        opts.topo,
+        opts.seed,
+        session.topology().num_switches(),
+        session.topology().num_links(),
+        if opts.oracle { ", oracle mode" } else { "" }
+    );
+    match &opts.tcp {
+        None => serve_stdio(&mut session),
+        Some(addr) => serve_tcp(&mut session, addr),
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> CliError {
+    CliError::Invalid(format!("{what}: {e}"))
+}
+
+/// Serves one session over stdin/stdout until EOF or a `shutdown` op.
+fn serve_stdio(session: &mut Session) -> Result<(), CliError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| io_err("cannot read request", e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = wire::handle_line(session, &line);
+        writeln!(out, "{}", outcome.text()).map_err(|e| io_err("cannot write reply", e))?;
+        out.flush().map_err(|e| io_err("cannot write reply", e))?;
+        if matches!(outcome, LineOutcome::Shutdown(_)) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves connections one at a time on `addr`; the resident session (and
+/// its incremental routing state) persists across connections. A client
+/// `shutdown` op stops the whole daemon.
+fn serve_tcp(session: &mut Session, addr: &str) -> Result<(), CliError> {
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| CliError::Invalid(format!("cannot listen on '{addr}': {e}")))?;
+    let local = listener.local_addr().map_err(|e| io_err("cannot resolve listen address", e))?;
+    eprintln!("figures: listening on {local}");
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| io_err("accept failed", e))?;
+        let mut writer = stream.try_clone().map_err(|e| io_err("cannot clone connection", e))?;
+        let reader = std::io::BufReader::new(stream);
+        let mut shutdown = false;
+        for line in reader.lines() {
+            // A dropped client is normal churn for a daemon, not an error.
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let outcome = wire::handle_line(session, &line);
+            if writeln!(writer, "{}", outcome.text()).and_then(|()| writer.flush()).is_err() {
+                break;
+            }
+            if matches!(outcome, LineOutcome::Shutdown(_)) {
+                shutdown = true;
+                break;
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------------ lint
@@ -541,7 +691,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 /// `figures lint [--json] [--list-rules] [paths...]` — the determinism
 /// linter, wired through the same `detlint` library the standalone binary
 /// uses (`cargo run -p detlint`). Exit 0 clean, 1 findings, 2 errors.
-fn cmd_lint(args: &[String]) -> ExitCode {
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for a in args {
@@ -551,10 +701,10 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                 for rule in detlint::rules::registry() {
                     println!("{}\t{}", rule.id, rule.summary);
                 }
-                return ExitCode::SUCCESS;
+                return Ok(());
             }
             flag if flag.starts_with("--") => {
-                return fail(&format!("unknown option '{flag}'\n\n{USAGE}"))
+                return Err(CliError::Usage(format!("unknown option '{flag}'")))
             }
             path => paths.push(PathBuf::from(path)),
         }
@@ -562,75 +712,60 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     if paths.is_empty() {
         paths.push(PathBuf::from("crates"));
     }
-    match detlint::lint_paths(&paths) {
-        Ok(report) => {
-            if json {
-                print!("{}", detlint::render_json(&report));
-            } else {
-                print!("{}", detlint::render_text(&report));
-            }
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
-        Err(e) => fail(&e),
+    let report = detlint::lint_paths(&paths)?;
+    if json {
+        print!("{}", detlint::render_json(&report));
+    } else {
+        print!("{}", detlint::render_text(&report));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::Findings)
     }
 }
 
 // ---------------------------------------------------------------- launch
 
-fn cmd_launch(args: &[String]) -> ExitCode {
+fn cmd_launch(args: &[String]) -> Result<(), CliError> {
     let Some(name) = args.first() else {
-        return fail(&format!(
+        return Err(CliError::Invalid(format!(
             "launch needs an experiment name: valid experiments are {}",
             experiment_names()
-        ));
+        )));
     };
-    let experiments = match resolve_experiments(name) {
-        Ok(exps) => exps,
-        Err(e) => return fail(&e),
-    };
-    let parsed = parse_launch_options(&args[1..]);
-    let (jobs, opts, hosts_file, run_dir, timeout) = match parsed {
-        Ok(parsed) => parsed,
-        Err(e) => return fail(&e),
-    };
+    let experiments = resolve_experiments(name)?;
+    let (jobs, opts, hosts_file, run_dir, timeout) = parse_launch_options(&args[1..])?;
     if opts.topo.is_some() {
         if let Some(fixed) = experiments.iter().find(|e| !e.supports_topo_override()) {
-            return fail(&format!(
+            return Err(CliError::Invalid(format!(
                 "'{}' does not take --topo (its topology pairing is the experiment)",
                 fixed.name()
-            ));
+            )));
         }
     }
     if let Some(spec) = &opts.topo {
-        if let Err(e) = spec.build(opts.seed) {
-            return fail(&format!("--topo '{spec}' does not build: {e}"));
-        }
+        spec.build(opts.seed)
+            .map_err(|e| CliError::Invalid(format!("--topo '{spec}' does not build: {e}")))?;
     }
     if let Some(tspec) = &opts.traffic {
-        if let Err(e) = check_traffic_override(tspec, &experiments, &opts) {
-            return fail(&e);
-        }
+        check_traffic_override(tspec, &experiments, &opts)?;
     }
     // Surface an unreadable/unparsable --plan here, before any worker spawns
     // (the workers re-validate it themselves).
-    if let Err(e) = load_plan(&opts) {
-        return fail(&e);
-    }
+    load_plan(&opts)?;
     let hosts = match &hosts_file {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let hosts = launch::parse_hosts_file(&text);
-                if hosts.is_empty() {
-                    return fail(&format!("--hosts '{path}' has no command templates"));
-                }
-                hosts
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Invalid(format!("cannot read --hosts '{path}': {e}")))?;
+            let hosts = launch::parse_hosts_file(&text);
+            if hosts.is_empty() {
+                return Err(CliError::Invalid(format!(
+                    "--hosts '{path}' has no command templates"
+                )));
             }
-            Err(e) => return fail(&format!("cannot read --hosts '{path}': {e}")),
-        },
+            hosts
+        }
         None => Vec::new(),
     };
     let run_dir = run_dir.unwrap_or_else(|| {
@@ -649,13 +784,9 @@ fn cmd_launch(args: &[String]) -> ExitCode {
         timeout,
         json: opts.json,
     };
-    match launch::launch(&cfg) {
-        Ok(rendered) => {
-            print!("{rendered}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => fail(&e),
-    }
+    let rendered = launch::launch(&cfg)?;
+    print!("{rendered}");
+    Ok(())
 }
 
 /// Parses `launch` flags: the shared run flags plus `--jobs`, `--hosts`,
@@ -664,7 +795,7 @@ fn cmd_launch(args: &[String]) -> ExitCode {
 #[allow(clippy::type_complexity)]
 fn parse_launch_options(
     args: &[String],
-) -> Result<(usize, RunOptions, Option<String>, Option<PathBuf>, Option<Duration>), String> {
+) -> Result<(usize, RunOptions, Option<String>, Option<PathBuf>, Option<Duration>), CliError> {
     let mut jobs: Option<usize> = None;
     let mut hosts_file: Option<String> = None;
     let mut run_dir: Option<PathBuf> = None;
@@ -676,10 +807,12 @@ fn parse_launch_options(
             "--jobs" => {
                 let raw = flag_value(args, i, "--jobs")?;
                 let n: usize = raw.parse().map_err(|_| {
-                    format!("unparsable --jobs '{raw}': expected a positive integer")
+                    CliError::Invalid(format!(
+                        "unparsable --jobs '{raw}': expected a positive integer"
+                    ))
                 })?;
                 if n == 0 {
-                    return Err("--jobs must be at least 1".to_string());
+                    return Err(CliError::Invalid("--jobs must be at least 1".to_string()));
                 }
                 jobs = Some(n);
                 i += 2;
@@ -687,10 +820,12 @@ fn parse_launch_options(
             "--timeout-secs" => {
                 let raw = flag_value(args, i, "--timeout-secs")?;
                 let n: u64 = raw.parse().map_err(|_| {
-                    format!("unparsable --timeout-secs '{raw}': expected a positive integer")
+                    CliError::Invalid(format!(
+                        "unparsable --timeout-secs '{raw}': expected a positive integer"
+                    ))
                 })?;
                 if n == 0 {
-                    return Err("--timeout-secs must be at least 1".to_string());
+                    return Err(CliError::Invalid("--timeout-secs must be at least 1".to_string()));
                 }
                 timeout = Some(Duration::from_secs(n));
                 i += 2;
@@ -704,9 +839,9 @@ fn parse_launch_options(
                 i += 2;
             }
             "--shard" => {
-                return Err(
-                    "launch assigns the shards itself; use --jobs N instead of --shard".to_string()
-                );
+                return Err(CliError::Invalid(
+                    "launch assigns the shards itself; use --jobs N instead of --shard".to_string(),
+                ));
             }
             "--scale" | "--seed" | "--topo" | "--traffic" | "--plan" => {
                 run_flags.push(args[i].clone());
@@ -717,11 +852,13 @@ fn parse_launch_options(
                 run_flags.push(args[i].clone());
                 i += 1;
             }
-            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+            other => return Err(CliError::Usage(format!("unknown option '{other}'"))),
         }
     }
     let Some(jobs) = jobs else {
-        return Err("launch needs --jobs N (the number of worker processes)".to_string());
+        return Err(CliError::Invalid(
+            "launch needs --jobs N (the number of worker processes)".to_string(),
+        ));
     };
     let opts = parse_run_options(&run_flags)?;
     Ok((jobs, opts, hosts_file, run_dir, timeout))
@@ -729,9 +866,9 @@ fn parse_launch_options(
 
 // ------------------------------------------------------------------ topo
 
-fn cmd_topo_list(args: &[String]) -> ExitCode {
+fn cmd_topo_list(args: &[String]) -> Result<(), CliError> {
     if let Some(extra) = args.first() {
-        return fail(&format!("topo list takes no arguments (got '{extra}')\n\n{USAGE}"));
+        return Err(CliError::Usage(format!("topo list takes no arguments (got '{extra}')")));
     }
     println!("generators:");
     for g in spec::generators() {
@@ -739,41 +876,34 @@ fn cmd_topo_list(args: &[String]) -> ExitCode {
     }
     println!("transforms (chain with '+'):");
     println!("  {}", spec::transform_grammar());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn parse_spec_arg(args: &[String]) -> Result<(TopoSpec, u64), String> {
+fn parse_spec_arg(args: &[String]) -> Result<(TopoSpec, u64), CliError> {
     let Some(raw) = args.first() else {
-        return Err("expected a topology spec (try `figures topo list`)".to_string());
+        return Err(CliError::Invalid(
+            "expected a topology spec (try `figures topo list`)".to_string(),
+        ));
     };
-    let spec: TopoSpec = raw.parse().map_err(|e| format!("{e}"))?;
+    let spec: TopoSpec = raw.parse().map_err(|e| CliError::Invalid(format!("{e}")))?;
     let mut seed = 2012u64;
     let rest = &args[1..];
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--seed" => {
-                let raw = flag_value(rest, i, "--seed")?;
-                seed = raw.parse().map_err(|_| {
-                    format!("unparsable --seed '{raw}': expected an unsigned integer")
-                })?;
+                seed = parse_seed(flag_value(rest, i, "--seed")?)?;
                 i += 2;
             }
-            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+            other => return Err(CliError::Usage(format!("unknown option '{other}'"))),
         }
     }
     Ok((spec, seed))
 }
 
-fn cmd_topo_show(args: &[String]) -> ExitCode {
-    let (spec, _) = match parse_spec_arg(args) {
-        Ok(parsed) => parsed,
-        Err(e) => return fail(&e),
-    };
-    let generator = match spec.resolve() {
-        Ok(g) => g,
-        Err(e) => return fail(&format!("{e}")),
-    };
+fn cmd_topo_show(args: &[String]) -> Result<(), CliError> {
+    let (spec, _) = parse_spec_arg(args)?;
+    let generator = spec.resolve().map_err(|e| CliError::Invalid(format!("{e}")))?;
     println!("spec\t{spec}");
     println!("generator\t{}\t{}", generator.name(), generator.describe());
     for (k, v) in spec.params().pairs() {
@@ -794,18 +924,12 @@ fn cmd_topo_show(args: &[String]) -> ExitCode {
     if let Some(cfg) = spec.impairment() {
         println!("impair\t{cfg}");
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_topo_build(args: &[String]) -> ExitCode {
-    let (spec, seed) = match parse_spec_arg(args) {
-        Ok(parsed) => parsed,
-        Err(e) => return fail(&e),
-    };
-    let topo = match spec.build(seed) {
-        Ok(topo) => topo,
-        Err(e) => return fail(&format!("{e}")),
-    };
+fn cmd_topo_build(args: &[String]) -> Result<(), CliError> {
+    let (spec, seed) = parse_spec_arg(args)?;
+    let topo = spec.build(seed).map_err(|e| CliError::Invalid(format!("{e}")))?;
     let stats = path_length_stats(topo.graph());
     println!("spec\t{spec}");
     println!("seed\t{seed}");
@@ -817,14 +941,14 @@ fn cmd_topo_build(args: &[String]) -> ExitCode {
     println!("connected\t{}", topo.graph().is_connected());
     println!("mean_path_length\t{}", stats.mean);
     println!("diameter\t{}", stats.diameter);
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 // --------------------------------------------------------------- traffic
 
-fn cmd_traffic_list(args: &[String]) -> ExitCode {
+fn cmd_traffic_list(args: &[String]) -> Result<(), CliError> {
     if let Some(extra) = args.first() {
-        return fail(&format!("traffic list takes no arguments (got '{extra}')\n\n{USAGE}"));
+        return Err(CliError::Usage(format!("traffic list takes no arguments (got '{extra}')")));
     }
     println!("generators:");
     for g in jellyfish_traffic::generators() {
@@ -832,23 +956,20 @@ fn cmd_traffic_list(args: &[String]) -> ExitCode {
     }
     println!("transforms (chain with '+'):");
     println!("  {}", jellyfish_traffic::transform_grammar());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_traffic_show(args: &[String]) -> ExitCode {
+fn cmd_traffic_show(args: &[String]) -> Result<(), CliError> {
     let Some(raw) = args.first() else {
-        return fail("expected a traffic spec (try `figures traffic list`)");
+        return Err(CliError::Invalid(
+            "expected a traffic spec (try `figures traffic list`)".to_string(),
+        ));
     };
     if let Some(extra) = args.get(1) {
-        return fail(&format!("traffic show takes one spec (got '{extra}')\n\n{USAGE}"));
+        return Err(CliError::Usage(format!("traffic show takes one spec (got '{extra}')")));
     }
-    let spec: TrafficSpec = match raw.parse() {
-        Ok(spec) => spec,
-        Err(e) => return fail(&format!("{e}")),
-    };
-    if let Err(e) = spec.validate() {
-        return fail(&format!("{e}"));
-    }
+    let spec: TrafficSpec = raw.parse().map_err(|e| CliError::Invalid(format!("{e}")))?;
+    spec.validate().map_err(|e| CliError::Invalid(format!("{e}")))?;
     let generator = jellyfish_traffic::find_generator(spec.generator())
         .expect("a parsed spec names a registered generator");
     println!("spec\t{spec}");
@@ -861,59 +982,75 @@ fn cmd_traffic_show(args: &[String]) -> ExitCode {
     }
     println!("epochs\t{}", spec.epochs());
     println!("demand_scale\t{}", spec.demand_scale());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_traffic(args: &[String]) -> ExitCode {
+fn cmd_traffic(args: &[String]) -> Result<(), CliError> {
     let Some(sub) = args.first() else {
-        return fail(&format!("traffic needs a subcommand: list, show\n\n{USAGE}"));
+        return Err(CliError::Usage("traffic needs a subcommand: list, show".to_string()));
     };
     match sub.as_str() {
         "list" => cmd_traffic_list(&args[1..]),
         "show" => cmd_traffic_show(&args[1..]),
-        other => fail(&format!("unknown traffic subcommand '{other}': valid are list, show")),
+        other => Err(CliError::unknown("traffic subcommand", other, "list, show")),
     }
 }
 
-fn cmd_topo(args: &[String]) -> ExitCode {
+fn cmd_topo(args: &[String]) -> Result<(), CliError> {
     let Some(sub) = args.first() else {
-        return fail(&format!("topo needs a subcommand: list, show, build\n\n{USAGE}"));
+        return Err(CliError::Usage("topo needs a subcommand: list, show, build".to_string()));
     };
     match sub.as_str() {
         "list" => cmd_topo_list(&args[1..]),
         "show" => cmd_topo_show(&args[1..]),
         "build" => cmd_topo_build(&args[1..]),
-        other => fail(&format!("unknown topo subcommand '{other}': valid are list, show, build")),
+        other => Err(CliError::unknown("topo subcommand", other, "list, show, build")),
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return fail(USAGE);
+        return Err(CliError::Usage("missing command".to_string()));
     };
     match command.as_str() {
         "list" => cmd_list(&args[1..]),
         "run" => {
             let Some(name) = args.get(1) else {
-                return fail(&format!(
+                return Err(CliError::Invalid(format!(
                     "run needs an experiment name: valid experiments are {}",
                     experiment_names()
-                ));
+                )));
             };
             cmd_run(name, &args[2..])
         }
         "launch" => cmd_launch(&args[1..]),
         "merge" => cmd_merge(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
         "traffic" => cmd_traffic(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            ExitCode::SUCCESS
+            Ok(())
         }
         // Shorthand: `figures fig3 --scale tiny` == `figures run fig3 ...`.
         name => cmd_run(name, &args[1..]),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.is_silent() {
+                eprintln!("figures: {e}");
+                if e.wants_usage() {
+                    eprintln!("\n{USAGE}");
+                }
+            }
+            ExitCode::from(e.exit_code())
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! Typed CLI failure for the `figures` binary.
+//!
+//! Every subcommand returns `Result<(), CliError>`; `main` is the single
+//! place that prints the error and picks the process exit code. The
+//! historical contract is kept: exit 2 for invalid invocations (unknown
+//! names listing the valid choices, bad flags, unbuildable specs), exit 1
+//! for lint findings, and usage text only when the invocation shape itself
+//! was wrong.
+
+/// Why a `figures` invocation failed, carrying the exit code and (for
+/// unknown names) the valid-choices listing every subcommand reports the
+/// same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An unknown name where a registry defines the choices: experiment,
+    /// subcommand, scale, scheme... Exit 2.
+    UnknownChoice {
+        /// What kind of name was expected (`experiment`, `topo subcommand`).
+        what: String,
+        /// What the user typed.
+        got: String,
+        /// Comma-separated valid choices.
+        valid: String,
+    },
+    /// Any other invalid invocation (bad flag value, unbuildable spec,
+    /// unreadable file). Exit 2.
+    Invalid(String),
+    /// An invocation whose shape is wrong enough to reprint the usage text
+    /// (unknown flag, missing subcommand). Exit 2.
+    Usage(String),
+    /// The command ran and found problems it already reported on stdout
+    /// (lint findings). Exit 1, nothing further to print.
+    Findings,
+}
+
+impl CliError {
+    /// Unknown-name constructor; every "valid choices" message goes through
+    /// here so they all read identically.
+    pub fn unknown(what: &str, got: &str, valid: impl Into<String>) -> Self {
+        CliError::UnknownChoice {
+            what: what.to_string(),
+            got: got.to_string(),
+            valid: valid.into(),
+        }
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Findings => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether `main` should append the usage text after the message.
+    pub fn wants_usage(&self) -> bool {
+        matches!(self, CliError::Usage(_))
+    }
+
+    /// Whether there is a message to print (lint findings already printed
+    /// their report).
+    pub fn is_silent(&self) -> bool {
+        matches!(self, CliError::Findings)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownChoice { what, got, valid } => {
+                write!(f, "unknown {what} '{got}' (valid choices: {valid})")
+            }
+            CliError::Invalid(msg) | CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Findings => Ok(()),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Existing helpers return `Result<_, String>`; fold those into the
+/// catch-all invalid-invocation case.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Invalid(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_match_the_historical_contract() {
+        assert_eq!(CliError::unknown("experiment", "x", "a, b").exit_code(), 2);
+        assert_eq!(CliError::Invalid("bad".into()).exit_code(), 2);
+        assert_eq!(CliError::Usage("bad".into()).exit_code(), 2);
+        assert_eq!(CliError::Findings.exit_code(), 1);
+    }
+
+    #[test]
+    fn unknown_choices_render_uniformly() {
+        let e = CliError::unknown("topo subcommand", "mk", "list, show, build");
+        assert_eq!(
+            format!("{e}"),
+            "unknown topo subcommand 'mk' (valid choices: list, show, build)"
+        );
+    }
+
+    #[test]
+    fn only_usage_errors_reprint_usage() {
+        assert!(CliError::Usage("x".into()).wants_usage());
+        assert!(!CliError::Invalid("x".into()).wants_usage());
+        assert!(!CliError::Findings.wants_usage());
+        assert!(CliError::Findings.is_silent());
+    }
+}

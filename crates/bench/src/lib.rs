@@ -1,7 +1,8 @@
 //! Shared helpers for the figure-regeneration CLI and the Criterion benches.
 //!
 //! The actual experiment logic lives in [`jellyfish::experiment`] (with the
-//! legacy per-figure entry points in [`jellyfish::figures`]); this crate
+//! shared vocabulary — scales and series — in [`jellyfish::figures`]); this
+//! crate
 //! formats its output, wires it into `cargo bench` targets, and hosts the
 //! process-level sweep drivers: [`merge`] (shard-fragment validation and
 //! recombination shared by `figures merge` and the launcher) and [`launch`]
@@ -13,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_report;
+pub mod cli;
 pub mod launch;
 pub mod merge;
 

@@ -56,6 +56,7 @@
 //! (paper figure, scales, output schema).
 
 use crate::figures::{Scale, Series};
+use crate::service::Session;
 use jellyfish_topology::{CsrGraph, SpecError, TopoSpec, Topology};
 use jellyfish_traffic::{ServerMap, TrafficMatrix, TrafficSpec};
 use rayon::prelude::*;
@@ -494,6 +495,18 @@ impl RunCtx {
         let mut transformed = snap.topology.clone();
         spec.apply_transforms(&mut transformed, seed)?;
         Ok(Arc::new(Snapshot::new(transformed)))
+    }
+
+    /// Builds a live [`Session`](crate::service::Session) over the memoized
+    /// transform-free base of `spec` — the same cached topology the
+    /// snapshot path clones, so replaying the spec's transforms as churn
+    /// events reproduces [`RunCtx::spec_snapshot`] byte-for-byte (both
+    /// call [`ScenarioTransform::apply`](jellyfish_topology::spec::ScenarioTransform::apply)
+    /// with `seed` on the identical base). The session inherits the run's
+    /// `--traffic` override.
+    pub fn session(&self, spec: &TopoSpec, seed: u64) -> Result<Session, SpecError> {
+        let base = self.spec_snapshot(&spec.base(), seed)?;
+        Ok(Session::new(base.topology.clone(), seed).with_traffic(self.traffic.clone()))
     }
 
     fn memoized(&self, key: String, seed: u64, build: impl FnOnce() -> Topology) -> Arc<Snapshot> {

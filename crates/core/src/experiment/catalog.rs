@@ -2,11 +2,12 @@
 //! evaluation, ported onto the [`Experiment`] trait.
 //!
 //! Each experiment decomposes into the independent items its original
-//! `figures::figN_*` loop iterated over (per-configuration, per-size,
+//! serial per-figure loop iterated over (per-configuration, per-size,
 //! per-topology, per-fraction, …), and every item derives its randomness
-//! from `(scale, seed, item)` exactly as the legacy serial loop did — so the
-//! thin wrappers in [`crate::figures`] reproduce the historical outputs, and
-//! any shard partition merges back to the single-process dataset.
+//! from `(scale, seed, item)` exactly as the legacy serial loop did — so
+//! the datasets reproduce the historical outputs byte-for-byte (the golden
+//! TSVs under `crates/bench/testdata/` enforce it), and any shard partition
+//! merges back to the single-process dataset.
 //!
 //! Topology construction goes through [`TopoSpec`] strings resolved by the
 //! generator registry (`jellyfish_topology::spec`): topology-parameterized
@@ -19,7 +20,7 @@
 use super::{Dataset, Experiment, ItemResult, RunCtx, Snapshot, WorkItem};
 use crate::cabling::two_layer_jellyfish;
 use crate::capacity::jellyfish_with_servers;
-use crate::figures::{table1_cell, Scale, Series};
+use crate::figures::{Scale, Series};
 use crate::legup::{run_expansion_comparison, ExpansionScenario};
 use crate::metrics::jain_fairness_index;
 use jellyfish_flow::bisection::{
@@ -718,6 +719,24 @@ fn table1_transports() -> [TransportPolicy; 3] {
     ]
 }
 
+/// One cell of Table 1: mean normalized per-server throughput for a
+/// topology, path policy and transport policy, from the packet-level engine.
+pub fn table1_cell(
+    topo: &Topology,
+    path_policy: PathPolicy,
+    transport: TransportPolicy,
+    seed: u64,
+    duration: f64,
+) -> f64 {
+    let servers = ServerMap::new(topo);
+    let csr = topo.csr();
+    let tm = permutation_matrix(&servers, seed);
+    let conns = build_connections(&csr, &servers, &tm, path_policy, transport, seed);
+    let net = Network::build(&csr, &servers, LinkParams::default());
+    let config = SimConfig { duration, warmup: duration * 0.25, seed, ..Default::default() };
+    Simulator::new(net, conns, config).run().mean_throughput()
+}
+
 /// Table 1: the routing × congestion-control matrix from the packet engine.
 pub struct Table1;
 
@@ -974,8 +993,9 @@ impl Experiment for Fig12 {
 
 // ------------------------------------------------------------------ fig13
 
-/// Prefix of the Jain-index cells of Figure 13.
-pub(crate) const FIG13_JAIN_PREFIX: &str = "jain_index/";
+/// Prefix of the Jain-index cells of Figure 13: each topology's index cell
+/// is named `jain_index/<series label>`.
+pub const FIG13_JAIN_PREFIX: &str = "jain_index/";
 
 /// Figure 13: per-flow throughput distribution and Jain's fairness index.
 pub struct Fig13;
@@ -1098,5 +1118,111 @@ impl Experiment for Fig14 {
             .collect();
         ds.series.push(Series::new(format!("{} Servers", base.total_servers()), points));
         ItemResult::new(item.index, ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 7;
+
+    fn run(exp: &dyn Experiment, scale: Scale, seed: u64) -> Dataset {
+        exp.run(&RunCtx::new(scale, seed))
+    }
+
+    #[test]
+    fn fig1c_jellyfish_dominates_fat_tree_cdf() {
+        let series = run(&Fig1c, Scale::Tiny, SEED).series;
+        assert_eq!(series.len(), 2);
+        let jf = &series[0];
+        let ft = &series[1];
+        assert_eq!(jf.label, "Jellyfish");
+        // At 5 hops Jellyfish reaches at least as large a fraction of pairs.
+        let at5 = |s: &Series| s.points.iter().find(|p| p.0 == 5.0).map(|p| p.1).unwrap_or(1.0);
+        assert!(at5(jf) >= at5(ft));
+    }
+
+    #[test]
+    fn fig2a_jellyfish_curves_are_monotone_decreasing() {
+        let series = run(&Fig2a, Scale::Laptop, 0).series;
+        assert_eq!(series.len(), 6);
+        for s in series.iter().filter(|s| s.label.starts_with("Jellyfish")) {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 <= w[0].1 + 1e-9, "{}: not decreasing", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2b_costs_grow_with_servers_and_jellyfish_beats_fat_tree() {
+        let series = run(&Fig2b, Scale::Laptop, 0).series;
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().any(|s| s.label.starts_with("Fat-tree")));
+        for s in series.iter().filter(|s| s.label.starts_with("Jellyfish")) {
+            assert!(!s.points.is_empty(), "{} has no feasible points", s.label);
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: cost not monotone in servers", s.label);
+            }
+        }
+        // The 48-port Jellyfish supports the 48-port fat-tree's server count
+        // (27,648) at a lower port cost (linear interpolation between the
+        // 20k and 30k sweep points stays below the fat-tree's 138,240 ports).
+        let jf48 = series.iter().find(|s| s.label == "Jellyfish; 48 ports").unwrap();
+        let below = jf48.points.iter().rfind(|p| p.0 <= 27_648.0).unwrap();
+        let cost_per_server = below.1 / below.0;
+        let interpolated = cost_per_server * 27_648.0;
+        assert!(interpolated < FatTree::ports_for_port_count(48) as f64);
+    }
+
+    #[test]
+    fn fig4_jellyfish_beats_swdc_variants() {
+        let cells = run(&Fig4, Scale::Tiny, SEED).cells;
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].name, "Jellyfish");
+        let jf = cells[0].value;
+        for c in &cells[1..] {
+            assert!(
+                jf >= c.value - 0.05,
+                "Jellyfish ({jf}) should not lose to {} ({})",
+                c.name,
+                c.value
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_incremental_matches_scratch_path_lengths() {
+        let series = run(&Fig5, Scale::Tiny, SEED).series;
+        assert_eq!(series.len(), 4);
+        let scratch = series.iter().find(|s| s.label == "Jellyfish; Mean").unwrap();
+        let grown = series.iter().find(|s| s.label == "Expanded Jellyfish; Mean").unwrap();
+        // At the shared largest size, the means are close.
+        let s_last = scratch.points.last().unwrap();
+        let g_last = grown.points.last().unwrap();
+        assert!((s_last.1 - g_last.1).abs() < 0.25, "scratch {} vs grown {}", s_last.1, g_last.1);
+    }
+
+    #[test]
+    fn fig9_ksp_spreads_paths_more_than_ecmp() {
+        let series = run(&Fig9, Scale::Tiny, SEED).series;
+        assert_eq!(series.len(), 3);
+        let total = |s: &Series| s.points.iter().map(|p| p.1).sum::<f64>();
+        let ksp = series.iter().find(|s| s.label.contains("Shortest")).unwrap();
+        let ecmp8 = series.iter().find(|s| s.label.contains("8-way")).unwrap();
+        assert!(total(ksp) > total(ecmp8));
+    }
+
+    #[test]
+    fn fig14_localization_degrades_gracefully() {
+        let series = run(&Fig14, Scale::Tiny, SEED).series;
+        assert_eq!(series.len(), 1);
+        let points = &series[0].points;
+        // Fully random (0.0 local) should be close to the unrestricted value.
+        assert!(points[0].1 > 0.8);
+        // Values stay in a sane range.
+        for &(_, v) in points {
+            assert!(v > 0.2 && v <= 1.2, "value {v} out of range");
+        }
     }
 }

@@ -12,6 +12,7 @@
 use super::catalog::{jellyfish_spec, sweep_opts};
 use super::{Dataset, Experiment, ItemResult, RunCtx, Snapshot, WorkItem};
 use crate::figures::Scale;
+use crate::service::{ChurnEvent, Query, Reply};
 use jellyfish_flow::bisection::min_bisection_heuristic;
 use jellyfish_flow::throughput::normalized_throughput;
 use jellyfish_topology::properties::path_length_stats;
@@ -258,12 +259,29 @@ impl Experiment for FailureSweep {
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
         let f = failure_fractions(ctx.scale)[item.index];
         let mut ds = Dataset::new();
-        let snap = resolve(ctx, item, &mut ds);
+        let spec = item.spec();
+        // The sweep's inner loop runs on the live-session API: the item's
+        // `+fail_links=f` transform becomes a churn event applied to the
+        // memoized base, and the measurement a throughput query. Both paths
+        // call the same `ScenarioTransform` with the same seed on the same
+        // cached base, so the output is byte-identical to the snapshot path
+        // this replaced.
+        let mut session = ctx
+            .session(spec, ctx.seed)
+            .unwrap_or_else(|e| panic!("{}: cannot build '{spec}': {e}", item.label))
+            .with_throughput_options(sweep_opts());
+        ds.push_meta(format!("topo:{}", item.label), spec.to_string());
         record_traffic_meta(ctx, &mut ds);
-        let servers = ServerMap::new(&snap.topology);
-        let tm = ctx.traffic_matrix(&servers, ctx.seed ^ 0xFA11);
-        let r = normalized_throughput(&snap.topology, &servers, &tm, sweep_opts());
-        ds.push_point("Normalized throughput", f, r.normalized);
+        session
+            .apply(&ChurnEvent::FailLinks { fraction: f })
+            .unwrap_or_else(|e| panic!("{}: churn '{spec}' failed: {e}", item.label));
+        let reply = session
+            .query(&Query::Throughput { tseed: None })
+            .unwrap_or_else(|e| panic!("{}: throughput on '{spec}' failed: {e}", item.label));
+        let Reply::Throughput { result } = reply else {
+            unreachable!("throughput query answers with a throughput reply")
+        };
+        ds.push_point("Normalized throughput", f, result.normalized);
         ItemResult::new(item.index, ds)
     }
 }

@@ -31,12 +31,13 @@ use super::catalog::jellyfish_spec;
 use super::{Dataset, Experiment, ItemResult, RunCtx, Snapshot, WorkItem};
 use crate::figures::Scale;
 use crate::metrics::LatencyHistogram;
+use crate::service::ChurnEvent;
 use jellyfish_sim::net::{LinkParams, Network};
 use jellyfish_sim::{
     build_connections, PathPolicy, SimConfig, SimReport, Simulator, TransportPolicy,
 };
 use jellyfish_topology::spec::{ImpairConfig, ScenarioTransform};
-use jellyfish_topology::TopoSpec;
+use jellyfish_topology::{CsrGraph, TopoSpec, Topology};
 use jellyfish_traffic::{ServerMap, TrafficMatrix};
 use std::sync::Arc;
 
@@ -81,22 +82,24 @@ fn sim_duration(scale: Scale) -> f64 {
     }
 }
 
-/// Runs the packet engine on a resolved snapshot, attaching the item spec's
-/// impairment (if any) with a seed derived exactly like every other
-/// transform seed. Pure in `(snapshot, spec, transport, seeds, duration)`.
+/// Runs the packet engine on a resolved topology, attaching the item
+/// spec's impairment (if any) with a seed derived exactly like every other
+/// transform seed. Pure in `(topology, spec, transport, seeds, duration)`;
+/// takes the topology and its CSR directly so both snapshot-backed and
+/// live-session callers can feed it.
 fn simulate(
-    snap: &Arc<Snapshot>,
+    topo: &Topology,
+    csr: &CsrGraph,
     spec: &TopoSpec,
     transport: TransportPolicy,
     base_seed: u64,
     traffic_seed: u64,
     duration: f64,
 ) -> SimReport {
-    let servers = ServerMap::new(&snap.topology);
+    let servers = ServerMap::new(topo);
     let tm = TrafficMatrix::random_permutation(&servers, traffic_seed);
-    let conns =
-        build_connections(&snap.csr, &servers, &tm, policy_for(spec), transport, traffic_seed);
-    let mut net = Network::build(&snap.csr, &servers, LinkParams::default());
+    let conns = build_connections(csr, &servers, &tm, policy_for(spec), transport, traffic_seed);
+    let mut net = Network::build(csr, &servers, LinkParams::default());
     if let Some(cfg) = spec.impairment() {
         net = net.with_impairment(cfg, ScenarioTransform::Impair(cfg).derived_seed(base_seed));
     }
@@ -171,7 +174,8 @@ impl Experiment for ThroughputVsLoss {
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, &mut ds);
         let report = simulate(
-            &snap,
+            &snap.topology,
+            &snap.csr,
             item.spec(),
             TransportPolicy::Mptcp { subflows: 8 },
             ctx.seed,
@@ -240,7 +244,8 @@ impl Experiment for LatencyHistogramExp {
         let mut ds = Dataset::new();
         let snap = resolve(ctx, item, &mut ds);
         let report = simulate(
-            &snap,
+            &snap.topology,
+            &snap.csr,
             item.spec(),
             TransportPolicy::Mptcp { subflows: 8 },
             ctx.seed,
@@ -341,10 +346,23 @@ impl Experiment for ImpairedFailureSweep {
     fn run_item(&self, ctx: &RunCtx, item: &WorkItem) -> ItemResult {
         let (series, _, transport, f) = Self::items(ctx)[item.index].clone();
         let mut ds = Dataset::new();
-        let snap = resolve(ctx, item, &mut ds);
+        let spec = item.spec();
+        // Live-session inner loop, mirroring `failure_sweep`: the item's
+        // `+fail_links=f` transform is applied as a churn event to the
+        // memoized base (the `+impair=` link is a topology no-op — the
+        // packet engine attaches it below), byte-identical to the snapshot
+        // path this replaced.
+        let mut session = ctx
+            .session(spec, ctx.seed)
+            .unwrap_or_else(|e| panic!("{}: cannot build '{spec}': {e}", item.label));
+        ds.push_meta(format!("topo:{}", item.label), spec.to_string());
+        session
+            .apply(&ChurnEvent::FailLinks { fraction: f })
+            .unwrap_or_else(|e| panic!("{}: churn '{spec}' failed: {e}", item.label));
         let report = simulate(
-            &snap,
-            item.spec(),
+            session.topology(),
+            session.csr(),
+            spec,
             transport,
             ctx.seed,
             ctx.seed ^ 0xFA11,

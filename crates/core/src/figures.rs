@@ -1,32 +1,18 @@
-//! Legacy per-figure entry points, now thin wrappers over the
-//! [`crate::experiment`] registry.
+//! The shared experiment vocabulary: instance-size presets and labelled
+//! series.
 //!
 //! Every figure of the paper is a registered [`crate::experiment::Experiment`]
 //! that decomposes into shardable work items and produces one uniform
-//! [`crate::experiment::Dataset`]. The functions here keep the historical
-//! signatures (one function per figure, each with its own return type) so
-//! existing callers, benches and tests keep compiling; new code should use
-//! the registry (`jellyfish::experiment::find("fig3")`) or the `figures` CLI
-//! (`figures run fig3 --scale tiny`), which adds `--shard K/N` / `merge`
-//! support on top. EXPERIMENTS.md records the registered experiments and how
-//! their outputs map onto the paper's plots.
-//!
-//! Each experiment takes one [`CsrGraph`](jellyfish_topology::CsrGraph)
-//! snapshot per topology (shared through the run's
-//! [`RunCtx`](crate::experiment::RunCtx)) and hands it to routing/flow/sim;
-//! the embarrassingly parallel sweeps fan out with rayon over work items.
-//! Every item derives its own seed exactly as the historical serial loops
-//! did, so results are seed-for-seed identical to a serial run — and a
-//! sharded run merges back to the single-process output byte-for-byte.
+//! [`crate::experiment::Dataset`]. The per-figure entry points that used to
+//! live here (one function per figure, each with its own return type) are
+//! retired: callers go through the registry
+//! (`jellyfish::experiment::find("fig3")`) or the `figures` CLI
+//! (`figures run fig3 --scale tiny`), which adds `--shard K/N` / `merge` /
+//! `serve` support on top. EXPERIMENTS.md records the registered experiments
+//! and how their outputs map onto the paper's plots; what remains here is
+//! the vocabulary every layer shares: [`Scale`], [`Series`] and the scale
+//! parser's [`ParseScaleError`].
 
-use crate::experiment::catalog::{self, FIG13_JAIN_PREFIX};
-use crate::experiment::{Dataset, Experiment, RunCtx};
-use crate::legup::ExpansionStage;
-use jellyfish_sim::engine::{SimConfig, Simulator};
-use jellyfish_sim::net::{LinkParams, Network};
-use jellyfish_sim::routing::{PathPolicy, TransportPolicy};
-use jellyfish_sim::workload::build_connections;
-use jellyfish_traffic::ServerMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -105,210 +91,9 @@ impl Series {
     }
 }
 
-/// Reorders `series` so labels appear in `order` (unknown labels keep their
-/// position after the known ones) — used where the registry's merge order
-/// differs from the historical return order.
-fn reorder(mut series: Vec<Series>, order: &[&str]) -> Vec<Series> {
-    series.sort_by_key(|s| order.iter().position(|&o| o == s.label).unwrap_or(order.len()));
-    series
-}
-
-/// Figure 1(c): CDF of server-pair path lengths for a 686-server Jellyfish
-/// and the same-equipment fat-tree.
-pub fn fig1c_path_length_cdf(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig1c.run(&RunCtx::new(scale, seed)).series
-}
-
-/// Figure 2(a): normalized bisection bandwidth (Bollobás bound) versus number
-/// of servers, at equal cost, for the paper's three (N, k) points.
-pub fn fig2a_bisection_vs_servers() -> Vec<Series> {
-    catalog::Fig2a.run(&RunCtx::new(Scale::Laptop, 0)).series
-}
-
-/// Figure 2(b): equipment cost (total ports) versus servers supported at full
-/// bisection bandwidth, for 24/32/48/64-port switches.
-pub fn fig2b_equipment_cost() -> Vec<Series> {
-    // Historically the combined fat-tree series came last.
-    let mut series = catalog::Fig2b.run(&RunCtx::new(Scale::Laptop, 0)).series;
-    if let Some(pos) = series.iter().position(|s| s.label.starts_with("Fat-tree")) {
-        let ft = series.remove(pos);
-        series.push(ft);
-    }
-    series
-}
-
-/// Figure 2(c): servers supported at full capacity (optimal routing,
-/// random-permutation traffic) versus equipment cost, for small port counts.
-///
-/// Returns (jellyfish series, fat-tree series), x = total ports, y = servers.
-pub fn fig2c_servers_at_full_capacity(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig2c.run(&RunCtx::new(scale, seed)).series
-}
-
-/// Figure 3: normalized throughput of Jellyfish versus the degree-diameter
-/// benchmark graphs at the paper's nine configurations. Returns one series
-/// per topology family, x = configuration index, y = normalized throughput.
-pub fn fig3_degree_diameter(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig3.run(&RunCtx::new(scale, seed)).series
-}
-
-/// Figure 4: normalized throughput of Jellyfish versus the three SWDC
-/// variants with the same equipment (degree 6, 2 servers per switch).
-pub fn fig4_swdc_comparison(scale: Scale, seed: u64) -> Vec<(String, f64)> {
-    catalog::Fig4
-        .run(&RunCtx::new(scale, seed))
-        .cells
-        .into_iter()
-        .map(|c| (c.name, c.value))
-        .collect()
-}
-
-/// Figure 5: mean path length and diameter versus server count for k=48,
-/// r=36 switches, comparing from-scratch and incrementally expanded
-/// topologies. Returns series labelled accordingly (x = servers).
-pub fn fig5_path_length_vs_size(scale: Scale, seed: u64) -> Vec<Series> {
-    reorder(
-        catalog::Fig5.run(&RunCtx::new(scale, seed)).series,
-        &[
-            "Jellyfish; Mean",
-            "Expanded Jellyfish; Mean",
-            "Jellyfish; Diameter",
-            "Expanded Jellyfish; Diameter",
-        ],
-    )
-}
-
-/// Figure 6: normalized throughput of incrementally grown topologies versus
-/// same-size from-scratch topologies (12-port switches, 4 servers each).
-pub fn fig6_incremental_vs_scratch(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig6.run(&RunCtx::new(scale, seed)).series
-}
-
-/// Figure 7: the LEGUP-style expansion comparison. Returns the stages.
-pub fn fig7_legup_comparison(scale: Scale, seed: u64) -> Vec<ExpansionStage> {
-    catalog::Fig7
-        .run(&RunCtx::new(scale, seed))
-        .rows
-        .into_iter()
-        .map(|r| ExpansionStage {
-            cumulative_budget: r.values[0],
-            jellyfish_bisection: r.values[1],
-            clos_bisection: r.values[2],
-            servers: r.values[3] as usize,
-        })
-        .collect()
-}
-
-/// Figure 8: normalized throughput versus fraction of failed links, for
-/// Jellyfish and a same-equipment fat-tree carrying fewer servers.
-pub fn fig8_failure_resilience(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig8.run(&RunCtx::new(scale, seed)).series
-}
-
-/// Figure 9: ranked per-directed-link path counts under 8-way ECMP, 64-way
-/// ECMP and 8-shortest-path routing on a Jellyfish topology with a random
-/// permutation workload.
-pub fn fig9_path_diversity(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig9.run(&RunCtx::new(scale, seed)).series
-}
-
-/// One cell of Table 1: mean normalized per-server throughput for a
-/// topology, path policy and transport policy, from the packet-level engine.
-pub fn table1_cell(
-    topo: &jellyfish_topology::Topology,
-    path_policy: PathPolicy,
-    transport: TransportPolicy,
-    seed: u64,
-    duration: f64,
-) -> f64 {
-    let servers = ServerMap::new(topo);
-    let csr = topo.csr();
-    let tm = catalog::permutation_matrix(&servers, seed);
-    let conns = build_connections(&csr, &servers, &tm, path_policy, transport, seed);
-    let net = Network::build(&csr, &servers, LinkParams::default());
-    let config = SimConfig { duration, warmup: duration * 0.25, seed, ..Default::default() };
-    Simulator::new(net, conns, config).run().mean_throughput()
-}
-
-/// Table 1: the routing × congestion-control matrix on a fat-tree and a
-/// same-equipment Jellyfish carrying more servers. Returns rows of
-/// `(congestion control, fat-tree ECMP, jellyfish ECMP, jellyfish 8-KSP)`.
-pub fn table1(scale: Scale, seed: u64) -> Vec<(String, f64, f64, f64)> {
-    catalog::Table1
-        .run(&RunCtx::new(scale, seed))
-        .rows
-        .into_iter()
-        .map(|r| (r.label, r.values[0], r.values[1], r.values[2]))
-        .collect()
-}
-
-/// Figure 10: packet-level (MPTCP over 8 shortest paths) versus optimal
-/// (flow-solver) throughput on the same Jellyfish topologies. Returns
-/// `(servers, optimal, packet-level)` rows. The fluid engine is used as the
-/// packet proxy at `Scale::Paper` sizes beyond the packet engine's reach.
-pub fn fig10_packet_vs_optimal(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)> {
-    catalog::Fig10
-        .run(&RunCtx::new(scale, seed))
-        .rows
-        .into_iter()
-        .map(|r| (r.values[0] as usize, r.values[1], r.values[2]))
-        .collect()
-}
-
-/// Figures 11 and 12: servers supported at the fat-tree's packet-level
-/// throughput, and the throughput stability. Returns rows of
-/// `(equipment ports, fat-tree servers, fat-tree throughput, jellyfish
-/// servers, jellyfish throughput)` using the fluid engine over MPTCP/KSP
-/// connections.
-pub fn fig11_12_packet_capacity(scale: Scale, seed: u64) -> Vec<(usize, usize, f64, usize, f64)> {
-    catalog::Fig11
-        .run(&RunCtx::new(scale, seed))
-        .rows
-        .into_iter()
-        .map(|r| {
-            (
-                r.values[0] as usize,
-                r.values[1] as usize,
-                r.values[2],
-                r.values[3] as usize,
-                r.values[4],
-            )
-        })
-        .collect()
-}
-
-/// Figure 13: per-flow normalized throughput distribution and Jain's fairness
-/// index for the fat-tree and a same-equipment Jellyfish. Returns
-/// `(label, sorted throughputs, jain index)` per topology.
-pub fn fig13_fairness(scale: Scale, seed: u64) -> Vec<(String, Vec<f64>, f64)> {
-    let ds: Dataset = catalog::Fig13.run(&RunCtx::new(scale, seed));
-    ds.series
-        .into_iter()
-        .map(|s| {
-            let jain = ds
-                .cells
-                .iter()
-                .find(|c| c.name == format!("{FIG13_JAIN_PREFIX}{}", s.label))
-                .expect("fig13 emits one Jain cell per topology")
-                .value;
-            let tputs = s.points.into_iter().map(|(_, y)| y).collect();
-            (s.label, tputs, jain)
-        })
-        .collect()
-}
-
-/// Figure 14: throughput of the two-layer (container-localized) Jellyfish,
-/// normalized to the unrestricted Jellyfish, as the fraction of in-pod links
-/// sweeps upward. One series per network size.
-pub fn fig14_cable_localization(scale: Scale, seed: u64) -> Vec<Series> {
-    catalog::Fig14.run(&RunCtx::new(scale, seed)).series
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    const SEED: u64 = 7;
 
     #[test]
     fn scale_parses_displays_and_orders() {
@@ -323,100 +108,5 @@ mod tests {
         let presets: std::collections::BTreeMap<Scale, usize> =
             Scale::ALL.iter().map(|&s| (s, s.pick(3, 2, 1))).collect();
         assert_eq!(presets[&Scale::Tiny], 1);
-    }
-
-    #[test]
-    fn fig1c_jellyfish_dominates_fat_tree_cdf() {
-        let series = fig1c_path_length_cdf(Scale::Tiny, SEED);
-        assert_eq!(series.len(), 2);
-        let jf = &series[0];
-        let ft = &series[1];
-        assert_eq!(jf.label, "Jellyfish");
-        // At 5 hops Jellyfish reaches at least as large a fraction of pairs.
-        let at5 = |s: &Series| s.points.iter().find(|p| p.0 == 5.0).map(|p| p.1).unwrap_or(1.0);
-        assert!(at5(jf) >= at5(ft));
-    }
-
-    #[test]
-    fn fig2a_jellyfish_curves_are_monotone_decreasing() {
-        let series = fig2a_bisection_vs_servers();
-        assert_eq!(series.len(), 6);
-        for s in series.iter().filter(|s| s.label.starts_with("Jellyfish")) {
-            for w in s.points.windows(2) {
-                assert!(w[1].1 <= w[0].1 + 1e-9, "{}: not decreasing", s.label);
-            }
-        }
-    }
-
-    #[test]
-    fn fig2b_costs_grow_with_servers_and_jellyfish_beats_fat_tree() {
-        let series = fig2b_equipment_cost();
-        assert_eq!(series.len(), 5);
-        // The combined fat-tree series keeps its historical last position.
-        assert!(series[4].label.starts_with("Fat-tree"));
-        for s in series.iter().filter(|s| s.label.starts_with("Jellyfish")) {
-            assert!(!s.points.is_empty(), "{} has no feasible points", s.label);
-            for w in s.points.windows(2) {
-                assert!(w[1].1 >= w[0].1, "{}: cost not monotone in servers", s.label);
-            }
-        }
-        // The 48-port Jellyfish supports the 48-port fat-tree's server count
-        // (27,648) at a lower port cost (linear interpolation between the
-        // 20k and 30k sweep points stays below the fat-tree's 138,240 ports).
-        let jf48 = series.iter().find(|s| s.label == "Jellyfish; 48 ports").unwrap();
-        let below = jf48.points.iter().rfind(|p| p.0 <= 27_648.0).unwrap();
-        let cost_per_server = below.1 / below.0;
-        let interpolated = cost_per_server * 27_648.0;
-        assert!(
-            interpolated < jellyfish_topology::fattree::FatTree::ports_for_port_count(48) as f64
-        );
-    }
-
-    #[test]
-    fn fig4_jellyfish_beats_swdc_variants() {
-        let results = fig4_swdc_comparison(Scale::Tiny, SEED);
-        assert_eq!(results.len(), 4);
-        assert_eq!(results[0].0, "Jellyfish");
-        let jf = results[0].1;
-        for (label, tp) in &results[1..] {
-            assert!(jf >= *tp - 0.05, "Jellyfish ({jf}) should not lose to {label} ({tp})");
-        }
-    }
-
-    #[test]
-    fn fig5_incremental_matches_scratch_path_lengths() {
-        let series = fig5_path_length_vs_size(Scale::Tiny, SEED);
-        assert_eq!(series.len(), 4);
-        let scratch = &series[0];
-        let grown = &series[1];
-        assert_eq!(scratch.label, "Jellyfish; Mean");
-        assert_eq!(grown.label, "Expanded Jellyfish; Mean");
-        // At the shared largest size, the means are close.
-        let s_last = scratch.points.last().unwrap();
-        let g_last = grown.points.last().unwrap();
-        assert!((s_last.1 - g_last.1).abs() < 0.25, "scratch {} vs grown {}", s_last.1, g_last.1);
-    }
-
-    #[test]
-    fn fig9_ksp_spreads_paths_more_than_ecmp() {
-        let series = fig9_path_diversity(Scale::Tiny, SEED);
-        assert_eq!(series.len(), 3);
-        let total = |s: &Series| s.points.iter().map(|p| p.1).sum::<f64>();
-        let ksp = series.iter().find(|s| s.label.contains("Shortest")).unwrap();
-        let ecmp8 = series.iter().find(|s| s.label.contains("8-way")).unwrap();
-        assert!(total(ksp) > total(ecmp8));
-    }
-
-    #[test]
-    fn fig14_localization_degrades_gracefully() {
-        let series = fig14_cable_localization(Scale::Tiny, SEED);
-        assert_eq!(series.len(), 1);
-        let points = &series[0].points;
-        // Fully random (0.0 local) should be close to the unrestricted value.
-        assert!(points[0].1 > 0.8);
-        // Values stay in a sane range.
-        for &(_, v) in points {
-            assert!(v > 0.2 && v <= 1.2, "value {v} out of range");
-        }
     }
 }

@@ -17,10 +17,15 @@
 //!   uniform [`experiment::Dataset`] (TSV/JSON), with a static registry and
 //!   `K/N` sharding whose merged output is byte-identical to a
 //!   single-process run.
-//! * [`figures`] — the legacy one-function-per-figure surface, now thin
-//!   wrappers over the registry; the `jellyfish-bench` crate turns the
-//!   registry into CLI output (`figures list|run|merge`) and Criterion
-//!   benchmarks.
+//! * [`figures`] — the shared experiment vocabulary ([`figures::Scale`],
+//!   [`figures::Series`], [`figures::ParseScaleError`]); the
+//!   `jellyfish-bench` crate turns the registry into CLI output
+//!   (`figures list|run|merge|serve`) and Criterion benchmarks.
+//! * [`service`] — the live-topology session: a resident
+//!   [`Topology`](jellyfish_topology::Topology) + CSR snapshot that absorbs
+//!   typed [`service::ChurnEvent`] deltas with incremental routing repair
+//!   and answers [`service::Query`] requests, byte-identical to rebuilding
+//!   from scratch (see SERVE.md).
 //!
 //! ## Quick start
 //!
@@ -42,8 +47,10 @@ pub mod cabling;
 pub mod capacity;
 pub mod experiment;
 pub mod figures;
+mod json;
 pub mod legup;
 pub mod metrics;
+pub mod service;
 
 pub use jellyfish_flow as flow;
 pub use jellyfish_routing as routing;

@@ -1,0 +1,356 @@
+//! Line-delimited JSON wire protocol for [`Session`] (the `figures serve`
+//! surface). One request object per line in, one reply object per line out;
+//! SERVE.md is the normative grammar.
+//!
+//! Replies are rendered with a fixed field order and the shortest
+//! round-trip number formatting shared with the experiment codec
+//! ([`crate::json`]), so a scripted session produces a byte-stable
+//! transcript — the CI smoke diffs one against a committed golden.
+
+use jellyfish_routing::path_table::RoutingScheme;
+
+use crate::json::{escape_into, num_into, parse_document, Value};
+use crate::service::{ChurnEvent, Delta, Query, Reply, Session};
+
+/// Valid `scheme` values, listed in every scheme error.
+pub const SCHEME_CHOICES: &str = "ecmp8, ecmp64, ksp8, ecmp:N, ksp:N";
+
+/// What the server loop should do with one input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Write this reply line and keep reading.
+    Reply(String),
+    /// Write this reply line, then close the connection.
+    Shutdown(String),
+}
+
+impl LineOutcome {
+    /// The reply line, whichever variant carries it.
+    pub fn text(&self) -> &str {
+        match self {
+            LineOutcome::Reply(s) | LineOutcome::Shutdown(s) => s,
+        }
+    }
+}
+
+/// Handles one request line against the session. Never panics on client
+/// input: malformed lines produce an `{"ok":false,...}` reply and leave
+/// the session untouched.
+pub fn handle_line(session: &mut Session, line: &str) -> LineOutcome {
+    match dispatch(session, line) {
+        Ok(outcome) => outcome,
+        Err(msg) => LineOutcome::Reply(error_reply(&msg)),
+    }
+}
+
+fn dispatch(session: &mut Session, line: &str) -> Result<LineOutcome, String> {
+    let v = parse_document(line.trim())?;
+    let op = v.get("op")?.as_str()?;
+    match op {
+        "apply" => {
+            let event = parse_event(&v)?;
+            let delta = session.apply(&event).map_err(|e| e.to_string())?;
+            Ok(LineOutcome::Reply(delta_reply(&delta)))
+        }
+        "query" => {
+            let query = parse_query(&v)?;
+            let reply = session.query(&query).map_err(|e| e.to_string())?;
+            Ok(LineOutcome::Reply(query_reply(&reply)))
+        }
+        "stats" => Ok(LineOutcome::Reply(stats_reply(session))),
+        "shutdown" => Ok(LineOutcome::Shutdown("{\"ok\":true,\"op\":\"shutdown\"}".to_string())),
+        other => {
+            Err(format!("unknown op '{other}' (valid choices: apply, query, stats, shutdown)"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- requests
+
+fn parse_event(v: &Value) -> Result<ChurnEvent, String> {
+    let event = v.get("event")?.as_str()?;
+    match event {
+        "fail_link" => {
+            Ok(ChurnEvent::FailLink { a: v.get("a")?.as_usize()?, b: v.get("b")?.as_usize()? })
+        }
+        "fail_links" => Ok(ChurnEvent::FailLinks { fraction: v.get("fraction")?.as_f64()? }),
+        "fail_switch" => Ok(ChurnEvent::FailSwitch { node: v.get("node")?.as_usize()? }),
+        "fail_switches" => Ok(ChurnEvent::FailSwitches { fraction: v.get("fraction")?.as_f64()? }),
+        "restore" => Ok(ChurnEvent::Restore),
+        "expand" => Ok(ChurnEvent::Expand { racks: v.get("racks")?.as_usize()? }),
+        other => Err(format!(
+            "unknown event '{other}' (valid choices: fail_link, fail_links, fail_switch, \
+             fail_switches, restore, expand)"
+        )),
+    }
+}
+
+/// Parses a `scheme` string (`ecmp8`, `ksp8`, `ecmp:N`, `ksp:N`, ...).
+pub fn parse_scheme(s: &str) -> Result<RoutingScheme, String> {
+    let parsed = match s {
+        "ecmp8" => Some(RoutingScheme::ecmp8()),
+        "ecmp64" => Some(RoutingScheme::ecmp64()),
+        "ksp8" => Some(RoutingScheme::ksp8()),
+        _ => {
+            let width = |raw: &str| raw.parse::<usize>().ok().filter(|&n| n > 0);
+            if let Some(raw) = s.strip_prefix("ecmp:") {
+                width(raw).map(|way| RoutingScheme::Ecmp { way })
+            } else if let Some(raw) = s.strip_prefix("ksp:") {
+                width(raw).map(|k| RoutingScheme::KShortestPaths { k })
+            } else {
+                None
+            }
+        }
+    };
+    parsed.ok_or_else(|| format!("unknown scheme '{s}' (valid choices: {SCHEME_CHOICES})"))
+}
+
+fn parse_query(v: &Value) -> Result<Query, String> {
+    let q = v.get("q")?.as_str()?;
+    match q {
+        "dist" => {
+            Ok(Query::Dist { src: v.get("src")?.as_usize()?, dst: v.get("dst")?.as_usize()? })
+        }
+        "path" => {
+            let scheme = match v.get_opt("scheme") {
+                Some(raw) => parse_scheme(raw.as_str()?)?,
+                None => RoutingScheme::ecmp8(),
+            };
+            Ok(Query::Path {
+                src: v.get("src")?.as_usize()?,
+                dst: v.get("dst")?.as_usize()?,
+                scheme,
+            })
+        }
+        "throughput" => {
+            let tseed = match v.get_opt("tseed") {
+                Some(raw) => Some(raw.as_u64()?),
+                None => None,
+            };
+            Ok(Query::Throughput { tseed })
+        }
+        "bisection" => {
+            let restarts = match v.get_opt("restarts") {
+                Some(raw) => raw.as_usize()?,
+                None => 4,
+            };
+            Ok(Query::Bisection { restarts })
+        }
+        other => Err(format!(
+            "unknown query '{other}' (valid choices: dist, path, throughput, bisection)"
+        )),
+    }
+}
+
+// ----------------------------------------------------------------- replies
+
+fn error_reply(msg: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    escape_into(&mut out, msg);
+    out.push('}');
+    out
+}
+
+fn opt_usize_into(out: &mut String, v: Option<usize>) {
+    match v {
+        Some(n) => out.push_str(&format!("{n}")),
+        None => out.push_str("null"),
+    }
+}
+
+fn delta_reply(d: &Delta) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"apply\",\"event\":");
+    escape_into(&mut out, d.event);
+    out.push_str(&format!(
+        ",\"removed\":{},\"added\":{},\"switches\":{},\"links\":{},\"servers\":{},\
+         \"generation\":{},\"repaired_rows\":",
+        d.removed_links, d.added_links, d.switches, d.links, d.servers, d.generation
+    ));
+    opt_usize_into(&mut out, d.repaired_rows);
+    out.push_str(",\"total_rows\":");
+    opt_usize_into(&mut out, d.total_rows);
+    out.push_str(&format!(
+        ",\"full_rebuild\":{},\"paths_dropped\":{},\"paths_kept\":{}}}",
+        d.full_rebuild, d.paths_dropped, d.paths_kept
+    ));
+    out
+}
+
+fn query_reply(r: &Reply) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"query\",\"q\":");
+    match r {
+        Reply::Dist { src, dst, hops } => {
+            out.push_str(&format!("\"dist\",\"src\":{src},\"dst\":{dst},\"hops\":"));
+            match hops {
+                Some(h) => out.push_str(&format!("{h}")),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        Reply::Path { src, dst, scheme, paths } => {
+            out.push_str(&format!("\"path\",\"src\":{src},\"dst\":{dst},\"scheme\":"));
+            escape_into(&mut out, scheme);
+            out.push_str(",\"paths\":[");
+            for (i, path) in paths.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, node) in path.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{node}"));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        Reply::Throughput { result } => {
+            out.push_str("\"throughput\",\"lambda\":");
+            num_into(&mut out, result.lambda);
+            out.push_str(",\"normalized\":");
+            num_into(&mut out, result.normalized);
+            out.push_str(&format!(",\"commodities\":{},\"epsilon\":", result.commodities));
+            num_into(&mut out, result.epsilon);
+            out.push('}');
+        }
+        Reply::Bisection { cut } => {
+            out.push_str(&format!(
+                "\"bisection\",\"crossing_links\":{},\"partition_size\":{},\"normalized\":",
+                cut.crossing_links,
+                cut.partition.len()
+            ));
+            num_into(&mut out, cut.normalized);
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn stats_reply(session: &Session) -> String {
+    let s = session.stats();
+    let t = session.topology();
+    format!(
+        "{{\"ok\":true,\"op\":\"stats\",\"oracle\":{},\"switches\":{},\"links\":{},\
+         \"servers\":{},\"generation\":{},\"events\":{},\"queries\":{},\
+         \"rows_repaired\":{},\"full_rebuilds\":{},\"paths_dropped\":{},\
+         \"path_cache_hits\":{}}}",
+        session.is_oracle(),
+        t.num_switches(),
+        t.num_links(),
+        t.total_servers(),
+        t.generation(),
+        s.events,
+        s.queries,
+        s.rows_repaired,
+        s.full_rebuilds,
+        s.paths_dropped,
+        s.path_cache_hits,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jellyfish_topology::JellyfishBuilder;
+
+    fn session() -> Session {
+        let topo = JellyfishBuilder::new(12, 6, 3).seed(7).build().unwrap();
+        Session::new(topo, 7)
+    }
+
+    fn line(s: &mut Session, req: &str) -> String {
+        handle_line(s, req).text().to_string()
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_session() {
+        let mut s = session();
+        for bad in ["", "not json", "{}", "{\"op\":\"nope\"}", "{\"op\":\"apply\"}"] {
+            let reply = line(&mut s, bad);
+            assert!(reply.starts_with("{\"ok\":false,\"error\":"), "{bad} -> {reply}");
+        }
+        // Still serving.
+        let ok = line(&mut s, "{\"op\":\"query\",\"q\":\"dist\",\"src\":0,\"dst\":1}");
+        assert!(ok.starts_with("{\"ok\":true"), "{ok}");
+    }
+
+    #[test]
+    fn apply_then_query_round_trip() {
+        let mut s = session();
+        let d = line(&mut s, "{\"op\":\"query\",\"q\":\"dist\",\"src\":0,\"dst\":5}");
+        assert!(d.contains("\"hops\":"), "{d}");
+        let a = line(&mut s, "{\"op\":\"apply\",\"event\":\"fail_links\",\"fraction\":0.1}");
+        assert!(a.starts_with("{\"ok\":true,\"op\":\"apply\",\"event\":\"fail_links\""), "{a}");
+        assert!(a.contains("\"repaired_rows\":"), "{a}");
+        let p = line(&mut s, "{\"op\":\"query\",\"q\":\"path\",\"src\":0,\"dst\":5}");
+        assert!(p.contains("\"scheme\":\"8-way ECMP\""), "{p}");
+        let st = line(&mut s, "{\"op\":\"stats\"}");
+        assert!(st.contains("\"events\":1") && st.contains("\"queries\":2"), "{st}");
+    }
+
+    #[test]
+    fn shutdown_is_terminal() {
+        let mut s = session();
+        match handle_line(&mut s, "{\"op\":\"shutdown\"}") {
+            LineOutcome::Shutdown(reply) => assert_eq!(reply, "{\"ok\":true,\"op\":\"shutdown\"}"),
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_strings_parse() {
+        assert_eq!(parse_scheme("ecmp8").unwrap(), RoutingScheme::ecmp8());
+        assert_eq!(parse_scheme("ecmp:4").unwrap(), RoutingScheme::Ecmp { way: 4 });
+        assert_eq!(parse_scheme("ksp:3").unwrap(), RoutingScheme::KShortestPaths { k: 3 });
+        assert!(parse_scheme("ospf").unwrap_err().contains(SCHEME_CHOICES));
+        assert!(parse_scheme("ecmp:0").is_err());
+    }
+
+    #[test]
+    fn identical_scripts_produce_identical_transcripts() {
+        let script = [
+            "{\"op\":\"query\",\"q\":\"dist\",\"src\":0,\"dst\":9}",
+            "{\"op\":\"apply\",\"event\":\"fail_links\",\"fraction\":0.15}",
+            "{\"op\":\"query\",\"q\":\"path\",\"src\":0,\"dst\":9,\"scheme\":\"ksp:4\"}",
+            "{\"op\":\"apply\",\"event\":\"restore\"}",
+            "{\"op\":\"query\",\"q\":\"throughput\"}",
+            "{\"op\":\"query\",\"q\":\"bisection\",\"restarts\":2}",
+            "{\"op\":\"stats\"}",
+        ];
+        let run = || {
+            let mut s = session();
+            script.iter().map(|req| line(&mut s, req)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oracle_and_incremental_transcripts_match() {
+        let script = [
+            "{\"op\":\"query\",\"q\":\"dist\",\"src\":2,\"dst\":11}",
+            "{\"op\":\"query\",\"q\":\"path\",\"src\":2,\"dst\":11}",
+            "{\"op\":\"apply\",\"event\":\"fail_switch\",\"node\":5}",
+            "{\"op\":\"query\",\"q\":\"dist\",\"src\":2,\"dst\":11}",
+            "{\"op\":\"query\",\"q\":\"path\",\"src\":2,\"dst\":11}",
+            "{\"op\":\"apply\",\"event\":\"expand\",\"racks\":2}",
+            "{\"op\":\"query\",\"q\":\"dist\",\"src\":2,\"dst\":13}",
+            "{\"op\":\"query\",\"q\":\"path\",\"src\":2,\"dst\":13,\"scheme\":\"ksp8\"}",
+            "{\"op\":\"query\",\"q\":\"throughput\"}",
+            "{\"op\":\"query\",\"q\":\"bisection\"}",
+        ];
+        let topo = JellyfishBuilder::new(12, 6, 3).seed(7).build().unwrap();
+        let mut inc = Session::new(topo.clone(), 7);
+        let mut ora = Session::oracle(topo, 7);
+        for req in script {
+            let a = line(&mut inc, req);
+            let b = line(&mut ora, req);
+            // Delta replies legitimately differ in repair accounting; query
+            // replies must be byte-identical.
+            if req.contains("\"op\":\"query\"") {
+                assert_eq!(a, b, "diverged on {req}");
+            }
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! on the scenarios the paper's evaluation is built from.
 
 use jellyfish::capacity::{jellyfish_with_servers, supports_full_throughput};
-use jellyfish::figures::{self, Scale};
+use jellyfish::experiment::catalog::FIG13_JAIN_PREFIX;
+use jellyfish::experiment::{find, Dataset, RunCtx};
+use jellyfish::figures::Scale;
 use jellyfish::metrics::jain_fairness_index;
 use jellyfish::prelude::*;
 use jellyfish::sim::fluid::max_min_fair_allocation;
@@ -14,6 +16,11 @@ use jellyfish::topology::properties::{
 };
 
 const SEED: u64 = 2012;
+
+/// Runs a registered experiment the way `figures run` does.
+fn run_experiment(name: &str, scale: Scale, seed: u64) -> Dataset {
+    find(name).unwrap_or_else(|| panic!("{name} is registered")).run(&RunCtx::new(scale, seed))
+}
 
 /// Figure 1(c) at a reduced but still meaningful scale: the same-equipment
 /// Jellyfish reaches far more server pairs within 5 hops than the fat-tree.
@@ -59,7 +66,7 @@ fn jellyfish_matches_fat_tree_server_count_at_full_capacity() {
 /// support the same permutation throughput as from-scratch ones (Figure 6).
 #[test]
 fn incremental_growth_matches_from_scratch_capacity() {
-    let series = figures::fig6_incremental_vs_scratch(Scale::Tiny, SEED);
+    let series = run_experiment("fig6", Scale::Tiny, SEED).series;
     let incremental = &series[0];
     let scratch = &series[1];
     for (a, b) in incremental.points.iter().zip(&scratch.points) {
@@ -146,9 +153,18 @@ fn packet_and_fluid_engines_agree_roughly() {
 /// Fairness (Figure 13): both topologies give flows near-equal shares.
 #[test]
 fn both_topologies_are_flow_fair() {
-    for (label, tputs, jain) in figures::fig13_fairness(Scale::Tiny, SEED) {
+    let ds = run_experiment("fig13", Scale::Tiny, SEED);
+    assert!(!ds.series.is_empty());
+    for s in &ds.series {
+        let jain = ds
+            .cells
+            .iter()
+            .find(|c| c.name == format!("{FIG13_JAIN_PREFIX}{}", s.label))
+            .expect("fig13 emits one Jain cell per topology")
+            .value;
+        let tputs: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
         assert!(!tputs.is_empty());
-        assert!(jain > 0.85, "{label}: Jain index {jain} too low");
+        assert!(jain > 0.85, "{}: Jain index {jain} too low", s.label);
         // Also check directly against the metric function.
         assert!((jain - jain_fairness_index(&tputs)).abs() < 1e-12);
     }
@@ -158,10 +174,12 @@ fn both_topologies_are_flow_fair() {
 /// bandwidth exceeds the Clos planner's at the same cumulative budget.
 #[test]
 fn jellyfish_expansion_beats_clos_planner_on_bisection_per_dollar() {
-    let stages = figures::fig7_legup_comparison(Scale::Tiny, SEED);
-    assert!(stages.len() >= 3);
-    let last = stages.last().unwrap();
-    assert!(last.jellyfish_bisection > last.clos_bisection);
+    // Row values: cumulative budget, jellyfish bisection, clos bisection,
+    // servers (the fig7 column order).
+    let rows = run_experiment("fig7", Scale::Tiny, SEED).rows;
+    assert!(rows.len() >= 3);
+    let last = rows.last().unwrap();
+    assert!(last.values[1] > last.values[2]);
 }
 
 /// The figures CLI's two-layer Jellyfish localization sweep (Figure 14)
@@ -169,7 +187,7 @@ fn jellyfish_expansion_beats_clos_planner_on_bisection_per_dollar() {
 /// capacity.
 #[test]
 fn cable_localization_costs_little_throughput() {
-    let series = figures::fig14_cable_localization(Scale::Tiny, SEED);
+    let series = run_experiment("fig14", Scale::Tiny, SEED).series;
     for s in &series {
         let at_low = s.points.iter().find(|p| p.0 <= 0.01).map(|p| p.1).unwrap();
         let at_mid = s.points.iter().find(|p| (p.0 - 0.6).abs() < 0.01).map(|p| p.1).unwrap();
@@ -183,17 +201,9 @@ fn cable_localization_costs_little_throughput() {
 /// produce bit-identical results.
 #[test]
 fn parallel_figures_are_deterministic() {
-    let series_eq = |a: &[figures::Series], b: &[figures::Series]| {
-        a.len() == b.len()
-            && a.iter().zip(b).all(|(x, y)| x.label == y.label && x.points == y.points)
-    };
-    let f1a = figures::fig1c_path_length_cdf(Scale::Tiny, SEED);
-    let f1b = figures::fig1c_path_length_cdf(Scale::Tiny, SEED);
-    assert!(series_eq(&f1a, &f1b), "fig1c differs between runs");
-    let f5a = figures::fig5_path_length_vs_size(Scale::Tiny, SEED);
-    let f5b = figures::fig5_path_length_vs_size(Scale::Tiny, SEED);
-    assert!(series_eq(&f5a, &f5b), "fig5 differs between runs");
-    let t1a = figures::table1(Scale::Tiny, SEED);
-    let t1b = figures::table1(Scale::Tiny, SEED);
-    assert_eq!(t1a, t1b, "table1 differs between runs");
+    for name in ["fig1c", "fig5", "table1"] {
+        let a = run_experiment(name, Scale::Tiny, SEED);
+        let b = run_experiment(name, Scale::Tiny, SEED);
+        assert_eq!(a, b, "{name} differs between runs");
+    }
 }

@@ -12,7 +12,10 @@
 //!   bounded next-hop fan-out and flow hashing;
 //! * [`path_table`] — per source–destination path sets (the routing state a
 //!   switch would hold), built in parallel, and the link path-count
-//!   statistics behind Figure 9.
+//!   statistics behind Figure 9;
+//! * [`incremental`] — affected-source repair of all-pairs distance
+//!   matrices after a topology delta (the live-service churn path),
+//!   byte-identical to a full rebuild.
 //!
 //! Every entry point consumes an immutable
 //! [`CsrGraph`](jellyfish_topology::CsrGraph) snapshot (take one with
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod ecmp;
+pub mod incremental;
 pub mod path_table;
 pub mod shortest;
 pub mod yen;

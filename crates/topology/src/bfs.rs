@@ -92,6 +92,22 @@ impl DistanceMatrix {
     pub fn as_flat(&self) -> &[u32] {
         &self.data
     }
+
+    /// Mutable access to the distance row of `src`, for in-place repair of
+    /// individual sources after a topology delta (`jellyfish-routing`'s
+    /// incremental module). Hop distances are canonical, so any correct BFS
+    /// writing a row here reproduces the full-rebuild bytes exactly.
+    #[inline]
+    pub fn row_mut(&mut self, src: NodeId) -> &mut [u32] {
+        &mut self.data[src * self.cols..(src + 1) * self.cols]
+    }
+
+    /// Consumes the matrix and returns its flat row-major data, for repairs
+    /// that change the node count (and therefore the row stride).
+    #[inline]
+    pub fn into_flat(self) -> Vec<u32> {
+        self.data
+    }
 }
 
 /// Reusable per-thread buffers for [`bfs_into`], so an all-pairs sweep
